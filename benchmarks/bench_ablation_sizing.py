@@ -1,0 +1,27 @@
+"""Bench: gating-transistor sizing ablation (Section III discussion).
+
+Paper shape asserted: widening the supply-gating devices monotonically
+reduces the FLH delay penalty and increases the area penalty, while the
+normal-mode switching power stays flat ("does not affect the switching
+power of the gates").
+"""
+
+from _util import save_result
+
+from repro.experiments import ablation_sizing
+
+
+def run_ablation():
+    return ablation_sizing.run("s298", n_vectors=60)
+
+
+def test_ablation_sizing(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_result("ablation_sizing", result.render())
+
+    assert result.delay_monotonic_down
+    assert result.area_monotonic_up
+    powers = [row["power_ovh_%"] for row in result.rows]
+    assert max(powers) - min(powers) < 0.5, (
+        "sizing must not move the switching power"
+    )

@@ -1,0 +1,51 @@
+"""Bench: ATPG engine throughput and quality.
+
+Not a paper table, but the substrate the coverage results stand on:
+runs PODEM over the collapsed stuck-at list of s298 and verifies every
+generated test in the fault simulator.
+"""
+
+from _util import save_result
+
+from repro.bench import load_circuit
+from repro.experiments.report import format_table
+from repro.fault import (
+    FaultSimulator,
+    all_stuck_faults,
+    collapse_stuck,
+    generate_tests,
+)
+
+
+def run_atpg():
+    netlist = load_circuit("s298")
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+    results = generate_tests(netlist, faults, backtrack_limit=30)
+    return netlist, faults, results
+
+
+def test_atpg_flow(benchmark):
+    netlist, faults, results = benchmark.pedantic(
+        run_atpg, rounds=1, iterations=1
+    )
+    detected = [r for r in results if r.detected]
+    untestable = [r for r in results if r.status == "untestable"]
+    aborted = [r for r in results if r.status == "aborted"]
+
+    sim = FaultSimulator(netlist)
+    verified = sim.simulate_stuck(
+        [r.fault for r in detected], [r.test for r in detected]
+    )
+    rows = [
+        {
+            "faults": len(faults),
+            "detected": len(detected),
+            "untestable": len(untestable),
+            "aborted": len(aborted),
+            "verified_%": round(verified.coverage * 100, 2),
+        }
+    ]
+    save_result("atpg_flow", format_table(rows, title="PODEM on s298"))
+
+    assert verified.coverage == 1.0, "every generated test must verify"
+    assert len(detected) / len(faults) > 0.7

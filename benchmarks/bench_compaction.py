@@ -1,0 +1,61 @@
+"""Bench: static compaction of two-pattern test sets.
+
+The paper weighs DFT schemes by "fault coverage and required number of
+test patterns"; this bench measures how far reverse-order static
+compaction shrinks the arbitrary-style test set at identical coverage.
+"""
+
+from _util import save_result
+
+from repro.experiments.common import circuit
+from repro.experiments.report import format_table
+from repro.fault import (
+    FaultSimulator,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+    compact_two_pattern_tests,
+)
+
+
+def run_compaction():
+    rows = []
+    for name in ("s298", "s344"):
+        netlist = circuit(name)
+        faults = collapse_transition(
+            netlist, all_transition_faults(netlist)
+        )
+        result = TransitionAtpg(netlist, seed=3).generate(
+            faults, n_random_pairs=48
+        )
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        sim = FaultSimulator(netlist)
+        cov_after = sim.simulate_transition(
+            faults, [(t.v1, t.v2) for t in compacted.kept]
+        ).coverage
+        rows.append(
+            {
+                "circuit": name,
+                "tests_before": len(result.tests),
+                "tests_after": len(compacted.kept),
+                "ratio": round(compacted.ratio, 3),
+                "coverage_before": round(result.coverage, 4),
+                "coverage_after": round(cov_after, 4),
+            }
+        )
+    return rows
+
+
+def test_compaction(benchmark):
+    rows = benchmark.pedantic(run_compaction, rounds=1, iterations=1)
+    save_result(
+        "compaction",
+        format_table(rows, title="two-pattern test-set compaction"),
+    )
+
+    for row in rows:
+        assert row["tests_after"] < row["tests_before"]
+        assert row["coverage_after"] >= row["coverage_before"] - 1e-9
+        assert row["ratio"] < 0.9

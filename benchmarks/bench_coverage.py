@@ -1,0 +1,48 @@
+"""Bench: Section IV coverage claims.
+
+Regenerates the transition-coverage comparison (arbitrary vs skewed-load
+vs broadside) and the enhanced-scan/FLH response-equality check on two
+circuits.  Paper shape asserted: arbitrary (= enhanced scan = FLH)
+coverage dominates skewed-load dominates broadside, and enhanced scan
+and FLH capture byte-identical responses for the same test set.
+"""
+
+from _util import save_result
+
+from repro.experiments import coverage_study
+from repro.experiments.report import format_table
+
+
+def run_coverage():
+    return [
+        coverage_study.run(name, n_random_pairs=48, n_check_tests=10,
+                           n_shift_patterns=4)
+        for name in ("s298", "s344")
+    ]
+
+
+def test_coverage_study(benchmark):
+    results = benchmark.pedantic(run_coverage, rounds=1, iterations=1)
+    text = "\n\n".join(r.render() for r in results)
+    rows = [
+        {
+            "circuit": r.circuit,
+            "arbitrary": round(r.effective_by_style["arbitrary"], 4),
+            "skewed": round(r.effective_by_style["skewed-load"], 4),
+            "broadside": round(r.effective_by_style["broadside"], 4),
+        }
+        for r in results
+    ]
+    text += "\n\n" + format_table(rows, title="effective coverage summary")
+    save_result("coverage_study", text)
+
+    for r in results:
+        assert r.ordering_holds, f"{r.circuit}: coverage ordering violated"
+        assert r.responses_identical, (
+            f"{r.circuit}: enhanced scan and FLH must capture identical "
+            "responses"
+        )
+        assert (
+            r.effective_by_style["broadside"]
+            < r.effective_by_style["arbitrary"]
+        ), f"{r.circuit}: broadside should clearly trail (paper Section I)"

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 2 (floating-node decay, no keeper).
+
+Paper shape asserted: with the first stage supply-gated and the input
+switching during sleep, OUT1 decays below 600 mV well within the 100 ns
+window, the following stage flips (state corrupted), and static supply
+current appears in the downstream stages.
+"""
+
+from _util import save_result
+
+from repro import units
+from repro.experiments import fig2_decay
+
+
+def test_fig2_decay(benchmark):
+    result = benchmark.pedantic(
+        fig2_decay.run, kwargs={"t_stop": 60 * units.NS},
+        rounds=1, iterations=1,
+    )
+    save_result("fig2_decay", result.render())
+
+    report = result.report
+    assert report.decay_time is not None
+    assert report.decay_time < 100 * units.NS
+    assert report.out2_final > 0.5, "second stage must flip (corruption)"
+    assert report.peak_static_current > 1e-6, (
+        "static current must appear as OUT1 passes mid-rail"
+    )

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 4 (FLH keeper holds the gated stage).
+
+Paper shape asserted: with the Fig. 3 keeper enabled in sleep mode, all
+three chain outputs stay pinned at their rails for the whole window
+despite the input switching -- "the circuit can strongly hold its
+state".
+"""
+
+from _util import save_result
+
+from repro import units
+from repro.experiments import fig4_hold
+
+
+def test_fig4_hold(benchmark):
+    result = benchmark.pedantic(
+        fig4_hold.run, kwargs={"t_stop": 150 * units.NS},
+        rounds=1, iterations=1,
+    )
+    save_result("fig4_hold", result.render())
+
+    report = result.report
+    assert report.holds(margin=0.1)
+    assert report.out1_min > 0.9 * units.VDD_70NM
+    assert report.out2_max < 0.1 * units.VDD_70NM
+    assert report.out3_min > 0.9 * units.VDD_70NM

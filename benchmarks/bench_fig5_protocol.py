@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 5(b) (FLH test-application timing diagram).
+
+Paper shape asserted: the applied sequence matches the canonical
+scan-V1 / apply-V1 / hold-while-scanning-V2 / launch / capture order,
+with zero combinational switching while either pattern shifts.
+"""
+
+from _util import save_result
+
+from repro.experiments import fig5_timing
+
+
+def test_fig5_protocol(benchmark):
+    result = benchmark.pedantic(
+        fig5_timing.run, kwargs={"circuit_name": "s298"},
+        rounds=1, iterations=1,
+    )
+    save_result("fig5_protocol", result.render())
+
+    assert result.matches_canonical
+    assert result.isolated

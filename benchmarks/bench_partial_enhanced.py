@@ -1,0 +1,26 @@
+"""Bench: partial enhanced scan trade-off (reference [3] baseline).
+
+The paper positions FLH against alternatives that are "not as efficient
+... with respect to fault coverage" -- partial enhanced scan trades
+hold latches for coverage.  This bench sweeps the held fraction and
+shows the coverage climbing toward (and the area overhead climbing past)
+full enhanced scan, while FLH sits at full coverage for less area.
+"""
+
+from _util import save_result
+
+from repro.experiments import partial_study
+
+
+def test_partial_enhanced_tradeoff(benchmark):
+    result = benchmark.pedantic(partial_study.run, rounds=1, iterations=1)
+    save_result("partial_enhanced", result.render())
+
+    partial_rows = result.partial_rows
+    coverages = [r["coverage"] for r in partial_rows]
+    areas = [r["area_ovh_%"] for r in partial_rows]
+    assert areas == sorted(areas), "area must grow with held fraction"
+    assert coverages[-1] >= coverages[0], "coverage must not fall"
+    assert result.flh_dominates, (
+        "FLH must match full-enhanced-scan coverage at lower area"
+    )

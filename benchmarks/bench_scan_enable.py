@@ -1,0 +1,52 @@
+"""Bench: the skewed-load fast scan-enable cost (Section I claim).
+
+"Design requirement for skewed-load case can be costly because of fast
+switching scan enable signal": SE must flip between the last shift and
+the capture inside one rated clock, so its distribution tree is sized
+like a clock branch.  Enhanced scan / FLH / broadside tolerate a slow SE
+and a minimum tree.  This bench sizes both trees per circuit.
+"""
+
+from _util import save_result
+
+from repro.dft import scan_enable_cost_comparison
+from repro.experiments.common import styled_designs
+from repro.experiments.report import format_table
+
+
+def run_se_cost():
+    rows = []
+    for name in ("s298", "s838", "s5378", "s13207"):
+        scan = styled_designs(name)["scan"]
+        result = scan_enable_cost_comparison(scan)
+        slow, fast = result["slow"], result["fast"]
+        rows.append(
+            {
+                "circuit": name,
+                "scan_cells": slow.n_sinks,
+                "tree_levels": slow.levels,
+                "slow_SE_drive": slow.buffer_drive,
+                "fast_SE_drive": fast.buffer_drive,
+                "area_ratio": round(result["area_ratio"], 2),
+            }
+        )
+    return rows
+
+
+def test_scan_enable_cost(benchmark):
+    rows = benchmark.pedantic(run_se_cost, rounds=1, iterations=1)
+    save_result(
+        "scan_enable",
+        format_table(
+            rows,
+            title="fast (skewed-load) vs slow scan-enable tree cost",
+        ),
+    )
+
+    for row in rows:
+        assert row["area_ratio"] >= 1.0
+        assert row["fast_SE_drive"] >= row["slow_SE_drive"]
+    # The largest circuits must show a real premium for the fast SE.
+    assert any(row["area_ratio"] > 1.5 for row in rows), (
+        "fast scan-enable should cost noticeably more on big designs"
+    )

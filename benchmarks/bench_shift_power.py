@@ -1,0 +1,56 @@
+"""Bench: scan-shift power isolation (Section IV / Gerstendoerfer claim).
+
+Measures test-mode combinational switching energy with and without
+holding logic on three circuits.  Paper shape asserted: isolation
+(enhanced scan or FLH -- both are total) removes all combinational
+shift energy, a large fraction of the total test energy (the cited
+reference reports ~78% on average; the exact split depends on the
+circuit's gate-to-flip-flop ratio).
+"""
+
+from _util import save_result
+
+from repro.experiments.common import styled_designs
+from repro.experiments.report import format_table
+from repro.testapp import shift_power_study
+
+
+def run_study():
+    rows = []
+    for name in ("s298", "s838", "s5378"):
+        designs = styled_designs(name)
+        flh = shift_power_study(
+            designs["scan"], designs["flh"], n_patterns=6
+        )
+        enh = shift_power_study(
+            designs["scan"], designs["enhanced"], n_patterns=6
+        )
+        rows.append(
+            {
+                "circuit": name,
+                "comb_energy_pJ": round(flh.comb_energy_plain * 1e12, 2),
+                "chain_energy_pJ": round(flh.chain_energy * 1e12, 2),
+                "saving_flh_%": round(flh.saving_fraction * 100, 1),
+                "saving_enh_%": round(enh.saving_fraction * 100, 1),
+            }
+        )
+    return rows
+
+
+def test_shift_power(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    save_result(
+        "shift_power",
+        format_table(rows, title="scan-shift energy saved by isolation"),
+    )
+
+    for row in rows:
+        assert row["saving_flh_%"] > 20.0, (
+            f"{row['circuit']}: isolation should remove a large share of "
+            "test energy"
+        )
+        assert row["saving_flh_%"] == row["saving_enh_%"], (
+            "FLH must be exactly as effective as enhanced scan isolation"
+        )
+    # Gate-rich circuits push the comb share (and the saving) up.
+    assert rows[-1]["saving_flh_%"] >= rows[0]["saving_flh_%"]

@@ -1,0 +1,32 @@
+"""Bench: regenerate Table I (percentage area increase, 11 circuits).
+
+Paper shape asserted: FLH has the smallest area overhead on most
+circuits (MUX middle, enhanced scan largest), with the s838-class
+high-fanout exception; FLH's average overhead reduction versus enhanced
+scan lands in the paper's ~33% band.
+"""
+
+from _util import save_result
+
+from repro.experiments import table1_area
+
+
+def test_table1_area(benchmark):
+    result = benchmark.pedantic(table1_area.run, rounds=1, iterations=1)
+    save_result("table1_area", result.render())
+
+    wins = sum(
+        1 for c in result.comparisons if c.flh_pct < min(c.enhanced_pct, c.mux_pct)
+    )
+    assert wins >= len(result.comparisons) - 2, (
+        "FLH should have the smallest area overhead for most circuits"
+    )
+    s838 = next(c for c in result.comparisons if c.circuit == "s838")
+    assert s838.flh_pct > s838.mux_pct, (
+        "the high-fanout s838 should invert the ranking (paper text)"
+    )
+    assert 15.0 < result.average_improvement_vs_enhanced < 55.0, (
+        "average improvement vs enhanced scan should be in the paper's "
+        f"~33% band, got {result.average_improvement_vs_enhanced:.1f}%"
+    )
+    assert result.average_improvement_vs_mux > 5.0

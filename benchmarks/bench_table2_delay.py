@@ -1,0 +1,30 @@
+"""Bench: regenerate Table II (delay overhead, 11 circuits).
+
+Paper shape asserted: the MUX method is the slowest and FLH the fastest
+on every circuit; FLH's average delay-overhead reduction versus
+enhanced scan lands in the paper's ~71% band.
+"""
+
+from _util import save_result
+
+from repro.experiments import table2_delay
+
+
+def test_table2_delay(benchmark):
+    result = benchmark.pedantic(table2_delay.run, rounds=1, iterations=1)
+    save_result("table2_delay", result.render())
+
+    for cmp in result.comparisons:
+        assert cmp.mux_pct > cmp.enhanced_pct, (
+            f"{cmp.circuit}: MUX must be the slowest scheme"
+        )
+        assert cmp.flh_pct < cmp.enhanced_pct, (
+            f"{cmp.circuit}: FLH must beat enhanced scan on delay"
+        )
+        assert cmp.flh_pct > 0.0, (
+            f"{cmp.circuit}: FLH still has a nonzero delay overhead"
+        )
+    assert 45.0 < result.average_improvement_vs_enhanced < 90.0, (
+        "average improvement should be in the paper's ~71% band, got "
+        f"{result.average_improvement_vs_enhanced:.1f}%"
+    )

@@ -1,0 +1,34 @@
+"""Bench: regenerate Table III (normal-mode power overhead, 11 circuits).
+
+Paper shape asserted: FLH power stays close to the original circuit
+(within a few percent, sometimes below it -- notably for the largest
+circuit s13207), while enhanced scan and the MUX method pay real
+overheads; the average power-overhead reduction versus enhanced scan
+lands in the paper's ~90% band.
+"""
+
+from _util import save_result
+
+from repro.experiments import table3_power
+
+
+def test_table3_power(benchmark):
+    result = benchmark.pedantic(table3_power.run, rounds=1, iterations=1)
+    save_result("table3_power", result.render())
+
+    for cmp in result.comparisons:
+        assert abs(cmp.flh_pct) < 4.0, (
+            f"{cmp.circuit}: FLH power should be close to the original"
+        )
+        assert cmp.enhanced_pct > cmp.mux_pct > 0.0, (
+            f"{cmp.circuit}: enhanced scan must pay more power than MUX"
+        )
+    s13207 = next(c for c in result.comparisons if c.circuit == "s13207")
+    assert s13207.flh_pct < 0.0, (
+        "the largest circuit should dip below the original power "
+        "(leakage stacking, paper Section III)"
+    )
+    assert result.average_improvement_vs_enhanced > 75.0, (
+        "average power-overhead improvement should be in the paper's "
+        f"~90% band, got {result.average_improvement_vs_enhanced:.1f}%"
+    )

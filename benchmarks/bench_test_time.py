@@ -1,0 +1,74 @@
+"""Bench: tester-time accounting across application styles.
+
+The flip side the paper leaves implicit: arbitrary two-pattern schemes
+(enhanced scan and FLH alike) scan two patterns per test, so per-test
+tester time doubles versus broadside.  Coverage per cycle is what
+matters: this bench reports shift cycles per detected fault for the
+arbitrary and broadside test sets, plus the multi-chain lever.
+"""
+
+from _util import save_result
+
+from repro.experiments.common import circuit, styled_designs
+from repro.experiments.report import format_table
+from repro.fault import (
+    STYLE_ARBITRARY,
+    STYLE_BROADSIDE,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+)
+from repro.testapp import flush_test, tester_time
+
+
+def run_test_time():
+    name = "s298"
+    netlist = circuit(name)
+    designs = styled_designs(name)
+    faults = collapse_transition(netlist, all_transition_faults(netlist))
+
+    rows = []
+    for style, design in (
+        (STYLE_ARBITRARY, designs["flh"]),
+        (STYLE_BROADSIDE, designs["scan"]),
+    ):
+        result = TransitionAtpg(netlist, seed=3).generate(
+            faults, style=style, n_random_pairs=32
+        )
+        assert flush_test(design)
+        timing = tester_time(design, n_tests=len(result.tests))
+        timing4 = tester_time(
+            design, n_tests=len(result.tests), n_chains=4
+        )
+        detected = max(len(result.detected), 1)
+        rows.append(
+            {
+                "style": style,
+                "tests": len(result.tests),
+                "detected": len(result.detected),
+                "cycles_1chain": timing.total_cycles,
+                "cycles_4chains": timing4.total_cycles,
+                "cycles_per_detect": round(
+                    timing.total_cycles / detected, 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_test_time(benchmark):
+    rows = benchmark.pedantic(run_test_time, rounds=1, iterations=1)
+    save_result(
+        "test_time",
+        format_table(rows, title="tester time by application style (s298)"),
+    )
+
+    arb, brd = rows
+    assert arb["detected"] > brd["detected"], (
+        "arbitrary application must detect more faults"
+    )
+    for row in rows:
+        assert row["cycles_4chains"] < row["cycles_1chain"]
+    # Despite double scan-ins, the arbitrary set should stay competitive
+    # per detected fault (it needs far fewer wasted tests).
+    assert arb["cycles_per_detect"] < 3 * brd["cycles_per_detect"]

@@ -1,0 +1,31 @@
+"""Bench: process variation and delay-test quality (Section I motivation).
+
+Two measurements that close the paper's opening argument:
+
+1. Monte-Carlo STA: per-gate delay fluctuation spreads the critical
+   delay, so a die can fail at the rated clock without any stuck-at
+   defect -- the reason delay testing "is becoming mandatory".
+2. Defect-escape study: the same population of variation-induced gross
+   delay defects is tested by the arbitrary-style (enhanced scan / FLH)
+   test set and by the broadside baseline; the arbitrary set lets fewer
+   escape.
+"""
+
+from _util import save_result
+
+from repro.experiments import variation_quality
+from repro.fault import STYLE_ARBITRARY
+
+
+def test_variation_and_quality(benchmark):
+    result = benchmark.pedantic(
+        variation_quality.run, rounds=1, iterations=1
+    )
+    save_result("variation_quality", result.render())
+
+    assert result.variation.std > 0.0
+    assert 0.0 <= result.failure_probability < 1.0
+    assert result.ordering_holds, (
+        "arbitrary application must not let more defects escape"
+    )
+    assert result.escapes[STYLE_ARBITRARY].escape_rate < 0.6

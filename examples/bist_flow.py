@@ -1,0 +1,51 @@
+"""Test-per-scan BIST with FLH (paper Section IV).
+
+Runs pseudo-random BIST sessions on an FLH design: a weighted LFSR
+feeds the scan chain and the primary inputs, the MISR compacts the
+responses, and the FLH gating keeps the combinational logic silent for
+the entire shifting -- the power advantage of enhanced scan, carried
+over to BIST for a fraction of the hardware.
+
+Run:  python examples/bist_flow.py [circuit]
+"""
+
+import sys
+
+from repro.bench import load_circuit
+from repro.bist import coverage_curve, run_bist
+from repro.dft import build_all_styles
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s298"
+    designs = build_all_styles(load_circuit(name))
+    flh = designs["flh"]
+    scan = designs["scan"]
+
+    print(f"BIST coverage curve on {name} (FLH design):")
+    curve = coverage_curve(flh, checkpoints=(16, 32, 64, 128))
+    print(format_table(
+        [{"patterns": n, "stuck_coverage": round(c, 4)} for n, c in curve]
+    ))
+
+    print("\nWeighted-random sessions (64 patterns each):")
+    rows = []
+    for weight in (0.25, 0.5, 0.75):
+        rows.append(run_bist(flh, n_patterns=64, weight=weight).as_row())
+    print(format_table(rows))
+
+    plain = run_bist(scan, n_patterns=64)
+    gated = run_bist(flh, n_patterns=64)
+    print(
+        f"\nshift-mode combinational toggles: plain scan = "
+        f"{plain.shift_comb_toggles}, FLH = {gated.shift_comb_toggles}"
+    )
+    print(
+        "same coverage, same signature stream -- but FLH shifts without "
+        "burning combinational power."
+    )
+
+
+if __name__ == "__main__":
+    main()

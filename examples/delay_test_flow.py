@@ -1,0 +1,72 @@
+"""End-to-end delay-test flow: ATPG to FLH test application.
+
+The complete production-style loop the paper enables:
+
+1. reconstruct + map a benchmark, insert scan and FLH;
+2. generate two-pattern transition tests under *arbitrary* application
+   (what enhanced scan and FLH both permit);
+3. compare coverage against the skewed-load and broadside baselines --
+   the paper's Section I motivation;
+4. apply the first few deterministic tests through the clock-accurate
+   FLH protocol and confirm the Fig. 5(b) sequence with zero
+   combinational switching during scan.
+
+Run:  python examples/delay_test_flow.py [circuit]
+"""
+
+import sys
+
+from repro.bench import load_circuit
+from repro.dft import build_all_styles
+from repro.experiments.report import format_table
+from repro.fault import (
+    all_transition_faults,
+    collapse_transition,
+    compare_styles,
+)
+from repro.testapp import FIG5B_SEQUENCE, apply_two_pattern
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s298"
+    netlist = load_circuit(name)
+    faults = collapse_transition(netlist, all_transition_faults(netlist))
+    print(f"{name}: {len(faults)} collapsed transition faults")
+
+    print("Running transition ATPG under the three application styles ...")
+    results = compare_styles(netlist, faults, n_random_pairs=48)
+    rows = [
+        {
+            "style": style,
+            "tests": len(r.tests),
+            "coverage": round(r.coverage, 4),
+            "effective": round(r.effective_coverage, 4),
+            "untestable": len(r.untestable),
+            "aborted": len(r.aborted),
+        }
+        for style, r in results.items()
+    ]
+    print(format_table(rows, title="transition-fault coverage by style"))
+    print(
+        "arbitrary = what enhanced scan and FLH both apply; broadside "
+        "trails because V2 is locked to the circuit's own next state.\n"
+    )
+
+    print("Applying deterministic tests through the FLH protocol ...")
+    designs = build_all_styles(netlist)
+    flh = designs["flh"]
+    arbitrary = results["arbitrary"]
+    applied = 0
+    for test in arbitrary.tests[:5]:
+        trace = apply_two_pattern(flh, test.v1, test.v2)
+        assert tuple(trace.event_messages()) == FIG5B_SEQUENCE
+        assert trace.shift_comb_toggles == 0
+        applied += 1
+    print(
+        f"applied {applied} tests: Fig. 5(b) sequence reproduced, "
+        "combinational logic silent during every scan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Why FLH needs a keeper: the floating-node study (Figs. 2-4).
+
+Transient-simulates the supply-gated inverter chain twice -- once bare
+and once with the Fig. 3 keeper -- and prints the OUT1/OUT2/OUT3
+waveforms side by side.  Without the keeper the floated first-level
+output leaks below the 600 mV trip point within nanoseconds and the
+downstream state corrupts; with the keeper everything stays pinned.
+
+Run:  python examples/floating_node_study.py
+"""
+
+from repro import units
+from repro.experiments import fig2_decay, fig4_hold
+
+
+def main() -> None:
+    print("Simulating the gated chain WITHOUT the keeper (Fig. 2) ...")
+    bare = fig2_decay.run(t_stop=40 * units.NS, samples=10)
+    print(bare.render())
+
+    print("\nSimulating the gated chain WITH the FLH keeper (Fig. 4) ...")
+    kept = fig4_hold.run(t_stop=40 * units.NS, samples=10)
+    print(kept.render())
+
+    decay_ns = bare.report.decay_time / units.NS
+    print(
+        f"\nSummary: floated OUT1 fell below 600 mV after {decay_ns:.1f} ns "
+        f"-- far inside a 1 us scan window (1000-bit chain at 1 GHz) -- "
+        f"while the keeper held it at {kept.report.out1_min:.3f} V."
+    )
+
+
+if __name__ == "__main__":
+    main()

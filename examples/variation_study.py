@@ -1,0 +1,85 @@
+"""Process variation and delay-test quality (the paper's opening case).
+
+Section I of the paper argues that process fluctuation makes delay
+testing mandatory.  This script makes the argument quantitative on a
+reconstructed benchmark:
+
+1. Monte-Carlo STA spreads the critical delay under per-gate variation
+   and reports the probability of missing the rated clock;
+2. a population of variation-induced gross delay defects is then tested
+   by the arbitrary-style two-pattern test set (what enhanced scan and
+   FLH apply) and by the broadside baseline -- the arbitrary set lets
+   fewer defects escape.
+
+Run:  python examples/variation_study.py [circuit]
+"""
+
+import sys
+
+from repro import units
+from repro.bench import load_circuit
+from repro.experiments.report import format_table
+from repro.fault import (
+    STYLE_ARBITRARY,
+    STYLE_BROADSIDE,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+    escape_study,
+)
+from repro.synth import map_netlist
+from repro.timing import monte_carlo_delay
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s298"
+    netlist = load_circuit(name)
+    mapped = map_netlist(netlist)
+
+    print(f"Monte-Carlo STA on {name} (200 samples, sigma = 8%/gate):")
+    variation = monte_carlo_delay(mapped, n_samples=200, sigma=0.08)
+    clock = variation.nominal_delay * 1.05
+    print(
+        f"  nominal {variation.nominal_delay / units.PS:.0f} ps, "
+        f"mean {variation.mean / units.PS:.0f} ps, "
+        f"std {variation.std / units.PS:.1f} ps, "
+        f"worst {variation.worst / units.PS:.0f} ps"
+    )
+    print(
+        f"  P(miss clock at nominal+5%) = "
+        f"{variation.failure_probability(clock):.3f}"
+        "  <- dies that pass stuck-at test but fail at speed"
+    )
+
+    print("\nGenerating two-pattern test sets ...")
+    faults = collapse_transition(netlist, all_transition_faults(netlist))
+    test_sets = {}
+    for style in (STYLE_ARBITRARY, STYLE_BROADSIDE):
+        result = TransitionAtpg(netlist, seed=3).generate(
+            faults, style=style, n_random_pairs=48
+        )
+        test_sets[style] = result.tests
+        print(f"  {style}: {len(result.tests)} tests, "
+              f"coverage {result.coverage:.3f}")
+
+    print("\nEscape study over one defect population:")
+    escapes = escape_study(netlist, test_sets, n_defects=60, seed=9)
+    rows = [
+        {
+            "test_set": label,
+            "defects": r.n_defects,
+            "caught": r.caught,
+            "escape_rate": round(r.escape_rate, 3),
+        }
+        for label, r in escapes.items()
+    ]
+    print(format_table(rows))
+    print(
+        "\nThe arbitrary application style (enhanced scan / FLH) lets "
+        "fewer variation-induced delay defects escape -- at a fraction "
+        "of the enhanced-scan hardware when implemented as FLH."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1            # Table I  (area overhead)
+    python -m repro table2            # Table II (delay overhead)
+    python -m repro table3            # Table III (power overhead)
+    python -m repro table4            # Table IV (fanout optimization)
+    python -m repro fig2 fig4 fig5    # figures
+    python -m repro coverage          # Section IV coverage study
+    python -m repro ablation          # gating-size ablation
+    python -m repro all               # everything above
+    python -m repro quick             # fast subset (small circuits)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import (
+    ablation_sizing,
+    coverage_study,
+    fig2_decay,
+    fig4_hold,
+    fig5_timing,
+    partial_study,
+    table1_area,
+    table2_delay,
+    table3_power,
+    table4_fanout,
+    variation_quality,
+)
+
+QUICK_CIRCUITS = ("s298", "s344", "s382")
+
+
+def _run_table4_quick() -> None:
+    print(table4_fanout.run(circuits=("s838",), n_vectors=20,
+                            max_candidates=10).render())
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": lambda: print(table1_area.run().render()),
+    "table2": lambda: print(table2_delay.run().render()),
+    "table3": lambda: print(table3_power.run().render()),
+    "table4": lambda: print(table4_fanout.run(max_candidates=120).render()),
+    "fig2": lambda: print(fig2_decay.run().render()),
+    "fig4": lambda: print(fig4_hold.run().render()),
+    "fig5": lambda: print(fig5_timing.run().render()),
+    "coverage": lambda: print(coverage_study.run().render()),
+    "ablation": lambda: print(ablation_sizing.run().render()),
+    "partial": lambda: print(partial_study.run().render()),
+    "variation": lambda: print(variation_quality.run().render()),
+}
+
+QUICK: Dict[str, Callable[[], None]] = {
+    "table1": lambda: print(
+        table1_area.run(circuits=QUICK_CIRCUITS).render()
+    ),
+    "table2": lambda: print(
+        table2_delay.run(circuits=QUICK_CIRCUITS).render()
+    ),
+    "table3": lambda: print(
+        table3_power.run(circuits=QUICK_CIRCUITS, n_vectors=40).render()
+    ),
+    "table4": _run_table4_quick,
+    "fig5": EXPERIMENTS["fig5"],
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Parse arguments and run the requested experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of the FLH delay-testing "
+            "paper (DATE 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all", "quick"],
+        help="experiments to run",
+    )
+    args = parser.parse_args(argv)
+
+    requested: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            requested.extend(sorted(EXPERIMENTS))
+        elif name == "quick":
+            requested.append("quick")
+        else:
+            requested.append(name)
+
+    for name in requested:
+        if name == "quick":
+            for key in sorted(QUICK):
+                print(f"== {key} (quick) ==")
+                QUICK[key]()
+                print()
+            continue
+        print(f"== {name} ==")
+        EXPERIMENTS[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Benchmark circuits embedded as source text.
+
+Only the tiny, freely reproduced s27 is carried verbatim (it appears in
+full in Brglez/Bryan/Kozminski's benchmark paper and in every testing
+textbook).  It anchors the test suite: parsers, simulators, ATPG and the
+DFT transforms are all first exercised on a real circuit whose behaviour
+is known exactly.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from .parser import parse_bench
+
+S27_BENCH = """\
+# s27 -- ISCAS89 benchmark (4 PI, 1 PO, 3 DFF, 10 gates)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> Netlist:
+    """Fresh copy of the real ISCAS89 s27 netlist."""
+    return parse_bench(S27_BENCH, name="s27")

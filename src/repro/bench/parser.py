@@ -1,0 +1,123 @@
+"""Parser for the ISCAS89 ``.bench`` netlist format.
+
+The format is line oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G7  = DFF(G10)
+
+Function names are case-insensitive; ``NOT``/``INV`` and ``BUF``/``BUFF``
+are accepted as synonyms.  Forward references are allowed (a gate may use
+a net defined later in the file), as in the published benchmarks.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..errors import ParseError
+from ..netlist import Netlist, validate
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z][A-Za-z0-9]*)\s*\(\s*([^)]*)\)$"
+)
+
+_FUNC_SYNONYMS = {
+    "INV": "NOT",
+    "NOT": "NOT",
+    "BUFF": "BUF",
+    "BUF": "BUF",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "DFF": "DFF",
+    "MUX": "MUX2",
+    "MUX2": "MUX2",
+}
+
+
+def parse_bench(text: str, name: str = "bench",
+                check: bool = True) -> Netlist:
+    """Parse ``.bench`` source text into a :class:`~repro.netlist.Netlist`.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    name:
+        Name given to the resulting netlist.
+    check:
+        Run structural validation after parsing (default).
+
+    Raises
+    ------
+    ParseError
+        On any malformed line.
+    NetlistError
+        If ``check`` is set and the parsed design is structurally broken.
+    """
+    netlist = Netlist(name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            try:
+                if kind == "INPUT":
+                    netlist.add_input(net)
+                else:
+                    netlist.add_output(net)
+            except Exception as exc:
+                raise ParseError(str(exc), line_number) from exc
+            continue
+
+        assign = _GATE_RE.match(line)
+        if assign:
+            out, func_raw, args_raw = assign.groups()
+            func = _FUNC_SYNONYMS.get(func_raw.upper())
+            if func is None:
+                raise ParseError(
+                    f"unknown gate function {func_raw!r}", line_number
+                )
+            fanin = tuple(
+                arg.strip() for arg in args_raw.split(",") if arg.strip()
+            )
+            try:
+                netlist.add(out, func, fanin)
+            except Exception as exc:
+                raise ParseError(str(exc), line_number) from exc
+            continue
+
+        raise ParseError(f"unparseable line {line!r}", line_number)
+
+    if check:
+        validate(netlist)
+    return netlist
+
+
+def parse_bench_lines(lines: Iterable[str], name: str = "bench",
+                      check: bool = True) -> Netlist:
+    """Like :func:`parse_bench` but from an iterable of lines."""
+    return parse_bench("\n".join(lines), name=name, check=check)
+
+
+def load_bench(path: str, name: str | None = None,
+               check: bool = True) -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1]
+        if name.endswith(".bench"):
+            name = name[: -len(".bench")]
+    return parse_bench(text, name=name, check=check)

@@ -1,0 +1,113 @@
+"""Structural Verilog export.
+
+Emits a synthesizable gate-level module from a netlist: Verilog built-in
+primitives for the simple gates, ``assign`` expressions for the complex
+mapped functions, and one clocked ``always`` block for the flip-flops.
+Useful for driving the reproduced designs into external EDA tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import NetlistError
+from ..netlist import Netlist
+
+_PRIMITIVES = {
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+    "NOT": "not",
+    "BUF": "buf",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped identifier if necessary)."""
+    if _IDENT_RE.match(name):
+        return name
+    return f"\\{name} "
+
+
+def _complex_expr(func: str, fanin: List[str]) -> str:
+    nets = [_escape(f) for f in fanin]
+    if func == "AOI21":
+        return f"~(({nets[0]} & {nets[1]}) | {nets[2]})"
+    if func == "AOI22":
+        return f"~(({nets[0]} & {nets[1]}) | ({nets[2]} & {nets[3]}))"
+    if func == "OAI21":
+        return f"~(({nets[0]} | {nets[1]}) & {nets[2]})"
+    if func == "OAI22":
+        return f"~(({nets[0]} | {nets[1]}) & ({nets[2]} | {nets[3]}))"
+    if func == "MUX2":
+        return f"{nets[0]} ? {nets[2]} : {nets[1]}"
+    raise NetlistError(f"no Verilog template for {func}")
+
+
+def verilog_text(netlist: Netlist, clock: str = "clk") -> str:
+    """Render ``netlist`` as a structural Verilog module."""
+    module = re.sub(r"[^A-Za-z0-9_]", "_", netlist.name)
+    ports = [clock] + list(netlist.inputs) + list(netlist.outputs)
+    lines: List[str] = [
+        f"// generated from {netlist.name} by repro-flh",
+        f"module {module} (",
+        "    " + ",\n    ".join(_escape(p) for p in ports),
+        ");",
+        f"  input {_escape(clock)};",
+    ]
+    for net in netlist.inputs:
+        lines.append(f"  input {_escape(net)};")
+    for net in netlist.outputs:
+        lines.append(f"  output {_escape(net)};")
+
+    dffs = netlist.dffs()
+    if dffs:
+        lines.append(
+            "  reg " + ", ".join(_escape(ff.name) for ff in dffs) + ";"
+        )
+    wires = [
+        g.name for g in netlist.combinational_gates()
+        if g.name not in set(netlist.outputs)
+    ]
+    for name in wires:
+        lines.append(f"  wire {_escape(name)};")
+    lines.append("")
+
+    counter = 0
+    for gate in netlist.gates():
+        if not gate.is_combinational:
+            continue
+        prim = _PRIMITIVES.get(gate.func)
+        if prim is not None:
+            args = ", ".join(
+                [_escape(gate.name)] + [_escape(f) for f in gate.fanin]
+            )
+            lines.append(f"  {prim} u{counter} ({args});")
+        else:
+            expr = _complex_expr(gate.func, list(gate.fanin))
+            lines.append(f"  assign {_escape(gate.name)} = {expr};")
+        counter += 1
+
+    if dffs:
+        lines.append("")
+        lines.append(f"  always @(posedge {_escape(clock)}) begin")
+        for ff in dffs:
+            lines.append(
+                f"    {_escape(ff.name)} <= {_escape(ff.fanin[0])};"
+            )
+        lines.append("  end")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_verilog(netlist: Netlist, path: str, clock: str = "clk") -> None:
+    """Write the structural Verilog module to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(verilog_text(netlist, clock))

@@ -1,0 +1,49 @@
+"""Writer for the ISCAS89 ``.bench`` netlist format.
+
+Complex mapped functions (AOI/OAI) are not part of the classic format, so
+:func:`write_bench` refuses netlists containing them unless asked to
+``lower`` complex gates back to generic primitives first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+from ..netlist import Netlist
+
+_BENCH_FUNCS = {
+    "AND", "NAND", "OR", "NOR", "NOT", "BUF", "XOR", "XNOR", "DFF", "MUX2",
+}
+
+
+def bench_text(netlist: Netlist) -> str:
+    """Render ``netlist`` as ``.bench`` source text."""
+    lines: List[str] = [f"# {netlist.name}"]
+    lines.append(
+        f"# {len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs, "
+        f"{netlist.n_dffs()} flip-flops, {netlist.n_gates()} gates"
+    )
+    for net in netlist.inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for gate in netlist.gates():
+        if gate.is_input:
+            continue
+        if gate.func not in _BENCH_FUNCS:
+            raise NetlistError(
+                f"gate {gate.name!r} uses {gate.func}, which has no .bench "
+                "spelling; lower complex gates before writing"
+            )
+        func = "MUX" if gate.func == "MUX2" else gate.func
+        lines.append(f"{gate.name} = {func}({', '.join(gate.fanin)})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_bench(netlist: Netlist, path: str) -> None:
+    """Write ``netlist`` to ``path`` in ``.bench`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(bench_text(netlist))

@@ -1,0 +1,29 @@
+"""BIST: LFSR pattern generation, MISR compaction, test-per-scan flow.
+
+Public surface::
+
+    from repro.bist import Lfsr, WeightedLfsr, Misr, run_bist
+"""
+
+from .flow import BistResult, coverage_curve, run_bist
+from .lfsr import (
+    PRIMITIVE_TAPS,
+    Lfsr,
+    WeightedLfsr,
+    lfsr_vectors,
+    taps_for_width,
+)
+from .misr import Misr, response_signature
+
+__all__ = [
+    "BistResult",
+    "Lfsr",
+    "Misr",
+    "PRIMITIVE_TAPS",
+    "WeightedLfsr",
+    "coverage_curve",
+    "lfsr_vectors",
+    "response_signature",
+    "run_bist",
+    "taps_for_width",
+]

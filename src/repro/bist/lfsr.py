@@ -1,0 +1,149 @@
+"""Linear-feedback shift registers for BIST pattern generation.
+
+Fibonacci LFSRs over primitive (or near-primitive) polynomials, plus the
+weighted-random option the paper mentions ("a circuit designed with BIST
+has weighted random pattern generator ... built into the circuit").
+Weighting is done the classic way: AND/OR-combining k LFSR taps gives
+bit probabilities of 2^-k / 1-2^-k.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+
+#: Feedback tap positions (1-indexed from the output) of primitive
+#: polynomials for common register widths.
+PRIMITIVE_TAPS: Dict[int, Sequence[int]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    28: (28, 25),
+    29: (29, 27),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+def taps_for_width(width: int) -> Sequence[int]:
+    """Feedback taps for ``width`` (nearest catalogued width if absent)."""
+    if width in PRIMITIVE_TAPS:
+        return PRIMITIVE_TAPS[width]
+    candidates = [w for w in PRIMITIVE_TAPS if w >= width]
+    if not candidates:
+        raise SimulationError(f"no primitive polynomial for width {width}")
+    return PRIMITIVE_TAPS[min(candidates)]
+
+
+class Lfsr:
+    """Fibonacci LFSR emitting one bit per clock."""
+
+    def __init__(self, width: int, seed: int = 1,
+                 taps: Optional[Sequence[int]] = None):
+        if width < 2:
+            raise SimulationError("LFSR width must be at least 2")
+        self.width = width
+        self.taps = tuple(taps) if taps else tuple(taps_for_width(width))
+        self.reg_width = max(self.width, max(self.taps))
+        mask = (1 << self.reg_width) - 1
+        self.state = seed & mask
+        if self.state == 0:
+            self.state = 1  # the all-zero state is absorbing
+
+    def step(self) -> int:
+        """Advance one clock; returns the output bit.
+
+        Left-shift Fibonacci form: the polynomial's leading term is the
+        register's MSB, so the bit shifted out always participates in
+        the feedback -- the update is invertible and the all-zero state
+        unreachable from any nonzero seed.
+        """
+        out = (self.state >> (self.reg_width - 1)) & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        mask = (1 << self.reg_width) - 1
+        self.state = ((self.state << 1) | feedback) & mask
+        return out
+
+    def bits(self, count: int) -> List[int]:
+        """Next ``count`` output bits."""
+        return [self.step() for _ in range(count)]
+
+    def word(self, count: int) -> int:
+        """Next ``count`` bits packed LSB-first."""
+        value = 0
+        for i in range(count):
+            value |= self.step() << i
+        return value
+
+
+class WeightedLfsr:
+    """LFSR with per-bit weighting.
+
+    ``weight`` is the probability of a 1: 0.5 uses raw LFSR bits;
+    0.25/0.125 AND-combine 2/3 bits; 0.75/0.875 OR-combine them.
+    """
+
+    SUPPORTED = (0.125, 0.25, 0.5, 0.75, 0.875)
+
+    def __init__(self, width: int, seed: int = 1, weight: float = 0.5):
+        if weight not in self.SUPPORTED:
+            raise SimulationError(
+                f"weight must be one of {self.SUPPORTED}, got {weight}"
+            )
+        self.lfsr = Lfsr(width, seed)
+        self.weight = weight
+
+    def step(self) -> int:
+        """One weighted bit."""
+        if self.weight == 0.5:
+            return self.lfsr.step()
+        k = 2 if self.weight in (0.25, 0.75) else 3
+        raw = [self.lfsr.step() for _ in range(k)]
+        combined = 1
+        for bit in raw:
+            combined &= bit
+        if self.weight > 0.5:
+            inv = 1
+            for bit in raw:
+                inv &= 1 - bit
+            return 1 - inv  # OR of the raw bits
+        return combined
+
+    def bits(self, count: int) -> List[int]:
+        """Next ``count`` weighted bits."""
+        return [self.step() for _ in range(count)]
+
+
+def lfsr_vectors(nets: Sequence[str], count: int, width: int = 16,
+                 seed: int = 1, weight: float = 0.5) -> List[Dict[str, int]]:
+    """``count`` pseudo-random vectors over ``nets`` from one LFSR."""
+    gen = WeightedLfsr(width, seed, weight)
+    return [
+        {net: gen.step() for net in nets}
+        for _ in range(count)
+    ]

@@ -1,0 +1,61 @@
+"""Multiple-input signature register (output response analyzer)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SimulationError
+from .lfsr import taps_for_width
+
+
+class Misr:
+    """MISR compacting one parallel response word per clock."""
+
+    def __init__(self, width: int, seed: int = 0):
+        if width < 2:
+            raise SimulationError("MISR width must be at least 2")
+        self.width = width
+        # The register's own MSB must always be a tap (leading polynomial
+        # term) so the update stays a bijection even for widths where the
+        # catalogue falls back to a larger polynomial.
+        catalogued = {t for t in taps_for_width(width) if t <= width}
+        self.taps = tuple(sorted(catalogued | {width}, reverse=True))
+        self.state = seed & ((1 << width) - 1)
+
+    def absorb(self, word: int) -> None:
+        """Clock once with ``word`` on the parallel inputs.
+
+        Left-shift form (see :meth:`repro.bist.lfsr.Lfsr.step`): the MSB
+        always feeds back, so the compaction is a linear bijection of
+        the state and any single-bit input difference survives to the
+        signature.
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        mask = (1 << self.width) - 1
+        shifted = ((self.state << 1) | feedback) & mask
+        self.state = (shifted ^ word) & mask
+
+    def absorb_bits(self, bits: Sequence[int]) -> None:
+        """Absorb a bit sequence as one word (LSB-first), padding/folding
+        to the register width."""
+        word = 0
+        for i, bit in enumerate(bits):
+            word ^= (bit & 1) << (i % self.width)
+        self.absorb(word)
+
+    @property
+    def signature(self) -> int:
+        """Current signature."""
+        return self.state
+
+
+def response_signature(responses: Iterable[Mapping[str, int]],
+                       nets: Sequence[str], width: int = 16,
+                       seed: int = 0) -> int:
+    """Signature of a stream of response mappings observed on ``nets``."""
+    misr = Misr(width, seed)
+    for response in responses:
+        misr.absorb_bits([response.get(net, 0) & 1 for net in nets])
+    return misr.signature

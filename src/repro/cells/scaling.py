@@ -1,0 +1,52 @@
+"""Technology scaling between the 0.25 um LEDA node and 70 nm BPTM.
+
+The paper's flow maps at 0.25 um and then scales the netlists to 70 nm.
+Scaling is a constant linear shrink of every W and L, so the 70 nm
+library in :mod:`repro.cells.library` is the canonical one and this
+module recovers (or produces) other nodes from it.  Relative areas,
+delays and overhead percentages are invariant under the shrink -- which
+is exactly why the paper's comparisons survive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .. import units
+from .cell import Cell
+from .library import Library
+from .transistor import Transistor
+
+
+def scale_transistor(t: Transistor, shrink: float) -> Transistor:
+    """Shrink both W and L by ``shrink`` (< 1 scales down)."""
+    return Transistor(t.kind, t.width * shrink, t.length * shrink, t.role, t.vt)
+
+
+def scale_cell(cell: Cell, shrink: float, suffix: str = "") -> Cell:
+    """Shrink every geometric quantity of ``cell`` by ``shrink``.
+
+    Capacitances scale with width (per-width constants are held fixed, a
+    first-order approximation that preserves relative comparisons).
+    """
+    return replace(
+        cell,
+        name=cell.name + suffix,
+        transistors=tuple(scale_transistor(t, shrink) for t in cell.transistors),
+        pull_down_width=cell.pull_down_width * shrink,
+        pull_up_width=cell.pull_up_width * shrink,
+        output_diff_width=cell.output_diff_width * shrink,
+        internal_cap=cell.internal_cap * shrink,
+        clock_cap=cell.clock_cap * shrink,
+        intrinsic_delay=cell.intrinsic_delay * shrink,
+    )
+
+
+def scale_library(library: Library, shrink: float, name: str) -> Library:
+    """Produce a library for another node by linear shrink."""
+    return Library(name, (scale_cell(cell, shrink) for cell in library))
+
+
+def to_250nm(library: Library) -> Library:
+    """View of a 70 nm library blown back up to the 0.25 um source node."""
+    return scale_library(library, 1.0 / units.SCALE_250_TO_70, "leda250")

@@ -1,0 +1,50 @@
+"""MUX-based holding transform (Zhang et al. [13], paper Fig. 1(b)).
+
+A 2:1 multiplexer after each scan flip-flop either passes the flip-flop
+output (normal mode) or recirculates its own output (hold mode).  It is
+smaller than the hold latch but its transmission gate sits in series
+with the data path, making it the *slowest* of the three schemes --
+Table II's "MUX-based method shows the largest increase".
+
+As with the hold latch, the element is inserted as a ``BUF``-function
+gate (transparent in normal mode) bound to the ``MUX2`` cell for its
+electrical character.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DftError
+from .styles import DftDesign
+
+
+def insert_mux_hold(design: DftDesign, drive: float = 2.0) -> DftDesign:
+    """Add a recirculating MUX behind every scan flip-flop.
+
+    Parameters mirror
+    :func:`repro.dft.enhanced_scan.insert_enhanced_scan`.
+    """
+    if design.style != "scan":
+        raise DftError(
+            f"MUX holding must start from a plain scan design, got "
+            f"{design.style!r}"
+        )
+    library = design.library
+    cell = library.cell(f"MUX2_X{drive:g}")
+    netlist = design.netlist.copy(design.netlist.name)
+    hold_elements: List[str] = []
+    for ff in design.scan_chain:
+        mux_net = netlist.fresh_net(f"{ff}_mux")
+        sinks = netlist.fanout(ff)
+        netlist.add(mux_net, "BUF", (ff,), cell=cell.name)
+        netlist.redirect_fanout(ff, mux_net, only=sinks)
+        hold_elements.append(mux_net)
+    return DftDesign(
+        netlist=netlist,
+        style="mux",
+        library=library,
+        scan_chain=design.scan_chain,
+        hold_elements=tuple(hold_elements),
+        held_flip_flops=design.scan_chain,
+    )

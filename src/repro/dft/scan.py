@@ -1,0 +1,70 @@
+"""Full-scan insertion.
+
+Every flip-flop is upgraded to a scan flip-flop (SDFF cell: a DFF with a
+built-in scan-input mux) and the cells are stitched into a single scan
+chain.  The scan path itself is bookkeeping -- the functional netlist is
+unchanged -- which keeps the combinational core identical for ATPG and
+timing; the chain order is what the test-application simulator
+(:mod:`repro.testapp`) shifts through.
+
+The scanned design is the *baseline* against which the paper's Tables
+I-III measure the overhead of the three holding schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cells import Library, default_library
+from ..errors import DftError
+from ..netlist import Netlist
+from .styles import DftDesign
+
+
+def insert_scan(netlist: Netlist, library: Optional[Library] = None,
+                chain_order: Optional[Sequence[str]] = None) -> DftDesign:
+    """Turn a mapped netlist into a full-scan design.
+
+    Parameters
+    ----------
+    netlist:
+        A technology-mapped sequential netlist (cells bound).
+    chain_order:
+        Optional explicit scan-chain order (flip-flop gate names).
+        Defaults to declaration order, the usual stitching result.
+
+    Returns
+    -------
+    DftDesign
+        Style ``"scan"``; the netlist is a modified copy.
+    """
+    if library is None:
+        library = default_library()
+    dffs = [g.name for g in netlist.dffs()]
+    if not dffs:
+        raise DftError(f"{netlist.name}: no flip-flops to scan")
+    if chain_order is None:
+        chain_order = dffs
+    else:
+        if sorted(chain_order) != sorted(dffs):
+            raise DftError(
+                f"{netlist.name}: chain_order must be a permutation of the "
+                "flip-flops"
+            )
+
+    scanned = netlist.copy(netlist.name)
+    sdff = library.cell("SDFF_X1")
+    for name in dffs:
+        gate = scanned.gate(name)
+        if gate.cell is None:
+            raise DftError(
+                f"{netlist.name}: flip-flop {name!r} is not mapped; run "
+                "technology mapping before scan insertion"
+            )
+        scanned.replace_gate(gate.with_cell(sdff.name))
+    return DftDesign(
+        netlist=scanned,
+        style="scan",
+        library=library,
+        scan_chain=tuple(chain_order),
+    )

@@ -1,0 +1,126 @@
+"""Scan-enable distribution cost: the hidden price of skewed-load.
+
+The paper dismisses skewed-load partly because "design requirement for
+skewed-load case can be costly because of fast switching scan enable
+signal": the SE net reaches every scan cell, and launching on the last
+shift means SE must switch between shift and capture *within one rated
+clock*, so its buffer tree must be built like a clock branch.  Broadside,
+enhanced scan and FLH all tolerate a slow SE (many cycles to settle), so
+a minimum tree suffices.
+
+This module sizes a fanout-bounded buffer tree over the scan cells for a
+given SE settling budget and reports its area and levels -- making the
+paper's qualitative claim quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .. import units
+from ..cells import Library, default_library
+from ..errors import DftError
+from ..timing import analyze
+from .styles import DftDesign
+
+#: Maximum fanout per buffer stage in the SE tree.
+TREE_FANOUT = 4
+#: Capacitance of one scan cell's SE pin (the scan-mux select).
+SE_PIN_CAP = 2.0 * units.WMIN_70NM * units.CGATE_PER_WIDTH
+#: Wire capacitance per tree edge: SE is a chip-global net, so each
+#: branch carries a long route (dominates the pin load).
+GLOBAL_WIRE_CAP = 5.0 * units.FF
+
+
+@dataclass(frozen=True)
+class ScanEnableTree:
+    """A sized SE distribution tree."""
+
+    style: str
+    n_sinks: int
+    levels: int
+    n_buffers: int
+    buffer_drive: float
+    area: float
+    settle_delay: float
+    budget: float
+
+    @property
+    def meets_budget(self) -> bool:
+        """Tree settles within the allowed window."""
+        return self.settle_delay <= self.budget
+
+
+def _tree_shape(n_sinks: int) -> List[int]:
+    """Buffers per level for a fanout-bounded tree over ``n_sinks``."""
+    shape: List[int] = []
+    width = max(n_sinks, 1)
+    while width > 1:
+        width = math.ceil(width / TREE_FANOUT)
+        shape.append(width)
+    return list(reversed(shape)) or [1]
+
+
+def build_scan_enable_tree(design: DftDesign,
+                           budget: Optional[float] = None,
+                           library: Optional[Library] = None,
+                           ) -> ScanEnableTree:
+    """Size the SE buffer tree for a settling budget.
+
+    ``budget`` defaults to the *slow* regime (16 rated clocks -- SE may
+    settle during scan ramp-up, the enhanced-scan/FLH/broadside case).
+    Pass one rated clock period for the skewed-load case.  Buffers are
+    upsized in drive-strength steps until the tree settles in budget.
+    """
+    if library is None:
+        library = default_library()
+    n_sinks = design.n_scan_cells
+    if n_sinks == 0:
+        raise DftError(f"{design.name}: no scan cells to distribute SE to")
+    clock = analyze(design.netlist, library).critical_delay
+    if budget is None:
+        budget = 16.0 * clock
+    shape = _tree_shape(n_sinks)
+
+    for drive in (1.0, 2.0, 4.0, 8.0, 16.0):
+        buf = library.cell("BUF_X4").scaled(drive / 4.0) \
+            if drive > 4.0 else library.cell(f"BUF_X{drive:g}")
+        # Per-level delay: buffer driving TREE_FANOUT branches, each a
+        # global route plus the downstream pin.
+        sink_cap = TREE_FANOUT * (
+            max(buf.input_cap, SE_PIN_CAP) + GLOBAL_WIRE_CAP
+        )
+        level_delay = buf.delay(sink_cap)
+        settle = level_delay * len(shape)
+        if settle <= budget or drive == 16.0:
+            n_buffers = sum(shape)
+            return ScanEnableTree(
+                style=design.style,
+                n_sinks=n_sinks,
+                levels=len(shape),
+                n_buffers=n_buffers,
+                buffer_drive=drive,
+                area=n_buffers * buf.area,
+                settle_delay=settle,
+                budget=budget,
+            )
+    raise DftError("unreachable")  # pragma: no cover
+
+
+def scan_enable_cost_comparison(design: DftDesign,
+                                library: Optional[Library] = None,
+                                ) -> dict:
+    """Slow-SE (enhanced/FLH/broadside) vs fast-SE (skewed-load) trees.
+
+    Returns a dict with both trees and the area ratio -- the paper's
+    "costly ... fast switching scan enable" quantified.
+    """
+    if library is None:
+        library = default_library()
+    clock = analyze(design.netlist, library).critical_delay
+    slow = build_scan_enable_tree(design, budget=16.0 * clock, library=library)
+    fast = build_scan_enable_tree(design, budget=1.0 * clock, library=library)
+    ratio = fast.area / slow.area if slow.area else float("inf")
+    return {"slow": slow, "fast": fast, "area_ratio": ratio}

@@ -1,0 +1,112 @@
+"""Common data model for design-for-test transformed designs.
+
+A :class:`DftDesign` bundles the (possibly modified) netlist with the
+style-specific bookkeeping every analysis needs: which flip-flops form
+the scan chain, which holding elements were inserted (enhanced scan /
+MUX-hold), or which first-level gates carry supply gating (FLH).
+
+The three holding styles the paper compares:
+
+``enhanced``
+    hold latch after every scan flip-flop (classic enhanced scan);
+``mux``
+    MUX-based holding element after every scan flip-flop ([13]);
+``flh``
+    First Level Hold: supply gating plus keeper on every unique
+    first-level gate -- the paper's contribution.
+
+``scan`` (plain full scan, no holding) is the overhead baseline, and
+``none`` denotes the unscanned original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..cells import Library, default_library
+from ..netlist import Netlist
+
+#: Recognized style identifiers.
+STYLES = ("none", "scan", "enhanced", "mux", "flh")
+
+#: Styles that support arbitrary two-pattern (V1, V2) test application.
+ARBITRARY_TWO_PATTERN_STYLES = ("enhanced", "mux", "flh")
+
+
+@dataclass(frozen=True)
+class FlhGating:
+    """Supply gating attached to one first-level gate.
+
+    ``width_factor`` sizes the header/footer pair in multiples of the
+    minimum width; critical-path gates get a larger factor (paper,
+    Section III: sizing "optimized for delay under the given area
+    constraint").
+    """
+
+    gate: str
+    width_factor: float
+    critical: bool = False
+
+
+@dataclass
+class DftDesign:
+    """A netlist plus the DFT bookkeeping of one style."""
+
+    netlist: Netlist
+    style: str
+    library: Library = field(default_factory=default_library)
+    #: Flip-flop (gate) names in scan-chain order, scan-in first.
+    scan_chain: Tuple[str, ...] = ()
+    #: Inserted holding-element gate names, parallel to ``held_flip_flops``
+    #: (enhanced / mux styles only).
+    hold_elements: Tuple[str, ...] = ()
+    #: Flip-flops with a holding element in front of the logic.  Equals
+    #: the whole chain for full enhanced scan / MUX-hold; a subset for
+    #: partial enhanced scan.
+    held_flip_flops: Tuple[str, ...] = ()
+    #: FLH gating records keyed by first-level gate name (flh only).
+    flh_gating: Dict[str, FlhGating] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.style not in STYLES:
+            raise ValueError(f"unknown DFT style {self.style!r}")
+
+    @property
+    def name(self) -> str:
+        """Design name (delegates to the netlist)."""
+        return self.netlist.name
+
+    @property
+    def n_scan_cells(self) -> int:
+        """Length of the scan chain."""
+        return len(self.scan_chain)
+
+    @property
+    def supports_arbitrary_two_pattern(self) -> bool:
+        """True if any (V1, V2) pair can be applied to the core.
+
+        Partial enhanced scan (a strict subset of held flip-flops) can
+        only launch transitions from the held bits.
+        """
+        if self.style not in ARBITRARY_TWO_PATTERN_STYLES:
+            return False
+        if self.style == "enhanced" and self.held_flip_flops:
+            return set(self.held_flip_flops) >= set(self.scan_chain)
+        return True
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        extras = ""
+        if self.hold_elements:
+            extras = f", {len(self.hold_elements)} holding elements"
+        if self.flh_gating:
+            n_crit = sum(1 for g in self.flh_gating.values() if g.critical)
+            extras = (
+                f", {len(self.flh_gating)} gated first-level gates "
+                f"({n_crit} critical-path upsized)"
+            )
+        return (
+            f"{self.name} [{self.style}]: "
+            f"{self.n_scan_cells} scan cells{extras}"
+        )

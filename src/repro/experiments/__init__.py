@@ -1,0 +1,43 @@
+"""Experiment drivers: one module per paper table / figure / claim.
+
+Public surface::
+
+    from repro.experiments import table1_area, table2_delay, table3_power
+    from repro.experiments import table4_fanout, fig2_decay, fig4_hold
+    from repro.experiments import fig5_timing, coverage_study, ablation_sizing
+"""
+
+from . import (
+    ablation_sizing,
+    common,
+    coverage_study,
+    fig2_decay,
+    fig4_hold,
+    fig5_timing,
+    partial_study,
+    report,
+    table1_area,
+    table2_delay,
+    table3_power,
+    table4_fanout,
+    variation_quality,
+)
+from .report import format_table, summary_line
+
+__all__ = [
+    "ablation_sizing",
+    "common",
+    "coverage_study",
+    "fig2_decay",
+    "fig4_hold",
+    "fig5_timing",
+    "format_table",
+    "partial_study",
+    "report",
+    "summary_line",
+    "variation_quality",
+    "table1_area",
+    "table2_delay",
+    "table3_power",
+    "table4_fanout",
+]

@@ -1,0 +1,92 @@
+"""Fault models, fault simulation and test generation.
+
+Public surface::
+
+    from repro.fault import StuckFault, TransitionFault
+    from repro.fault import all_stuck_faults, all_transition_faults
+    from repro.fault import collapse_stuck, collapse_transition
+    from repro.fault import FaultSimulator, Podem, TransitionAtpg
+"""
+
+from .collapse import collapse_stuck, collapse_transition
+from .fsim import FaultSimResult, FaultSimulator, random_pattern_coverage
+from .models import (
+    FALL,
+    RISE,
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+    all_transition_faults,
+)
+from .broadside import BroadsideAtpg, unroll_two_frames
+from .compaction import (
+    CompactionResult,
+    compact_two_pattern_tests,
+    fill_cube,
+    merge_test_cubes,
+)
+from .diagnosis import Candidate, diagnose, diagnose_defect, simulate_tester
+from .pathdelay import (
+    DelayPath,
+    enumerate_critical_paths,
+    nonrobust_test_ok,
+    path_coverage,
+    robust_test_ok,
+)
+from .podem import AtpgResult, Podem, eval3, generate_tests, justify
+from .quality import EscapeReport, escape_study, sample_delay_defects
+from .transition import (
+    STYLE_ARBITRARY,
+    STYLE_BROADSIDE,
+    STYLE_PARTIAL,
+    STYLE_SKEWED,
+    TransitionAtpg,
+    TransitionAtpgResult,
+    TwoPatternTest,
+    compare_styles,
+)
+
+__all__ = [
+    "AtpgResult",
+    "BroadsideAtpg",
+    "Candidate",
+    "FALL",
+    "FaultSimResult",
+    "FaultSimulator",
+    "Podem",
+    "RISE",
+    "STYLE_ARBITRARY",
+    "STYLE_BROADSIDE",
+    "STYLE_PARTIAL",
+    "STYLE_SKEWED",
+    "CompactionResult",
+    "DelayPath",
+    "EscapeReport",
+    "StuckFault",
+    "TransitionAtpg",
+    "TransitionAtpgResult",
+    "TransitionFault",
+    "TwoPatternTest",
+    "all_stuck_faults",
+    "all_transition_faults",
+    "collapse_stuck",
+    "collapse_transition",
+    "compact_two_pattern_tests",
+    "compare_styles",
+    "diagnose",
+    "diagnose_defect",
+    "enumerate_critical_paths",
+    "escape_study",
+    "eval3",
+    "fill_cube",
+    "generate_tests",
+    "justify",
+    "merge_test_cubes",
+    "simulate_tester",
+    "nonrobust_test_ok",
+    "path_coverage",
+    "random_pattern_coverage",
+    "robust_test_ok",
+    "sample_delay_defects",
+    "unroll_two_frames",
+]

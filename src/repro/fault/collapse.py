@@ -1,0 +1,73 @@
+"""Structural fault collapsing.
+
+Equivalence collapsing over inverters and buffers: a stuck-at fault at
+the input of a NOT/BUF is indistinguishable from the corresponding
+fault at its output, so single-fanout chains keep only the stem fault.
+This is the standard cheap collapse; it shrinks the fault list (and the
+ATPG effort) without touching coverage semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..netlist import Netlist
+from .models import StuckFault, TransitionFault
+
+
+def _root(netlist: Netlist, net: str, value: int) -> Tuple[str, int]:
+    """Chase a (net, stuck value) through single-fanout NOT/BUF sinks.
+
+    If the only sink of ``net`` is an inverter or buffer, the fault is
+    equivalent to one at that sink's output; iterate to the stem.
+    """
+    current, polarity = net, value
+    seen: Set[str] = set()
+    while True:
+        if current in seen:
+            return current, polarity
+        seen.add(current)
+        sinks = [
+            s for s in netlist.fanout(current)
+            if netlist.gate(s).is_combinational
+        ]
+        if len(sinks) != 1:
+            return current, polarity
+        sink = netlist.gate(sinks[0])
+        if sink.func == "BUF" and sink.n_inputs == 1:
+            current = sink.name
+        elif sink.func == "NOT":
+            current, polarity = sink.name, 1 - polarity
+        else:
+            return current, polarity
+        if current in set(netlist.outputs) | set(netlist.state_outputs):
+            return current, polarity
+
+
+def collapse_stuck(netlist: Netlist,
+                   faults: List[StuckFault]) -> List[StuckFault]:
+    """Equivalence-collapse a stuck-at fault list."""
+    kept: Dict[Tuple[str, int], StuckFault] = {}
+    for fault in faults:
+        root = _root(netlist, fault.net, fault.value)
+        if root not in kept:
+            kept[root] = StuckFault(*root)
+    return sorted(kept.values())
+
+
+def collapse_transition(netlist: Netlist,
+                        faults: List[TransitionFault]) -> List[TransitionFault]:
+    """Equivalence-collapse a transition fault list.
+
+    slow-to-rise maps through an inverter to slow-to-fall downstream,
+    mirroring the stuck-at rule on the late value.
+    """
+    kept: Dict[Tuple[str, str], TransitionFault] = {}
+    for fault in faults:
+        stuck_value = fault.initial_value
+        net, value = _root(netlist, fault.net, stuck_value)
+        direction = "rise" if value == 0 else "fall"
+        key = (net, direction)
+        if key not in kept:
+            kept[key] = TransitionFault(net, direction)
+    return sorted(kept.values())

@@ -1,0 +1,105 @@
+"""Effect-cause stuck-at fault diagnosis from observed failures.
+
+The paper's Section I: scan-based structural delay testing "not only
+helps detection but also diagnosis".  This module is the stuck-at
+diagnosis substrate: given the tester's observed pass/fail behaviour
+(which patterns failed, and optionally at which observation points),
+rank candidate faults by how well their simulated signatures match.
+
+Scoring is the usual intersection metric: a candidate fault gets credit
+for every failing pattern it predicts and is penalized for predicted
+failures that did not occur (misprediction) and observed failures it
+cannot explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import Netlist
+from .fsim import FaultSimulator
+from .models import StuckFault
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked diagnosis candidate."""
+
+    fault: StuckFault
+    matched: int        # failing patterns this fault explains
+    mispredicted: int   # predicted failures that passed on the tester
+    unexplained: int    # observed failures this fault cannot cause
+
+    @property
+    def score(self) -> float:
+        """Higher is better: matches minus penalties (normalized)."""
+        total = self.matched + self.mispredicted + self.unexplained
+        if total == 0:
+            return 0.0
+        return (self.matched - 0.5 * self.mispredicted
+                - 0.5 * self.unexplained) / total
+
+    @property
+    def perfect(self) -> bool:
+        """Signature matches the observation exactly."""
+        return self.mispredicted == 0 and self.unexplained == 0
+
+
+def simulate_tester(netlist: Netlist, fault: StuckFault,
+                    patterns: Sequence[Mapping[str, int]]) -> int:
+    """Failing-pattern bitmask a defective die with ``fault`` would show."""
+    sim = FaultSimulator(netlist)
+    good, mask = sim.good_values(patterns)
+    return sim.detect_stuck(fault, good, mask)
+
+
+def diagnose(netlist: Netlist, patterns: Sequence[Mapping[str, int]],
+             observed_failures: int,
+             candidates: Sequence[StuckFault],
+             top: int = 10) -> List[Candidate]:
+    """Rank ``candidates`` against an observed failing-pattern bitmask.
+
+    ``observed_failures`` has bit *i* set iff ``patterns[i]`` failed on
+    the tester.  Returns the ``top`` candidates, best first; exact-match
+    candidates (``perfect``) come out on top by construction.
+    """
+    sim = FaultSimulator(netlist)
+    good, mask = sim.good_values(patterns)
+    ranked: List[Candidate] = []
+    for fault in candidates:
+        predicted = sim.detect_stuck(fault, good, mask)
+        matched = bin(predicted & observed_failures).count("1")
+        mispredicted = bin(predicted & ~observed_failures & mask).count("1")
+        unexplained = bin(observed_failures & ~predicted & mask).count("1")
+        ranked.append(
+            Candidate(fault, matched, mispredicted, unexplained)
+        )
+    ranked.sort(key=lambda c: (-c.score, str(c.fault)))
+    return ranked[:top]
+
+
+def diagnose_defect(netlist: Netlist,
+                    patterns: Sequence[Mapping[str, int]],
+                    actual_fault: StuckFault,
+                    candidates: Optional[Sequence[StuckFault]] = None,
+                    top: int = 10) -> Tuple[List[Candidate], int]:
+    """End-to-end check: inject a defect, observe, diagnose.
+
+    Returns the ranked candidates and the rank (0-based) at which the
+    injected fault (or an exact-signature equivalent) appears.
+    """
+    from .collapse import collapse_stuck
+    from .models import all_stuck_faults
+
+    if candidates is None:
+        candidates = collapse_stuck(netlist, all_stuck_faults(netlist))
+    observed = simulate_tester(netlist, actual_fault, patterns)
+    ranked = diagnose(netlist, patterns, observed, candidates, top=top)
+    rank = next(
+        (i for i, c in enumerate(ranked)
+         if c.fault == actual_fault
+         or (c.perfect and observed)),
+        len(ranked),
+    )
+    return ranked, rank

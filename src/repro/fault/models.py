@@ -1,0 +1,80 @@
+"""Fault models: single stuck-at and transition-delay faults.
+
+Faults live on *nets* (gate outputs / stems); input-pin faults collapse
+onto them through the usual equivalence rules for the test-generation
+purposes of this reproduction.  A transition fault is the standard
+slow-to-rise / slow-to-fall delay fault: detected by a two-pattern test
+whose first pattern (V1) sets the initial value and whose second pattern
+(V2) both launches the transition and detects the corresponding
+stuck-at fault at the site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..netlist import Netlist
+
+RISE = "rise"
+FALL = "fall"
+
+
+@dataclass(frozen=True, order=True)
+class StuckFault:
+    """Single stuck-at fault on a net."""
+
+    net: str
+    value: int  # 0 = stuck-at-0, 1 = stuck-at-1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"{self.net}/sa{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class TransitionFault:
+    """Slow-to-rise or slow-to-fall delay fault on a net."""
+
+    net: str
+    direction: str  # RISE or FALL
+
+    def __post_init__(self) -> None:
+        if self.direction not in (RISE, FALL):
+            raise ValueError("direction must be 'rise' or 'fall'")
+
+    @property
+    def initial_value(self) -> int:
+        """Value V1 must establish at the site."""
+        return 0 if self.direction == RISE else 1
+
+    @property
+    def equivalent_stuck(self) -> StuckFault:
+        """Stuck-at fault V2 must detect (the late value)."""
+        return StuckFault(self.net, self.initial_value)
+
+    def __str__(self) -> str:
+        return f"{self.net}/slow-to-{self.direction}"
+
+
+def all_stuck_faults(netlist: Netlist) -> List[StuckFault]:
+    """Both stuck-at faults on every combinational net and state input."""
+    faults: List[StuckFault] = []
+    for gate in netlist.gates():
+        if gate.is_combinational or gate.is_dff or gate.is_input:
+            faults.append(StuckFault(gate.name, 0))
+            faults.append(StuckFault(gate.name, 1))
+    return sorted(faults)
+
+
+def all_transition_faults(netlist: Netlist) -> List[TransitionFault]:
+    """Both transition faults on every combinational net and state input."""
+    faults: List[TransitionFault] = []
+    for gate in netlist.gates():
+        if gate.is_combinational or gate.is_dff or gate.is_input:
+            faults.append(TransitionFault(gate.name, RISE))
+            faults.append(TransitionFault(gate.name, FALL))
+    return sorted(faults)

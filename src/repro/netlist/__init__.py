@@ -1,0 +1,52 @@
+"""Gate-level netlist model and graph algorithms.
+
+Public surface::
+
+    from repro.netlist import Netlist, Gate, evaluate_gate
+    from repro.netlist import topological_order, levelize, logic_depth
+    from repro.netlist import first_level_gates, validate, collect_stats
+"""
+
+from .gate import ALL_FUNCS, COMBINATIONAL_FUNCS, Gate, evaluate_gate
+from .graph import (
+    fanout_cone,
+    first_level_gates,
+    gate_level_order,
+    is_acyclic,
+    levelize,
+    logic_depth,
+    reached_outputs,
+    topological_order,
+    total_state_fanout,
+    transitive_fanin,
+)
+from .netlist import Netlist
+from .serialize import from_dict, from_json, to_dict, to_json
+from .stats import NetlistStats, collect_stats
+from .validate import validate, validation_issues
+
+__all__ = [
+    "ALL_FUNCS",
+    "COMBINATIONAL_FUNCS",
+    "Gate",
+    "Netlist",
+    "NetlistStats",
+    "collect_stats",
+    "evaluate_gate",
+    "fanout_cone",
+    "first_level_gates",
+    "from_dict",
+    "from_json",
+    "gate_level_order",
+    "is_acyclic",
+    "levelize",
+    "logic_depth",
+    "reached_outputs",
+    "to_dict",
+    "to_json",
+    "topological_order",
+    "total_state_fanout",
+    "transitive_fanin",
+    "validate",
+    "validation_issues",
+]

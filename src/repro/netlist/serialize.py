@@ -1,0 +1,67 @@
+"""JSON-friendly netlist serialization.
+
+A stable dict form of a netlist (and back), for caching reconstructed
+circuits, feeding external tooling, or snapshotting DFT-transformed
+designs.  Round-trips exactly, including cell bindings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..errors import NetlistError
+from .netlist import Netlist
+
+FORMAT_VERSION = 1
+
+
+def to_dict(netlist: Netlist) -> Dict[str, object]:
+    """Stable dict form of a netlist."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": netlist.name,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "gates": [
+            {
+                "name": gate.name,
+                "func": gate.func,
+                "fanin": list(gate.fanin),
+                **({"cell": gate.cell} if gate.cell else {}),
+            }
+            for gate in netlist.gates()
+            if not gate.is_input
+        ],
+    }
+
+
+def from_dict(data: Dict[str, object]) -> Netlist:
+    """Rebuild a netlist from :func:`to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise NetlistError(
+            f"unsupported netlist format {data.get('format')!r}"
+        )
+    netlist = Netlist(str(data["name"]))
+    for net in data["inputs"]:
+        netlist.add_input(net)
+    for record in data["gates"]:
+        netlist.add(
+            record["name"],
+            record["func"],
+            tuple(record["fanin"]),
+            cell=record.get("cell"),
+        )
+    for net in data["outputs"]:
+        netlist.add_output(net)
+    return netlist
+
+
+def to_json(netlist: Netlist, indent: int = None) -> str:
+    """JSON text form of a netlist."""
+    return json.dumps(to_dict(netlist), indent=indent)
+
+
+def from_json(text: str) -> Netlist:
+    """Rebuild a netlist from :func:`to_json` output."""
+    return from_dict(json.loads(text))

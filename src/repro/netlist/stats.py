@@ -1,0 +1,76 @@
+"""Summary statistics of a netlist.
+
+These are the structural quantities the paper reports alongside its
+results: flip-flop count, total and unique state-input fanouts (Table I)
+and critical-path logic depth (Table II).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .graph import first_level_gates, logic_depth, total_state_fanout
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Structural summary of a sequential netlist."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_dffs: int
+    n_gates: int
+    total_state_fanout: int
+    unique_first_level: int
+    logic_depth: int
+    func_histogram: Dict[str, int]
+
+    @property
+    def fanout_per_ff(self) -> float:
+        """Average state-input fanout per flip-flop (paper avg: 2.3)."""
+        if self.n_dffs == 0:
+            return 0.0
+        return self.total_state_fanout / self.n_dffs
+
+    @property
+    def unique_fanout_ratio(self) -> float:
+        """Unique first-level gates per flip-flop (paper avg: 1.8)."""
+        if self.n_dffs == 0:
+            return 0.0
+        return self.unique_first_level / self.n_dffs
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "circuit": self.name,
+            "PI": self.n_inputs,
+            "PO": self.n_outputs,
+            "FF": self.n_dffs,
+            "gates": self.n_gates,
+            "total_fanout": self.total_state_fanout,
+            "unique_fanout": self.unique_first_level,
+            "ratio": round(self.unique_fanout_ratio, 2),
+            "depth": self.logic_depth,
+        }
+
+
+def collect_stats(netlist: Netlist) -> NetlistStats:
+    """Compute a :class:`NetlistStats` for ``netlist``."""
+    histogram = Counter(
+        gate.func for gate in netlist.gates() if gate.is_combinational
+    )
+    return NetlistStats(
+        name=netlist.name,
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        n_dffs=netlist.n_dffs(),
+        n_gates=netlist.n_gates(),
+        total_state_fanout=total_state_fanout(netlist),
+        unique_first_level=len(first_level_gates(netlist)),
+        logic_depth=logic_depth(netlist),
+        func_histogram=dict(histogram),
+    )

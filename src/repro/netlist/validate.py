@@ -1,0 +1,62 @@
+"""Structural validation of netlists.
+
+:func:`validate` collects every problem it can find instead of stopping at
+the first, because DFT transforms are easiest to debug with the complete
+list of dangling nets / floating gates in one shot.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+from .graph import is_acyclic
+from .netlist import Netlist
+
+
+def validation_issues(netlist: Netlist) -> List[str]:
+    """Return a list of human-readable structural problems (empty = OK)."""
+    issues: List[str] = []
+
+    driven = set(netlist.gate_names())
+    for gate in netlist.gates():
+        for net in gate.fanin:
+            if net not in driven:
+                issues.append(
+                    f"gate {gate.name!r} references undriven net {net!r}"
+                )
+
+    for net in netlist.outputs:
+        if net not in driven:
+            issues.append(f"primary output {net!r} is undriven")
+
+    for net in netlist.inputs:
+        gate = netlist.gate(net)
+        if not gate.is_input:
+            issues.append(f"primary input {net!r} is driven by a {gate.func}")
+
+    pos = set(netlist.outputs)
+    state_outs = set(netlist.state_outputs)
+    for gate in netlist.gates():
+        if gate.is_input or gate.is_dff:
+            continue
+        if (
+            not netlist.fanout(gate.name)
+            and gate.name not in pos
+            and gate.name not in state_outs
+        ):
+            issues.append(f"gate {gate.name!r} drives nothing")
+
+    if not is_acyclic(netlist):
+        issues.append("combinational core contains a cycle")
+
+    return issues
+
+
+def validate(netlist: Netlist) -> None:
+    """Raise :class:`~repro.errors.NetlistError` if the netlist is broken."""
+    issues = validation_issues(netlist)
+    if issues:
+        summary = "; ".join(issues[:10])
+        more = f" (+{len(issues) - 10} more)" if len(issues) > 10 else ""
+        raise NetlistError(f"{netlist.name}: {summary}{more}")

@@ -1,0 +1,48 @@
+"""Small transient circuit simulator (the HSPICE substitute).
+
+Public surface::
+
+    from repro.spice import TransientCircuit, Mosfet, simulate
+    from repro.spice import floating_decay, flh_hold, build_gated_chain
+"""
+
+from .circuit import (
+    GND_NODE,
+    VDD_NODE,
+    TransientCircuit,
+    constant,
+    step_wave,
+)
+from .mosfet import Mosfet
+from .testbenches import (
+    DECAY_DEADLINE,
+    DECAY_LEVEL,
+    CrosstalkReport,
+    DecayReport,
+    HoldReport,
+    build_gated_chain,
+    crosstalk_disturbance,
+    flh_hold,
+    floating_decay,
+)
+from .transient import TransientResult, simulate
+
+__all__ = [
+    "CrosstalkReport",
+    "DECAY_DEADLINE",
+    "DECAY_LEVEL",
+    "DecayReport",
+    "GND_NODE",
+    "HoldReport",
+    "Mosfet",
+    "TransientCircuit",
+    "TransientResult",
+    "VDD_NODE",
+    "build_gated_chain",
+    "constant",
+    "crosstalk_disturbance",
+    "flh_hold",
+    "floating_decay",
+    "simulate",
+    "step_wave",
+]

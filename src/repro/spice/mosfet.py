@@ -1,0 +1,102 @@
+"""Alpha-power-law MOSFET model with subthreshold conduction.
+
+A deliberately small device model -- three operating regions, continuous
+enough for explicit integration -- tuned to 70 nm BPTM-like numbers:
+
+* on-current about 0.5 mA/um at full gate drive;
+* subthreshold leakage matching :data:`repro.units.ILEAK_PER_WIDTH`
+  (the decisive parameter for the Fig. 2 floating-node decay);
+* alpha = 1.3 velocity-saturation exponent.
+
+The paper's Fig. 2/4 conclusions depend only on these mechanisms, not on
+full BSIM accuracy (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+
+#: Thermal voltage at operating temperature.
+V_THERMAL = 0.026
+#: Subthreshold slope factor.
+SUBTHRESHOLD_N = 1.5
+#: Velocity-saturation exponent.
+ALPHA = 1.3
+#: Saturation current coefficient (A per metre of width).
+K_SAT = 0.65e-3 / units.UM
+#: Saturation drain voltage at full gate overdrive.
+VDSAT_FULL = 0.35
+
+#: Subthreshold pre-factor chosen so Ids(vgs=0, vds=VDD) equals the
+#: technology leakage per width.
+I0_SUBTHRESHOLD = units.ILEAK_PER_WIDTH / math.exp(
+    -units.VTH_70NM / (SUBTHRESHOLD_N * V_THERMAL)
+)
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """One transistor instance in a transient simulation.
+
+    Terminal names refer to circuit nodes; ``kind`` is ``"n"``/``"p"``.
+    ``vt_shift`` raises the threshold (high-Vt keeper devices).
+    """
+
+    name: str
+    kind: str
+    drain: str
+    gate: str
+    source: str
+    width: float
+    vt_shift: float = 0.0
+
+    def current(self, vd: float, vg: float, vs: float) -> float:
+        """Drain current (amps) flowing from drain to source.
+
+        Handles source/drain reversal so the device conducts correctly
+        in pass-gate configurations.
+        """
+        if self.kind == "n":
+            if vd >= vs:
+                return self._ids_n(vg - vs, vd - vs) * self.width
+            return -self._ids_n(vg - vd, vs - vd) * self.width
+        # PMOS: mirror into NMOS coordinates.
+        if vd <= vs:
+            return -self._ids_p(vs - vg, vs - vd) * self.width
+        return self._ids_p(vd - vg, vd - vs) * self.width
+
+    # -- per-width current laws -----------------------------------------
+    def _vth(self) -> float:
+        return units.VTH_70NM + self.vt_shift
+
+    def _ids_n(self, vgs: float, vds: float) -> float:
+        """NMOS current per metre of width, vds >= 0."""
+        vth = self._vth()
+        if vds <= 0.0:
+            return 0.0
+        if vgs <= vth:
+            # Subthreshold conduction.
+            expo = (vgs - vth) / (SUBTHRESHOLD_N * V_THERMAL)
+            expo = max(expo, -60.0)
+            return (
+                I0_SUBTHRESHOLD
+                * math.exp(expo)
+                * (1.0 - math.exp(-vds / V_THERMAL))
+            )
+        overdrive = vgs - vth
+        vdsat = VDSAT_FULL * (overdrive / (units.VDD_70NM - vth)) ** 0.5
+        # Adding the subthreshold corner current keeps Ids(vgs) continuous
+        # (and monotone) across the threshold.
+        isat = I0_SUBTHRESHOLD + K_SAT * overdrive ** ALPHA
+        if vds >= vdsat:
+            return isat
+        # Linear region: quadratic-ish blend, continuous at vdsat.
+        ratio = vds / vdsat
+        return isat * ratio * (2.0 - ratio)
+
+    def _ids_p(self, vsg: float, vsd: float) -> float:
+        """PMOS current per metre of width in mirrored coordinates."""
+        return self._ids_n(vsg, vsd) / units.PN_RATIO

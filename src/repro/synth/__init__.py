@@ -1,0 +1,35 @@
+"""Technology mapping and local resynthesis.
+
+Public surface::
+
+    from repro.synth import map_netlist, clip_arity, match_complex_gates
+    from repro.synth import insert_buffer_pair, collapse_double_inverters
+"""
+
+from .decompose import clip_arity
+from .mapper import (
+    bind_cells,
+    cell_histogram,
+    check_mapped,
+    map_netlist,
+    match_complex_gates,
+)
+from .resynth import (
+    collapse_double_inverters,
+    existing_inverter,
+    insert_buffer_pair,
+    prune_dangling,
+)
+
+__all__ = [
+    "bind_cells",
+    "cell_histogram",
+    "check_mapped",
+    "clip_arity",
+    "collapse_double_inverters",
+    "existing_inverter",
+    "insert_buffer_pair",
+    "map_netlist",
+    "match_complex_gates",
+    "prune_dangling",
+]

@@ -1,0 +1,68 @@
+"""Arity decomposition: split wide gates into library-implementable trees.
+
+The LEDA-like library tops out at 4-input simple gates (3-input XOR), so
+any wider gate coming out of a parser or a transform is rewritten as a
+balanced tree before mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import MappingError
+from ..netlist import Netlist
+
+#: Inner-node function used when splitting each wide function.  The root
+#: keeps the original function over the partial results.
+_INNER = {
+    "AND": "AND",
+    "NAND": "AND",
+    "OR": "OR",
+    "NOR": "OR",
+    "XOR": "XOR",
+    "XNOR": "XOR",
+}
+
+
+def _split_groups(fanin: Sequence[str], max_arity: int) -> List[List[str]]:
+    """Partition fanin nets into groups of at most ``max_arity``."""
+    return [
+        list(fanin[i: i + max_arity])
+        for i in range(0, len(fanin), max_arity)
+    ]
+
+
+def clip_arity(netlist: Netlist, max_arity: int = 4) -> int:
+    """Rewrite gates wider than ``max_arity`` as trees, in place.
+
+    Returns the number of gates that were decomposed.  The transform is
+    logically exact: ``NAND(a..z)`` becomes ``NAND(AND(a..d), ...)`` and
+    so on, iterating until the root also fits.
+    """
+    if max_arity < 2:
+        raise MappingError("max_arity must be at least 2")
+    rewritten = 0
+    changed = True
+    while changed:
+        changed = False
+        for gate in list(netlist.gates()):
+            if not gate.is_combinational or gate.n_inputs <= max_arity:
+                continue
+            inner = _INNER.get(gate.func)
+            if inner is None:
+                raise MappingError(
+                    f"cannot decompose {gate.func} gate {gate.name!r}"
+                )
+            groups = _split_groups(gate.fanin, max_arity)
+            new_fanin: List[str] = []
+            for group in groups:
+                if len(group) == 1:
+                    new_fanin.append(group[0])
+                    continue
+                sub = netlist.fresh_net(f"{gate.name}_d")
+                netlist.add(sub, inner, group)
+                new_fanin.append(sub)
+            netlist.replace_gate(gate.with_fanin(new_fanin))
+            rewritten += 1
+            changed = True
+    return rewritten

@@ -1,0 +1,145 @@
+"""Technology mapping onto the LEDA-like cell library.
+
+Reproduces the paper's "Design Compiler, medium mapping effort" step in
+spirit: simple gates bind directly to library cells, and the classic
+AOI/OAI patterns are matched so that the mapped netlist contains complex
+gates ("the library contains complex gate types e.g. aoi and mux, and
+hence, the total number of logic gates is reduced").
+
+Mapping works on a copy of the input netlist:
+
+1. :func:`repro.synth.decompose.clip_arity` guarantees arity <= 4;
+2. AOI21/AOI22/OAI21/OAI22 pattern matching absorbs single-fanout
+   AND-into-NOR / OR-into-NAND pairs;
+3. every combinational gate is bound to the smallest cell implementing
+   its function, with X2 drive for nets with heavy fanout;
+4. every DFF is bound to the plain DFF cell (scan insertion later
+   upgrades it to SDFF).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cells import Library, default_library
+from ..errors import MappingError
+from ..netlist import Gate, Netlist, validate
+from .decompose import clip_arity
+
+#: Fanout count at and above which the mapper picks the X2 drive.
+_HIGH_FANOUT = 4
+
+
+def _absorbable(netlist: Netlist, net: str, func: str) -> Optional[Gate]:
+    """Return the driver of ``net`` if it is a single-fanout ``func`` gate
+    that is neither a primary output nor a state output."""
+    driver = netlist.gate(net)
+    if driver.func != func or driver.n_inputs != 2:
+        return None
+    if netlist.fanout_count(net) != 1:
+        return None
+    if net in netlist.outputs or net in set(netlist.state_outputs):
+        return None
+    return driver
+
+
+def match_complex_gates(netlist: Netlist) -> int:
+    """Fuse AND->NOR and OR->NAND pairs into AOI/OAI gates, in place.
+
+    Returns the number of complex gates created.  Patterns::
+
+        NOR2(AND2(a,b), c)          -> AOI21(a, b, c)
+        NOR2(AND2(a,b), AND2(c,d))  -> AOI22(a, b, c, d)
+        NAND2(OR2(a,b), c)          -> OAI21(a, b, c)
+        NAND2(OR2(a,b), OR2(c,d))   -> OAI22(a, b, c, d)
+    """
+    created = 0
+    for gate in list(netlist.gates()):
+        if gate.func not in ("NOR", "NAND") or gate.n_inputs != 2:
+            continue
+        inner_func = "AND" if gate.func == "NOR" else "OR"
+        left = _absorbable(netlist, gate.fanin[0], inner_func)
+        right = _absorbable(netlist, gate.fanin[1], inner_func)
+        prefix = "AOI" if gate.func == "NOR" else "OAI"
+        if left is not None and right is not None and left is not right:
+            fused = Gate(
+                gate.name, f"{prefix}22", left.fanin + right.fanin
+            )
+            netlist.replace_gate(fused)
+            netlist.remove_gate(left.name)
+            netlist.remove_gate(right.name)
+            created += 1
+        elif left is not None:
+            fused = Gate(
+                gate.name, f"{prefix}21", left.fanin + (gate.fanin[1],)
+            )
+            netlist.replace_gate(fused)
+            netlist.remove_gate(left.name)
+            created += 1
+        elif right is not None:
+            fused = Gate(
+                gate.name, f"{prefix}21", right.fanin + (gate.fanin[0],)
+            )
+            netlist.replace_gate(fused)
+            netlist.remove_gate(right.name)
+            created += 1
+    return created
+
+
+def bind_cells(netlist: Netlist, library: Library) -> None:
+    """Assign a library cell to every gate and flip-flop, in place."""
+    for gate in list(netlist.gates()):
+        if gate.is_input:
+            continue
+        if gate.is_dff:
+            cell = library.for_func("DFF", 1, drive=1.0)
+        else:
+            drive = 2.0 if netlist.fanout_count(gate.name) >= _HIGH_FANOUT else 1.0
+            cell = library.for_func(gate.func, gate.n_inputs, drive=drive)
+        netlist.replace_gate(gate.with_cell(cell.name))
+
+
+def map_netlist(netlist: Netlist, library: Optional[Library] = None,
+                complex_gates: bool = True) -> Netlist:
+    """Technology-map ``netlist``; returns a new, cell-bound netlist.
+
+    Parameters
+    ----------
+    library:
+        Target library (defaults to the shared LEDA-like 70 nm library).
+    complex_gates:
+        Run AOI/OAI pattern matching ("medium effort"); disable for a
+        naive one-to-one binding.
+    """
+    if library is None:
+        library = default_library()
+    mapped = netlist.copy(netlist.name)
+    clip_arity(mapped, max_arity=4)
+    if complex_gates:
+        match_complex_gates(mapped)
+    bind_cells(mapped, library)
+    validate(mapped)
+    return mapped
+
+
+def check_mapped(netlist: Netlist, library: Library) -> None:
+    """Raise :class:`MappingError` unless every gate carries a valid cell."""
+    missing = [
+        gate.name
+        for gate in netlist.gates()
+        if not gate.is_input and (gate.cell is None or gate.cell not in library)
+    ]
+    if missing:
+        raise MappingError(
+            f"{netlist.name}: {len(missing)} gates unmapped "
+            f"(e.g. {missing[:5]})"
+        )
+
+
+def cell_histogram(netlist: Netlist) -> Dict[str, int]:
+    """Count of instances per bound cell name."""
+    histogram: Dict[str, int] = {}
+    for gate in netlist.gates():
+        if gate.cell is not None:
+            histogram[gate.cell] = histogram.get(gate.cell, 0) + 1
+    return histogram

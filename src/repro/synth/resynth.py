@@ -1,0 +1,110 @@
+"""Local resynthesis helpers used by the Section V fanout optimization.
+
+Two logically-exact rewrites:
+
+* :func:`insert_buffer_pair` -- put ``INV1 -> INV2`` between a net and a
+  chosen subset of its sinks (the paper's "adding two inverters in
+  cascade between output of the scan flip-flops and their fanout gates").
+* :func:`collapse_double_inverters` -- the paper's "re-synthesize the
+  second inverter with its fanout gates": any inverter fed by ``INV2``
+  recomputes ``INV1``'s value, so its sinks are rewired to ``INV1`` and
+  the redundant inverter (and possibly ``INV2`` itself) is removed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..cells import Library, default_library
+from ..netlist import Netlist
+
+
+def inverter_drive_for_fanout(n_sinks: int) -> float:
+    """Drive strength an inverter needs for ``n_sinks`` gate loads."""
+    if n_sinks >= 6:
+        return 4.0
+    if n_sinks >= 2:
+        return 2.0
+    return 1.0
+
+
+def insert_buffer_pair(netlist: Netlist, net: str,
+                       sinks: Optional[Set[str]] = None,
+                       library: Optional[Library] = None,
+                       ) -> Tuple[str, str]:
+    """Insert ``net -> INV1 -> INV2`` and move ``sinks`` onto INV2's output.
+
+    Returns the (INV1, INV2) net names.  ``sinks`` defaults to every
+    current sink of ``net``.  If the netlist is cell-bound the new
+    inverters are bound to INV cells, the second one sized for the
+    fanout it takes over (the buffer must not slow the buffered paths
+    more than necessary).
+    """
+    if sinks is None:
+        sinks = netlist.fanout(net)
+    inv1 = netlist.fresh_net(f"{net}_n")
+    inv2 = netlist.fresh_net(f"{net}_p")
+    cell1 = cell2 = None
+    if any(g.cell is not None for g in netlist.gates()):
+        lib = library or default_library()
+        cell1 = lib.for_func("NOT", 1).name
+        cell2 = lib.for_func(
+            "NOT", 1, drive=inverter_drive_for_fanout(len(sinks))
+        ).name
+    netlist.add(inv1, "NOT", (net,), cell=cell1)
+    netlist.add(inv2, "NOT", (inv1,), cell=cell2)
+    netlist.redirect_fanout(net, inv2, only=set(sinks) - {inv1})
+    return inv1, inv2
+
+
+def existing_inverter(netlist: Netlist, net: str) -> Optional[str]:
+    """An inverter already fed by ``net``, if any (paper: "If a scan
+    flip-flop already has an inverter connected to it, we do not need
+    the second inverter")."""
+    for sink_name in sorted(netlist.fanout(net)):
+        if netlist.gate(sink_name).func == "NOT":
+            return sink_name
+    return None
+
+
+def collapse_double_inverters(netlist: Netlist, inv1: str, inv2: str) -> int:
+    """Fold inverters fed by ``inv2`` back onto ``inv1`` and prune.
+
+    Any gate ``NOT(inv2)`` computes the same value as ``inv1``; its sinks
+    are rewired to ``inv1`` and it is deleted.  If that leaves ``inv2``
+    without sinks (and it is not a primary/state output), ``inv2`` is
+    deleted too.  Returns the number of gates removed.
+    """
+    removed = 0
+    protected = set(netlist.outputs) | set(netlist.state_outputs)
+    for sink_name in sorted(netlist.fanout(inv2)):
+        sink = netlist.gate(sink_name)
+        if sink.func != "NOT" or sink_name in protected:
+            continue
+        netlist.redirect_fanout(sink_name, inv1)
+        if sink_name in protected or netlist.fanout(sink_name):
+            continue
+        netlist.remove_gate(sink_name)
+        removed += 1
+    if not netlist.fanout(inv2) and inv2 not in protected:
+        netlist.remove_gate(inv2)
+        removed += 1
+    return removed
+
+
+def prune_dangling(netlist: Netlist) -> int:
+    """Remove combinational gates that drive nothing (iteratively)."""
+    protected = set(netlist.outputs) | set(netlist.state_outputs)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for gate in list(netlist.gates()):
+            if not gate.is_combinational:
+                continue
+            if gate.name in protected or netlist.fanout(gate.name):
+                continue
+            netlist.remove_gate(gate.name)
+            removed += 1
+            changed = True
+    return removed

@@ -1,0 +1,56 @@
+"""Clock-level test application: scan shifting and two-pattern protocols.
+
+Public surface::
+
+    from repro.testapp import ScanChainSimulator, shift_power_study
+    from repro.testapp import apply_two_pattern, apply_broadside
+    from repro.testapp import apply_skewed_load, FIG5B_SEQUENCE
+"""
+
+from .chain_order import (
+    order_chain_for_shift_power,
+    reorder_design,
+    state_difference_matrix,
+)
+from .integrity import (
+    FLUSH_PATTERN,
+    TestTimeReport,
+    flush_test,
+    tester_time,
+)
+from .protocols import (
+    FIG5B_SEQUENCE,
+    ProtocolTrace,
+    apply_broadside,
+    apply_skewed_load,
+    apply_two_pattern,
+)
+from .scan_chain import (
+    ISOLATING_STYLES,
+    ScanChainSimulator,
+    ShiftPowerStudy,
+    ShiftTrace,
+    partition_chains,
+    shift_power_study,
+)
+
+__all__ = [
+    "FIG5B_SEQUENCE",
+    "FLUSH_PATTERN",
+    "ISOLATING_STYLES",
+    "TestTimeReport",
+    "flush_test",
+    "tester_time",
+    "ProtocolTrace",
+    "ScanChainSimulator",
+    "ShiftPowerStudy",
+    "ShiftTrace",
+    "apply_broadside",
+    "apply_skewed_load",
+    "apply_two_pattern",
+    "order_chain_for_shift_power",
+    "partition_chains",
+    "reorder_design",
+    "shift_power_study",
+    "state_difference_matrix",
+]

@@ -1,0 +1,34 @@
+"""Static timing analysis.
+
+Public surface::
+
+    from repro.timing import analyze, critical_delay, net_slacks
+    from repro.timing import DelayOverlay, TimingReport
+"""
+
+from .delay_model import (
+    CLK_TO_Q,
+    SETUP_TIME,
+    WIRE_CAP_PER_FANOUT,
+    DelayOverlay,
+    gate_delay,
+    load_on_net,
+)
+from .sta import TimingReport, analyze, critical_delay, net_slacks, required_times
+from .variation import VariationReport, monte_carlo_delay
+
+__all__ = [
+    "CLK_TO_Q",
+    "DelayOverlay",
+    "SETUP_TIME",
+    "TimingReport",
+    "VariationReport",
+    "WIRE_CAP_PER_FANOUT",
+    "monte_carlo_delay",
+    "analyze",
+    "critical_delay",
+    "gate_delay",
+    "load_on_net",
+    "net_slacks",
+    "required_times",
+]

@@ -1,0 +1,163 @@
+"""Topological static timing analysis.
+
+Computes arrival times over the combinational core (launch = flip-flop
+clock-to-Q or primary input, capture = flip-flop setup or primary
+output), the critical-path delay and slack per net.  This is the engine
+behind Table II (delay overhead of the three DFT schemes) and the delay
+constraint of the Section V fanout optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cells import Library, default_library
+from ..errors import TimingError
+from ..netlist import Netlist, topological_order
+from .delay_model import CLK_TO_Q, SETUP_TIME, DelayOverlay, gate_delay
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run.
+
+    Attributes
+    ----------
+    arrival:
+        Arrival time at every net (seconds).
+    critical_delay:
+        Register-to-register (or port-to-port) worst path delay,
+        including clock-to-Q and setup.
+    critical_path:
+        Net names from launch point to capture point.
+    critical_levels:
+        Number of logic levels on the critical path.
+    """
+
+    circuit: str
+    arrival: Dict[str, float]
+    critical_delay: float
+    critical_path: Tuple[str, ...]
+    critical_levels: int
+
+    def slack(self, clock_period: float) -> float:
+        """Worst slack against ``clock_period``."""
+        return clock_period - self.critical_delay
+
+
+def analyze(netlist: Netlist, library: Optional[Library] = None,
+            overlay: Optional[DelayOverlay] = None) -> TimingReport:
+    """Run STA and return a :class:`TimingReport`."""
+    if library is None:
+        library = default_library()
+
+    arrival: Dict[str, float] = {}
+    for net in netlist.inputs:
+        arrival[net] = 0.0
+    for net in netlist.state_inputs:
+        arrival[net] = CLK_TO_Q
+
+    order = topological_order(netlist)
+    # Per-gate delays are cached so path backtracking agrees exactly.
+    delay_of: Dict[str, float] = {}
+    for name in order:
+        gate = netlist.gate(name)
+        d = gate_delay(netlist, library, name, overlay)
+        delay_of[name] = d
+        best = 0.0
+        for fanin in gate.fanin:
+            t = arrival.get(fanin)
+            if t is None:
+                raise TimingError(
+                    f"{netlist.name}: net {fanin!r} has no arrival time"
+                )
+            if t > best:
+                best = t
+        arrival[name] = best + d
+
+    # Capture points: primary outputs (no setup) and DFF data pins (setup).
+    worst_net = None
+    worst_time = 0.0
+    for net in netlist.outputs:
+        t = arrival.get(net, 0.0)
+        if t >= worst_time:
+            worst_time, worst_net = t, net
+    for net in netlist.state_outputs:
+        t = arrival.get(net, 0.0) + SETUP_TIME
+        if t >= worst_time:
+            worst_time, worst_net = t, net
+
+    path = _backtrack(netlist, arrival, delay_of, worst_net)
+    levels = sum(
+        1 for net in path if netlist.gate(net).is_combinational
+    )
+    return TimingReport(
+        circuit=netlist.name,
+        arrival=arrival,
+        critical_delay=worst_time,
+        critical_path=tuple(path),
+        critical_levels=levels,
+    )
+
+
+def _backtrack(netlist: Netlist, arrival: Dict[str, float],
+               delay_of: Dict[str, float],
+               end_net: Optional[str]) -> List[str]:
+    """Walk the worst-arrival chain back to a launch point."""
+    if end_net is None:
+        return []
+    path = [end_net]
+    current = end_net
+    while True:
+        gate = netlist.gate(current)
+        if gate.is_input or gate.is_dff or not gate.fanin:
+            break
+        pred = max(gate.fanin, key=lambda net: arrival.get(net, 0.0))
+        path.append(pred)
+        current = pred
+    path.reverse()
+    return path
+
+
+def critical_delay(netlist: Netlist, library: Optional[Library] = None,
+                   overlay: Optional[DelayOverlay] = None) -> float:
+    """Shorthand for ``analyze(...).critical_delay``."""
+    return analyze(netlist, library, overlay).critical_delay
+
+
+def required_times(netlist: Netlist, clock_period: float,
+                   library: Optional[Library] = None,
+                   overlay: Optional[DelayOverlay] = None) -> Dict[str, float]:
+    """Required arrival time at every net for the given clock period."""
+    if library is None:
+        library = default_library()
+    required: Dict[str, float] = {}
+    for net in netlist.outputs:
+        required[net] = clock_period
+    for net in netlist.state_outputs:
+        required[net] = min(
+            required.get(net, float("inf")), clock_period - SETUP_TIME
+        )
+    for name in reversed(topological_order(netlist)):
+        gate = netlist.gate(name)
+        req = required.get(name, float("inf"))
+        d = gate_delay(netlist, library, name, overlay)
+        for fanin in gate.fanin:
+            candidate = req - d
+            if candidate < required.get(fanin, float("inf")):
+                required[fanin] = candidate
+    return required
+
+
+def net_slacks(netlist: Netlist, clock_period: float,
+               library: Optional[Library] = None,
+               overlay: Optional[DelayOverlay] = None) -> Dict[str, float]:
+    """Slack per net: required - arrival (clock_period based)."""
+    report = analyze(netlist, library, overlay)
+    required = required_times(netlist, clock_period, library, overlay)
+    slacks: Dict[str, float] = {}
+    for net, t in report.arrival.items():
+        req = required.get(net, clock_period)
+        slacks[net] = req - t
+    return slacks

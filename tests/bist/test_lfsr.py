@@ -1,0 +1,83 @@
+"""Tests for the LFSR pattern generators."""
+
+import pytest
+
+from repro.bist import Lfsr, WeightedLfsr, lfsr_vectors, taps_for_width
+from repro.errors import SimulationError
+
+
+class TestLfsr:
+    def test_maximal_period_small(self):
+        """A primitive 4-bit LFSR must have period 15."""
+        lfsr = Lfsr(4, seed=1)
+        start = lfsr.state
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr.state == start:
+                break
+        assert period == 15
+
+    @pytest.mark.parametrize("width", [3, 5, 7, 8])
+    def test_maximal_period(self, width):
+        lfsr = Lfsr(width, seed=3)
+        start = lfsr.state
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr.state == start:
+                break
+        assert period == 2 ** lfsr.reg_width - 1
+
+    def test_zero_seed_escaped(self):
+        lfsr = Lfsr(8, seed=0)
+        assert lfsr.state != 0
+
+    def test_deterministic(self):
+        assert Lfsr(16, seed=7).bits(50) == Lfsr(16, seed=7).bits(50)
+
+    def test_word_packing(self):
+        a = Lfsr(16, seed=5)
+        b = Lfsr(16, seed=5)
+        word = a.word(8)
+        bits = b.bits(8)
+        assert word == sum(bit << i for i, bit in enumerate(bits))
+
+    def test_roughly_balanced(self):
+        bits = Lfsr(16, seed=9).bits(2000)
+        ones = sum(bits)
+        assert 800 < ones < 1200
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(SimulationError):
+            Lfsr(1)
+
+    def test_taps_for_uncatalogued_width(self):
+        taps = taps_for_width(26)
+        assert max(taps) >= 26
+
+
+class TestWeightedLfsr:
+    @pytest.mark.parametrize(
+        "weight,lo,hi",
+        [(0.5, 0.40, 0.60), (0.25, 0.17, 0.33), (0.75, 0.67, 0.83),
+         (0.125, 0.06, 0.19), (0.875, 0.81, 0.94)],
+    )
+    def test_weights_realized(self, weight, lo, hi):
+        gen = WeightedLfsr(16, seed=3, weight=weight)
+        bits = gen.bits(3000)
+        assert lo < sum(bits) / len(bits) < hi
+
+    def test_unsupported_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            WeightedLfsr(16, weight=0.3)
+
+
+class TestVectors:
+    def test_lfsr_vectors_shape(self):
+        vecs = lfsr_vectors(["a", "b", "c"], count=10)
+        assert len(vecs) == 10
+        assert all(set(v) == {"a", "b", "c"} for v in vecs)
+        assert all(bit in (0, 1) for v in vecs for bit in v.values())

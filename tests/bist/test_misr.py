@@ -1,0 +1,66 @@
+"""Tests for the MISR response compactor."""
+
+import pytest
+
+from repro.bist import Misr, response_signature
+from repro.errors import SimulationError
+
+
+class TestMisr:
+    def test_signature_changes_with_input(self):
+        a, b = Misr(16), Misr(16)
+        a.absorb(0b1010)
+        b.absorb(0b1011)
+        assert a.signature != b.signature
+
+    def test_deterministic(self):
+        a, b = Misr(16), Misr(16)
+        for word in (1, 2, 3, 4):
+            a.absorb(word)
+            b.absorb(word)
+        assert a.signature == b.signature
+
+    def test_order_sensitivity(self):
+        a, b = Misr(16), Misr(16)
+        a.absorb(1)
+        a.absorb(2)
+        b.absorb(2)
+        b.absorb(1)
+        assert a.signature != b.signature
+
+    def test_absorb_bits_folds_wide_responses(self):
+        misr = Misr(8)
+        misr.absorb_bits([1] * 20)  # wider than the register
+        assert 0 <= misr.signature < 256
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(SimulationError):
+            Misr(1)
+
+    def test_single_bit_error_detected(self):
+        """A one-bit flip in a long stream must change the signature."""
+        stream = [[(i * 7 + j) % 2 for j in range(8)] for i in range(50)]
+        a = Misr(24)
+        for word in stream:
+            a.absorb_bits(word)
+        corrupted = [list(w) for w in stream]
+        corrupted[25][3] ^= 1
+        b = Misr(24)
+        for word in corrupted:
+            b.absorb_bits(word)
+        assert a.signature != b.signature
+
+
+class TestResponseSignature:
+    def test_helper_matches_manual(self):
+        responses = [{"x": 1, "y": 0}, {"x": 0, "y": 1}]
+        sig = response_signature(responses, ["x", "y"], width=16)
+        manual = Misr(16)
+        manual.absorb_bits([1, 0])
+        manual.absorb_bits([0, 1])
+        assert sig == manual.signature
+
+    def test_missing_nets_default_zero(self):
+        sig_a = response_signature([{"x": 0}], ["x", "ghost"], width=8)
+        sig_b = response_signature([{"x": 0, "ghost": 0}], ["x", "ghost"], width=8)
+        assert sig_a == sig_b

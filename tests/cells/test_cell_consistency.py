@@ -1,0 +1,112 @@
+"""Library-wide consistency checks across every cell.
+
+These invariants keep the area / timing / power accounting coherent no
+matter how the library evolves: every evaluable cell's name must agree
+with its function and pin count, drives must order correctly, and the
+electrical derivations must stay physical.
+"""
+
+import itertools
+import re
+
+import pytest
+
+from repro import units
+from repro.cells import default_library
+from repro.netlist import evaluate_gate
+from repro.netlist.gate import COMBINATIONAL_FUNCS
+
+_NAME_RE = re.compile(r"^([A-Z_]+?)(\d*)(?:_X([\d.]+))?$")
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return list(default_library())
+
+
+def test_every_cell_has_positive_area(cells):
+    for cell in cells:
+        assert cell.area > 0.0, cell.name
+        assert cell.total_width > 0.0, cell.name
+
+
+def test_every_cell_has_finite_drive(cells):
+    for cell in cells:
+        assert cell.drive_resistance > 0.0, cell.name
+        assert cell.output_cap >= 0.0, cell.name
+
+
+def test_functional_cells_match_arity(cells):
+    arity_of = {"NOT": 1, "BUF": 1, "DFF": None, "MUX2": 3,
+                "AOI21": 3, "AOI22": 4, "OAI21": 3, "OAI22": 4}
+    for cell in cells:
+        if cell.func is None:
+            continue
+        match = _NAME_RE.match(cell.name)
+        assert match, cell.name
+        base, digits, _ = match.groups()
+        if cell.func in arity_of and arity_of[cell.func] is not None:
+            assert cell.n_inputs == arity_of[cell.func], cell.name
+        elif digits:
+            expected = int(digits)
+            if cell.func in ("DFF",):
+                continue
+            assert cell.n_inputs == expected, cell.name
+
+
+def test_functional_cells_evaluate(cells):
+    """Every combinational cell's func runs over all input combos."""
+    for cell in cells:
+        if cell.func is None or cell.func == "DFF":
+            continue
+        assert cell.func in COMBINATIONAL_FUNCS, cell.name
+        for bits in itertools.product((0, 1), repeat=cell.n_inputs):
+            out = evaluate_gate(cell.func, bits, 1)
+            assert out in (0, 1), cell.name
+
+
+def test_higher_drive_means_lower_resistance(cells):
+    by_family = {}
+    for cell in cells:
+        match = _NAME_RE.match(cell.name)
+        if not match or not match.group(3):
+            continue
+        family = f"{match.group(1)}{match.group(2)}"
+        by_family.setdefault(family, []).append(
+            (float(match.group(3)), cell)
+        )
+    checked = 0
+    for family, variants in by_family.items():
+        variants.sort()
+        for (d1, c1), (d2, c2) in zip(variants, variants[1:]):
+            assert c2.drive_resistance < c1.drive_resistance, family
+            assert c2.area > c1.area, family
+            checked += 1
+    assert checked > 10  # the library really has drive families
+
+
+def test_leakage_scales_with_width(cells):
+    for cell in cells:
+        expected_order = cell.total_width * units.ILEAK_PER_WIDTH
+        # hvt devices reduce it; never exceed the svt bound.
+        assert cell.leakage_power <= 0.5 * expected_order * 1.01, cell.name
+
+
+def test_sequential_flags_consistent(cells):
+    for cell in cells:
+        if cell.clock_cap > 0.0:
+            assert cell.seq, cell.name
+
+
+def test_switch_energy_monotone_in_load(cells):
+    for cell in cells:
+        lo = cell.switch_energy(1 * units.FF)
+        hi = cell.switch_energy(10 * units.FF)
+        assert hi > lo, cell.name
+
+
+def test_delay_positive_and_monotone(cells):
+    for cell in cells:
+        d1 = cell.delay(1 * units.FF)
+        d2 = cell.delay(5 * units.FF)
+        assert 0.0 < d1 < d2, cell.name

@@ -1,0 +1,51 @@
+"""Tests for technology scaling."""
+
+import pytest
+
+from repro import units
+from repro.cells import (
+    default_library,
+    make_inverter,
+    scale_cell,
+    scale_library,
+    to_250nm,
+)
+
+
+def test_scale_cell_area_quadratic():
+    inv = make_inverter()
+    scaled = scale_cell(inv, 0.5)
+    assert scaled.area == pytest.approx(inv.area * 0.25)
+
+
+def test_scale_preserves_relative_drive():
+    inv1 = scale_cell(make_inverter(1.0), 0.5)
+    inv2 = scale_cell(make_inverter(2.0), 0.5)
+    assert inv2.drive_resistance == pytest.approx(inv1.drive_resistance / 2)
+
+
+def test_to_250nm_blows_up_areas():
+    lib70 = default_library()
+    lib250 = to_250nm(lib70)
+    ratio = (1.0 / units.SCALE_250_TO_70) ** 2
+    for cell in lib70:
+        assert lib250.cell(cell.name).area == pytest.approx(
+            cell.area * ratio, rel=1e-6
+        )
+
+
+def test_relative_overheads_invariant_under_shrink():
+    """The paper's comparisons survive the 0.25um -> 70nm shrink."""
+    lib70 = default_library()
+    lib250 = to_250nm(lib70)
+    latch70 = lib70.cell("HOLD_LATCH_X2").area
+    keeper70 = lib70.cell("FLH_KEEPER").area
+    latch250 = lib250.cell("HOLD_LATCH_X2").area
+    keeper250 = lib250.cell("FLH_KEEPER").area
+    assert keeper70 / latch70 == pytest.approx(keeper250 / latch250)
+
+
+def test_scale_library_renames():
+    lib = scale_library(default_library(), 0.5, "half")
+    assert lib.name == "half"
+    assert len(lib) == len(default_library())

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Expensive products (generated circuits, mapped netlists, DFT designs)
+are session-scoped; tests that mutate netlists must take fresh copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_circuit, s27
+from repro.cells import default_library
+from repro.dft import build_all_styles, insert_scan
+from repro.synth import map_netlist
+
+
+@pytest.fixture
+def s27_netlist():
+    """Fresh copy of the real s27 (safe to mutate)."""
+    return s27()
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The shared 70 nm LEDA-like library."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def s298_netlist():
+    """Reconstructed s298 (do not mutate: session-scoped)."""
+    return load_circuit("s298")
+
+
+@pytest.fixture(scope="session")
+def s344_netlist():
+    """Reconstructed s344 (do not mutate: session-scoped)."""
+    return load_circuit("s344")
+
+
+@pytest.fixture(scope="session")
+def s27_mapped():
+    """Mapped s27 (do not mutate)."""
+    return map_netlist(s27())
+
+
+@pytest.fixture(scope="session")
+def s298_mapped(s298_netlist):
+    """Mapped s298 (do not mutate)."""
+    return map_netlist(s298_netlist)
+
+
+@pytest.fixture(scope="session")
+def s27_designs():
+    """All four DFT styles of s27 (do not mutate)."""
+    return build_all_styles(s27())
+
+
+@pytest.fixture(scope="session")
+def s298_designs(s298_netlist):
+    """All four DFT styles of s298 (do not mutate)."""
+    return build_all_styles(s298_netlist)
+
+
+@pytest.fixture(scope="session")
+def s27_scan(s27_mapped):
+    """Plain scan design of s27 (do not mutate)."""
+    return insert_scan(s27_mapped)

@@ -1,0 +1,102 @@
+"""Tests for the Section V fanout optimization."""
+
+import pytest
+
+from repro.bench import load_circuit
+from repro.dft import insert_scan, optimize_fanout
+from repro.errors import DftError
+from repro.netlist import first_level_gates, validate
+from repro.power import LogicSimulator
+from repro.synth import map_netlist
+from repro.timing import critical_delay
+
+
+@pytest.fixture(scope="module")
+def s838_result():
+    """s838 is the paper's high-fanout example; optimize it once."""
+    scan = insert_scan(map_netlist(load_circuit("s838")))
+    return scan, optimize_fanout(scan, n_vectors=30)
+
+
+class TestOptimizeFanout:
+    def test_first_level_gates_reduced(self, s838_result):
+        _, result = s838_result
+        assert result.first_level_after < result.first_level_before
+
+    def test_area_overhead_improves(self, s838_result):
+        _, result = s838_result
+        assert result.area_overhead_after_pct < result.area_overhead_before_pct
+        assert result.area_improvement_pct > 0.0
+
+    def test_delay_constraint_respected(self, s838_result):
+        scan, result = s838_result
+        before = critical_delay(scan.netlist, scan.library)
+        after = critical_delay(
+            result.optimized.netlist, result.optimized.library
+        )
+        assert after <= before * 1.001 + 1e-15
+
+    def test_optimized_netlist_valid(self, s838_result):
+        _, result = s838_result
+        validate(result.optimized.netlist)
+
+    def test_logic_function_preserved(self, s838_result):
+        import random
+
+        scan, result = s838_result
+        rng = random.Random(3)
+        nets = list(scan.netlist.inputs) + list(scan.netlist.state_inputs)
+        sim_a = LogicSimulator(scan.netlist)
+        sim_b = LogicSimulator(result.optimized.netlist)
+        for _ in range(10):
+            vec = {net: rng.randint(0, 1) for net in nets}
+            va, vb = dict(vec), dict(vec)
+            sim_a.eval_combinational(va, 1)
+            sim_b.eval_combinational(vb, 1)
+            for out in scan.netlist.outputs:
+                assert va[out] == vb[out]
+            for a, b in zip(
+                scan.netlist.state_outputs,
+                result.optimized.netlist.state_outputs,
+            ):
+                assert va[a] == vb[b]
+
+    def test_comb_power_comparable(self, s838_result):
+        _, result = s838_result
+        # Paper: "The power in normal mode remains comparable."
+        assert result.comb_power_after == pytest.approx(
+            result.comb_power_before, rel=0.25
+        )
+
+    def test_row_keys(self, s838_result):
+        _, result = s838_result
+        row = result.as_row()
+        for key in ("circuit", "FF", "fanout_before", "fanout_after",
+                    "area_ovh_before_%", "area_ovh_after_%", "improv_%"):
+            assert key in row
+
+    def test_counts_consistent(self, s838_result):
+        scan, result = s838_result
+        assert result.n_ffs == scan.n_scan_cells
+        assert result.first_level_after == len(
+            first_level_gates(result.optimized.netlist)
+        )
+        assert result.ffs_optimized > 0
+        assert result.buffers_added >= result.ffs_optimized
+
+
+class TestGuards:
+    def test_requires_plain_scan(self, s27_designs):
+        with pytest.raises(DftError):
+            optimize_fanout(s27_designs["flh"])
+
+    def test_max_candidates_bounds_work(self):
+        scan = insert_scan(map_netlist(load_circuit("s298")))
+        limited = optimize_fanout(scan, n_vectors=20, max_candidates=2)
+        assert limited.ffs_optimized <= 2
+
+    def test_low_fanout_circuit_noop(self, s27_scan):
+        # s27 flip-flops each drive a single unique first-level gate.
+        result = optimize_fanout(s27_scan, n_vectors=20)
+        assert result.ffs_optimized == 0
+        assert result.first_level_after == result.first_level_before

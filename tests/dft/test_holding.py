@@ -1,0 +1,76 @@
+"""Tests for the enhanced-scan and MUX-hold transforms."""
+
+import pytest
+
+from repro.dft import insert_enhanced_scan, insert_mux_hold
+from repro.errors import DftError
+from repro.netlist import first_level_gates, validate
+from repro.power import LogicSimulator
+
+
+class TestEnhancedScan:
+    def test_one_latch_per_ff(self, s27_designs):
+        design = s27_designs["enhanced"]
+        assert len(design.hold_elements) == 3
+        for name in design.hold_elements:
+            gate = design.netlist.gate(name)
+            assert gate.func == "BUF"
+            assert gate.cell.startswith("HOLD_LATCH")
+
+    def test_latch_in_stimulus_path(self, s27_designs):
+        design = s27_designs["enhanced"]
+        netlist = design.netlist
+        for ff, hold in zip(design.scan_chain, design.hold_elements):
+            # FF now drives only its latch; the latch drives the old sinks.
+            assert netlist.fanout(ff) == {hold}
+            assert netlist.gate(hold).fanin == (ff,)
+
+    def test_netlist_valid(self, s27_designs):
+        validate(s27_designs["enhanced"].netlist)
+
+    def test_style_supports_arbitrary(self, s27_designs):
+        assert s27_designs["enhanced"].supports_arbitrary_two_pattern
+
+    def test_logic_function_unchanged(self, s27_designs):
+        """The transparent latch must not alter steady-state values."""
+        import random
+
+        scan = s27_designs["scan"]
+        enh = s27_designs["enhanced"]
+        rng = random.Random(2)
+        nets = list(scan.netlist.inputs) + list(scan.netlist.state_inputs)
+        for _ in range(20):
+            vec = {net: rng.randint(0, 1) for net in nets}
+            va, vb = dict(vec), dict(vec)
+            LogicSimulator(scan.netlist).eval_combinational(va, 1)
+            LogicSimulator(enh.netlist).eval_combinational(vb, 1)
+            for out in scan.netlist.outputs:
+                assert va[out] == vb[out]
+            for a, b in zip(
+                scan.netlist.state_outputs, enh.netlist.state_outputs
+            ):
+                assert va[a] == vb[b]
+
+    def test_requires_plain_scan(self, s27_designs):
+        with pytest.raises(DftError):
+            insert_enhanced_scan(s27_designs["enhanced"])
+
+
+class TestMuxHold:
+    def test_one_mux_per_ff(self, s27_designs):
+        design = s27_designs["mux"]
+        assert len(design.hold_elements) == 3
+        for name in design.hold_elements:
+            assert design.netlist.gate(name).cell.startswith("MUX2")
+
+    def test_netlist_valid(self, s27_designs):
+        validate(s27_designs["mux"].netlist)
+
+    def test_requires_plain_scan(self, s27_designs):
+        with pytest.raises(DftError):
+            insert_mux_hold(s27_designs["mux"])
+
+    def test_first_level_gates_become_hold_elements(self, s27_designs):
+        design = s27_designs["mux"]
+        fl = first_level_gates(design.netlist)
+        assert set(fl) == set(design.hold_elements)

@@ -1,0 +1,119 @@
+"""Tests for partial enhanced scan and its ATPG constraint."""
+
+import pytest
+
+from repro.dft import (
+    insert_partial_enhanced,
+    rank_flip_flops,
+    total_area,
+)
+from repro.errors import DftError
+from repro.fault import (
+    STYLE_ARBITRARY,
+    STYLE_PARTIAL,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+)
+from repro.netlist import validate
+
+
+class TestTransform:
+    def test_half_of_ffs_held(self, s298_designs):
+        scan = s298_designs["scan"]
+        partial = insert_partial_enhanced(scan, fraction=0.5)
+        assert len(partial.held_flip_flops) == 7
+        assert len(partial.hold_elements) == 7
+        validate(partial.netlist)
+
+    def test_full_fraction_equals_enhanced(self, s298_designs):
+        scan = s298_designs["scan"]
+        partial = insert_partial_enhanced(scan, fraction=1.0)
+        assert set(partial.held_flip_flops) == set(scan.scan_chain)
+        assert partial.supports_arbitrary_two_pattern
+
+    def test_partial_does_not_support_arbitrary(self, s298_designs):
+        partial = insert_partial_enhanced(
+            s298_designs["scan"], fraction=0.5
+        )
+        assert not partial.supports_arbitrary_two_pattern
+
+    def test_explicit_held_list(self, s27_scan):
+        partial = insert_partial_enhanced(s27_scan, held=["G5"])
+        assert partial.held_flip_flops == ("G5",)
+        # Only G5's logic connection goes through a latch.
+        netlist = partial.netlist
+        assert netlist.fanout("G5") == {partial.hold_elements[0]}
+        assert "G6" not in {
+            netlist.gate(h).fanin[0] for h in partial.hold_elements
+        }
+
+    def test_unknown_ff_rejected(self, s27_scan):
+        with pytest.raises(DftError):
+            insert_partial_enhanced(s27_scan, held=["nope"])
+
+    def test_bad_fraction_rejected(self, s27_scan):
+        with pytest.raises(DftError):
+            insert_partial_enhanced(s27_scan, fraction=0.0)
+
+    def test_requires_plain_scan(self, s27_designs):
+        with pytest.raises(DftError):
+            insert_partial_enhanced(s27_designs["flh"])
+
+    def test_area_grows_with_fraction(self, s298_designs):
+        scan = s298_designs["scan"]
+        areas = [
+            total_area(insert_partial_enhanced(scan, fraction=f))
+            for f in (0.25, 0.5, 1.0)
+        ]
+        assert areas == sorted(areas)
+        assert areas[0] > total_area(scan)
+
+    def test_ranking_prefers_influence(self, s298_designs):
+        scan = s298_designs["scan"]
+        ranked = rank_flip_flops(scan)
+        assert sorted(ranked) == sorted(scan.scan_chain)
+        from repro.netlist import fanout_cone
+
+        cones = [len(fanout_cone(scan.netlist, [ff])) for ff in ranked]
+        assert cones == sorted(cones, reverse=True)
+
+
+class TestPartialAtpg:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.bench import load_circuit
+
+        netlist = load_circuit("s298")
+        faults = collapse_transition(
+            netlist, all_transition_faults(netlist)
+        )
+        return netlist, faults
+
+    def test_partial_pairs_respect_constraint(self, setup):
+        netlist, _ = setup
+        held = set(list(netlist.state_inputs)[:5])
+        engine = TransitionAtpg(netlist, held_state=held, seed=4)
+        for pair in engine.random_pairs(STYLE_PARTIAL, 10):
+            for ff in netlist.state_inputs:
+                if ff not in held:
+                    assert pair.v1[ff] == pair.v2[ff]
+
+    def test_coverage_monotone_in_held_fraction(self, setup):
+        netlist, faults = setup
+        state = list(netlist.state_inputs)
+        coverages = []
+        for count in (3, 7, len(state)):
+            engine = TransitionAtpg(
+                netlist, held_state=state[:count], seed=4
+            )
+            result = engine.generate(
+                faults, style=STYLE_PARTIAL, n_random_pairs=32
+            )
+            coverages.append(result.coverage)
+        assert coverages[0] <= coverages[-1] + 0.02
+        # Fully held partial == arbitrary capability band.
+        arbitrary = TransitionAtpg(netlist, seed=4).generate(
+            faults, style=STYLE_ARBITRARY, n_random_pairs=32
+        )
+        assert coverages[-1] <= arbitrary.coverage + 0.05

@@ -1,0 +1,58 @@
+"""Tests for full-scan insertion."""
+
+import pytest
+
+from repro.errors import DftError
+from repro.dft import insert_scan
+from repro.netlist import Netlist, validate
+from repro.synth import map_netlist
+
+
+class TestInsertScan:
+    def test_sdff_cells_bound(self, s27_scan):
+        for ff in s27_scan.netlist.dffs():
+            assert ff.cell == "SDFF_X1"
+
+    def test_chain_covers_all_ffs(self, s27_scan):
+        assert sorted(s27_scan.scan_chain) == ["G5", "G6", "G7"]
+
+    def test_style(self, s27_scan):
+        assert s27_scan.style == "scan"
+        assert not s27_scan.supports_arbitrary_two_pattern
+
+    def test_original_not_mutated(self, s27_mapped):
+        insert_scan(s27_mapped)
+        assert all(ff.cell == "DFF_X1" for ff in s27_mapped.dffs())
+
+    def test_netlist_still_valid(self, s27_scan):
+        validate(s27_scan.netlist)
+
+    def test_combinational_untouched(self, s27_mapped, s27_scan):
+        for gate in s27_mapped.combinational_gates():
+            assert s27_scan.netlist.gate(gate.name).fanin == gate.fanin
+
+    def test_explicit_chain_order(self, s27_mapped):
+        design = insert_scan(s27_mapped, chain_order=["G7", "G5", "G6"])
+        assert design.scan_chain == ("G7", "G5", "G6")
+
+    def test_bad_chain_order_rejected(self, s27_mapped):
+        with pytest.raises(DftError):
+            insert_scan(s27_mapped, chain_order=["G5", "G6"])
+
+    def test_no_ffs_rejected(self, library):
+        n = Netlist("comb")
+        n.add_input("a")
+        n.add("g", "NOT", ("a",))
+        n.add_output("g")
+        mapped = map_netlist(n, library)
+        with pytest.raises(DftError):
+            insert_scan(mapped, library)
+
+    def test_unmapped_rejected(self, s27_netlist, library):
+        with pytest.raises(DftError):
+            insert_scan(s27_netlist, library)
+
+    def test_describe(self, s27_scan):
+        text = s27_scan.describe()
+        assert "3 scan cells" in text
+        assert "scan" in text

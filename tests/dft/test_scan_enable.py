@@ -1,0 +1,74 @@
+"""Tests for the scan-enable distribution cost model."""
+
+import pytest
+
+from repro.dft import (
+    area_breakdown,
+    build_scan_enable_tree,
+    scan_enable_cost_comparison,
+    total_area,
+)
+from repro.errors import DftError
+
+
+class TestTree:
+    def test_covers_all_sinks(self, s298_designs):
+        tree = build_scan_enable_tree(s298_designs["scan"])
+        assert tree.n_sinks == 14
+        assert tree.levels >= 1
+        assert tree.n_buffers >= 1
+        assert tree.area > 0.0
+
+    def test_slow_budget_met_with_small_buffers(self, s298_designs):
+        tree = build_scan_enable_tree(s298_designs["scan"])
+        assert tree.meets_budget
+        assert tree.buffer_drive <= 2.0
+
+    def test_tight_budget_needs_bigger_buffers(self, s298_designs):
+        from repro.timing import analyze
+
+        scan = s298_designs["scan"]
+        clock = analyze(scan.netlist, scan.library).critical_delay
+        slow = build_scan_enable_tree(scan, budget=16 * clock)
+        fast = build_scan_enable_tree(scan, budget=1 * clock)
+        assert fast.buffer_drive >= slow.buffer_drive
+        assert fast.area >= slow.area
+
+    def test_comparison_quantifies_paper_claim(self, s298_designs):
+        result = scan_enable_cost_comparison(s298_designs["scan"])
+        assert result["area_ratio"] >= 1.0
+        assert result["fast"].n_sinks == result["slow"].n_sinks
+
+    def test_bigger_circuit_bigger_tree(self, s298_designs):
+        from repro.experiments.common import styled_designs
+
+        small = build_scan_enable_tree(s298_designs["scan"])
+        big = build_scan_enable_tree(styled_designs("s5378")["scan"])
+        assert big.n_buffers > small.n_buffers
+        assert big.levels >= small.levels
+
+
+class TestAreaBreakdown:
+    def test_sums_to_total(self, s298_designs):
+        for style, design in s298_designs.items():
+            breakdown = area_breakdown(design)
+            assert sum(breakdown.values()) == pytest.approx(
+                total_area(design)
+            ), style
+
+    def test_scan_has_no_dft_extras(self, s298_designs):
+        breakdown = area_breakdown(s298_designs["scan"])
+        assert breakdown["holding"] == 0.0
+        assert breakdown["gating"] == 0.0
+        assert breakdown["keeper"] == 0.0
+
+    def test_enhanced_holding_share(self, s298_designs):
+        breakdown = area_breakdown(s298_designs["enhanced"])
+        assert breakdown["holding"] > 0.0
+        assert breakdown["gating"] == 0.0
+
+    def test_flh_gating_and_keeper_shares(self, s298_designs):
+        breakdown = area_breakdown(s298_designs["flh"])
+        assert breakdown["gating"] > 0.0
+        assert breakdown["keeper"] > 0.0
+        assert breakdown["holding"] == 0.0

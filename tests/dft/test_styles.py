@@ -1,0 +1,44 @@
+"""Tests for the DftDesign data model."""
+
+import pytest
+
+from repro.dft import DftDesign, FlhGating
+from repro.dft.styles import ARBITRARY_TWO_PATTERN_STYLES, STYLES
+
+
+def test_style_universe():
+    assert set(ARBITRARY_TWO_PATTERN_STYLES) <= set(STYLES)
+    assert "scan" in STYLES and "flh" in STYLES
+
+
+def test_unknown_style_rejected(s27_mapped):
+    with pytest.raises(ValueError):
+        DftDesign(netlist=s27_mapped, style="bogus")
+
+
+@pytest.mark.parametrize("style,expected", [
+    ("scan", False), ("enhanced", True), ("mux", True), ("flh", True),
+])
+def test_arbitrary_capability(s27_designs, style, expected):
+    assert s27_designs[style].supports_arbitrary_two_pattern is expected
+
+
+def test_name_delegates_to_netlist(s27_designs):
+    assert s27_designs["scan"].name == "s27"
+
+
+def test_n_scan_cells(s27_designs):
+    assert s27_designs["scan"].n_scan_cells == 3
+
+
+def test_flh_gating_record():
+    record = FlhGating("g1", 2.0, critical=False)
+    assert record.gate == "g1"
+    assert record.width_factor == 2.0
+    assert not record.critical
+
+
+def test_describe_styles(s27_designs):
+    assert "[scan]" in s27_designs["scan"].describe()
+    assert "holding elements" in s27_designs["enhanced"].describe()
+    assert "gated first-level" in s27_designs["flh"].describe()

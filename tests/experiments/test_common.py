@@ -1,0 +1,55 @@
+"""Tests for the shared experiment plumbing."""
+
+from repro.bench import TABLE13_CIRCUITS, TABLE4_CIRCUITS
+from repro.dft import FlhConfig
+from repro.experiments.common import (
+    circuit,
+    clear_caches,
+    default_circuits,
+    structural_row,
+    styled_designs,
+)
+
+
+def test_circuit_cached():
+    clear_caches()
+    a = circuit("s298")
+    b = circuit("s298")
+    assert a is b
+
+
+def test_styled_designs_cached():
+    clear_caches()
+    a = styled_designs("s298")
+    b = styled_designs("s298")
+    assert a is b
+    assert set(a) == {"scan", "enhanced", "mux", "flh"}
+
+
+def test_custom_flh_config_not_cached():
+    a = styled_designs("s298")
+    b = styled_designs("s298", FlhConfig(width_factors=(3.0,)))
+    assert b is not a
+    assert all(
+        g.width_factor == 3.0 for g in b["flh"].flh_gating.values()
+    )
+
+
+def test_clear_caches():
+    a = styled_designs("s298")
+    clear_caches()
+    b = styled_designs("s298")
+    assert a is not b
+
+
+def test_default_circuits():
+    assert tuple(default_circuits(1)) == TABLE13_CIRCUITS
+    assert tuple(default_circuits(3)) == TABLE13_CIRCUITS
+    assert tuple(default_circuits(4)) == TABLE4_CIRCUITS
+
+
+def test_structural_row():
+    row = structural_row("s298")
+    assert row["circuit"] == "s298"
+    assert row["FF"] == 14
+    assert row["unique_fanouts"] <= row["total_fanouts"]

@@ -1,0 +1,34 @@
+"""Determinism of the experiment pipeline.
+
+Every number in EXPERIMENTS.md must be exactly reproducible: repeated
+runs (including across fresh caches) must produce identical rows.
+"""
+
+from repro.experiments import table1_area, table2_delay, table3_power
+from repro.experiments.common import clear_caches
+
+
+def test_table1_rows_stable_across_cache_reset():
+    first = table1_area.run(circuits=("s298",)).rows
+    clear_caches()
+    second = table1_area.run(circuits=("s298",)).rows
+    assert first == second
+
+
+def test_table2_rows_stable():
+    a = table2_delay.run(circuits=("s344",)).rows
+    b = table2_delay.run(circuits=("s344",)).rows
+    assert a == b
+
+
+def test_table3_rows_stable():
+    a = table3_power.run(circuits=("s298",), n_vectors=30).rows
+    b = table3_power.run(circuits=("s298",), n_vectors=30).rows
+    assert a == b
+
+
+def test_render_stable():
+    a = table1_area.run(circuits=("s298",)).render()
+    clear_caches()
+    b = table1_area.run(circuits=("s298",)).render()
+    assert a == b

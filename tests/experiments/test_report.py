@@ -1,0 +1,44 @@
+"""Tests for the text table renderer."""
+
+from repro.experiments import format_table, summary_line
+
+
+def test_format_basic():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+    text = format_table(rows, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "22" in text
+
+
+def test_format_aligns_columns():
+    rows = [{"col": "short"}, {"col": "a-much-longer-value"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines[2]) >= len("a-much-longer-value")
+
+
+def test_format_empty():
+    assert "(no rows)" in format_table([], title="empty")
+
+
+def test_format_floats_rounded():
+    text = format_table([{"x": 3.14159}])
+    assert "3.14" in text
+    assert "3.14159" not in text
+
+
+def test_format_none_rendered_as_dash():
+    assert "-" in format_table([{"x": None}])
+
+
+def test_explicit_columns_subset():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_summary_line():
+    assert summary_line("avg", [1.0, 2.0, 3.0]) == "avg: 2.0"
+    assert summary_line("avg", []) == "avg: n/a"

@@ -1,0 +1,73 @@
+"""Tests for fault collapsing."""
+
+from repro.fault import (
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+    all_transition_faults,
+    collapse_stuck,
+    collapse_transition,
+)
+from repro.netlist import Netlist
+
+
+def inverter_chain():
+    n = Netlist("chain")
+    n.add_input("a")
+    n.add("g1", "NOT", ("a",))
+    n.add("g2", "NOT", ("g1",))
+    n.add("g3", "BUF", ("g2",))
+    n.add_output("g3")
+    return n
+
+
+class TestCollapseStuck:
+    def test_chain_collapses_to_stem(self):
+        n = inverter_chain()
+        collapsed = collapse_stuck(n, all_stuck_faults(n))
+        # Everything folds onto g3's two faults.
+        assert set(collapsed) == {StuckFault("g3", 0), StuckFault("g3", 1)}
+
+    def test_polarity_flips_through_inverter(self):
+        n = inverter_chain()
+        collapsed = collapse_stuck(n, [StuckFault("a", 0)])
+        # a/sa0 -> g1/sa1 -> g2/sa0 -> g3/sa0.
+        assert collapsed == [StuckFault("g3", 0)]
+
+    def test_multi_fanout_blocks_collapse(self):
+        n = Netlist("fan")
+        n.add_input("a")
+        n.add("g1", "NOT", ("a",))
+        n.add("g2", "NOT", ("g1",))
+        n.add("g3", "NAND", ("g1", "a"))
+        n.add_output("g2")
+        n.add_output("g3")
+        collapsed = collapse_stuck(n, [StuckFault("g1", 0)])
+        assert collapsed == [StuckFault("g1", 0)]
+
+    def test_s27_collapse_shrinks(self, s27_netlist):
+        full = all_stuck_faults(s27_netlist)
+        collapsed = collapse_stuck(s27_netlist, full)
+        assert len(collapsed) < len(full)
+        assert len(set(collapsed)) == len(collapsed)
+
+    def test_idempotent(self, s27_netlist):
+        once = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        twice = collapse_stuck(s27_netlist, once)
+        assert once == twice
+
+
+class TestCollapseTransition:
+    def test_direction_flips_through_inverter(self):
+        n = inverter_chain()
+        collapsed = collapse_transition(
+            n, [TransitionFault("a", "rise")]
+        )
+        # slow-to-rise at a == initial 0 == sa0 path == g3 sa0 == rise.
+        assert collapsed == [TransitionFault("g3", "rise")]
+
+    def test_s27_counts(self, s27_netlist):
+        full = all_transition_faults(s27_netlist)
+        collapsed = collapse_transition(s27_netlist, full)
+        stuck = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        assert len(collapsed) == len(stuck)

@@ -1,0 +1,132 @@
+"""Tests for two-pattern test-set compaction."""
+
+import pytest
+
+from repro.fault import (
+    FaultSimulator,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+    compact_two_pattern_tests,
+)
+
+
+@pytest.fixture(scope="module")
+def atpg_setup():
+    from repro.bench import load_circuit
+
+    netlist = load_circuit("s298")
+    faults = collapse_transition(netlist, all_transition_faults(netlist))
+    result = TransitionAtpg(netlist, seed=3).generate(
+        faults, n_random_pairs=48
+    )
+    return netlist, faults, result
+
+
+class TestCompaction:
+    def test_coverage_preserved(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        sim = FaultSimulator(netlist)
+        before = sim.simulate_transition(
+            faults, [(t.v1, t.v2) for t in result.tests]
+        )
+        after = sim.simulate_transition(
+            faults, [(t.v1, t.v2) for t in compacted.kept]
+        )
+        assert after.coverage == pytest.approx(before.coverage)
+
+    def test_set_shrinks(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        assert len(compacted.kept) < len(result.tests)
+        assert 0.0 < compacted.ratio < 1.0
+
+    def test_every_kept_test_is_original(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        originals = {id(t) for t in result.tests}
+        assert all(id(t) in originals for t in compacted.kept)
+
+    def test_order_preserved(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        positions = [result.tests.index(t) for t in compacted.kept]
+        assert positions == sorted(positions)
+
+    def test_idempotent(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        once = compact_two_pattern_tests(netlist, faults, result.tests)
+        twice = compact_two_pattern_tests(netlist, faults, list(once.kept))
+        assert len(twice.kept) == len(once.kept)
+
+    def test_empty_set(self, atpg_setup):
+        netlist, faults, _ = atpg_setup
+        result = compact_two_pattern_tests(netlist, faults, [])
+        assert result.kept == ()
+        assert result.ratio == 1.0
+
+    def test_merge_test_cubes(self):
+        from repro.fault import merge_test_cubes
+
+        cubes = [
+            {"a": 1, "b": 0},
+            {"a": 1, "c": 1},      # compatible with the first
+            {"b": 1},              # conflicts with merged {a1,b0,c1}
+            {"b": 1, "c": 0},      # compatible with the third
+        ]
+        merged = merge_test_cubes(cubes)
+        assert len(merged) == 2
+        assert merged[0] == {"a": 1, "b": 0, "c": 1}
+        assert merged[1] == {"b": 1, "c": 0}
+
+    def test_merge_preserves_stuck_coverage(self, atpg_setup):
+        """Filled merged cubes must still detect every targeted fault."""
+        from repro.fault import (
+            FaultSimulator,
+            all_stuck_faults,
+            collapse_stuck,
+            fill_cube,
+            generate_tests,
+            merge_test_cubes,
+        )
+
+        netlist, _, _ = atpg_setup
+        stuck = collapse_stuck(netlist, all_stuck_faults(netlist))
+        results = [
+            r for r in generate_tests(netlist, stuck, backtrack_limit=20)
+            if r.detected
+        ]
+        cubes = [r.cube for r in results]
+        merged = merge_test_cubes(cubes)
+        assert len(merged) < len(cubes)
+        inputs = list(netlist.core_inputs)
+        patterns = [fill_cube(c, inputs) for c in merged]
+        sim = FaultSimulator(netlist)
+        check = sim.simulate_stuck([r.fault for r in results], patterns)
+        assert check.coverage == 1.0
+
+    def test_fill_cube(self):
+        from repro.fault import fill_cube
+
+        assert fill_cube({"a": 1}, ["a", "b"], fill=0) == {"a": 1, "b": 0}
+        assert fill_cube({}, ["x"], fill=1) == {"x": 1}
+
+    def test_detected_fault_count(self, atpg_setup):
+        netlist, faults, result = atpg_setup
+        compacted = compact_two_pattern_tests(
+            netlist, faults, result.tests
+        )
+        sim = FaultSimulator(netlist)
+        check = sim.simulate_transition(
+            faults, [(t.v1, t.v2) for t in result.tests]
+        )
+        assert compacted.detected_faults == len(check.detected_faults)

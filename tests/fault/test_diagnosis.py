@@ -1,0 +1,94 @@
+"""Tests for effect-cause stuck-at diagnosis."""
+
+import random
+
+import pytest
+
+from repro.fault import (
+    Candidate,
+    StuckFault,
+    all_stuck_faults,
+    collapse_stuck,
+    diagnose,
+    diagnose_defect,
+    simulate_tester,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.bench import s27
+
+    netlist = s27()
+    rng = random.Random(9)
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    patterns = [
+        {net: rng.randint(0, 1) for net in nets} for _ in range(32)
+    ]
+    candidates = collapse_stuck(netlist, all_stuck_faults(netlist))
+    return netlist, patterns, candidates
+
+
+class TestSimulateTester:
+    def test_good_die_shows_no_failures(self, setup):
+        netlist, patterns, _ = setup
+        # A fault that is never excited produces an empty signature:
+        # use an unexcitable case by simulating and picking none... use
+        # the real thing: signature of a fault equals fsim detection.
+        from repro.fault import FaultSimulator
+
+        fault = StuckFault("G11", 0)
+        sim = FaultSimulator(netlist)
+        good, mask = sim.good_values(patterns)
+        assert simulate_tester(netlist, fault, patterns) == (
+            sim.detect_stuck(fault, good, mask)
+        )
+
+
+class TestDiagnose:
+    @pytest.mark.parametrize("net,value", [
+        ("G11", 0), ("G9", 1), ("G15", 0), ("G8", 1),
+    ])
+    def test_injected_fault_ranks_first_class(self, setup, net, value):
+        netlist, patterns, candidates = setup
+        actual = StuckFault(net, value)
+        ranked, rank = diagnose_defect(
+            netlist, patterns, actual, candidates, top=5
+        )
+        # The true fault (or an equivalent with identical signature)
+        # must rank at the top.
+        assert ranked[0].perfect
+        assert ranked[0].score == pytest.approx(1.0)
+        top_signature = simulate_tester(netlist, ranked[0].fault, patterns)
+        actual_signature = simulate_tester(netlist, actual, patterns)
+        assert top_signature == actual_signature
+
+    def test_scores_bounded(self, setup):
+        netlist, patterns, candidates = setup
+        observed = simulate_tester(netlist, StuckFault("G11", 0), patterns)
+        ranked = diagnose(netlist, patterns, observed, candidates, top=50)
+        for c in ranked:
+            assert -1.0 <= c.score <= 1.0
+
+    def test_ranking_is_sorted(self, setup):
+        netlist, patterns, candidates = setup
+        observed = simulate_tester(netlist, StuckFault("G9", 1), patterns)
+        ranked = diagnose(netlist, patterns, observed, candidates, top=20)
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_failures_all_quiet(self, setup):
+        netlist, patterns, candidates = setup
+        ranked = diagnose(netlist, patterns, 0, candidates, top=5)
+        # With nothing failing, no candidate can have matches.
+        assert all(c.matched == 0 for c in ranked)
+
+    def test_candidate_properties(self):
+        c = Candidate(StuckFault("x", 0), matched=4, mispredicted=0,
+                      unexplained=0)
+        assert c.perfect
+        assert c.score == 1.0
+        d = Candidate(StuckFault("x", 0), matched=2, mispredicted=2,
+                      unexplained=0)
+        assert not d.perfect
+        assert d.score < c.score

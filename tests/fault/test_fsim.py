@@ -1,0 +1,153 @@
+"""Tests for bit-parallel fault simulation."""
+
+import random
+
+import pytest
+
+from repro.fault import (
+    FaultSimulator,
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+    collapse_stuck,
+    random_pattern_coverage,
+)
+from repro.netlist import Netlist
+
+
+@pytest.fixture
+def and_netlist():
+    n = Netlist("and2")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("y", "AND", ("a", "b"))
+    n.add_output("y")
+    return n
+
+
+class TestStuckDetection:
+    def test_and_gate_truth(self, and_netlist):
+        sim = FaultSimulator(and_netlist)
+        patterns = [
+            {"a": 1, "b": 1},  # detects y/sa0
+            {"a": 0, "b": 1},  # detects y/sa1 (and a/sa1)
+        ]
+        result = sim.simulate_stuck(
+            [StuckFault("y", 0), StuckFault("y", 1), StuckFault("a", 1)],
+            patterns,
+        )
+        assert result.detected[StuckFault("y", 0)] == 0b01
+        assert result.detected[StuckFault("y", 1)] == 0b10
+        assert result.detected[StuckFault("a", 1)] == 0b10
+
+    def test_unexcited_fault_not_detected(self, and_netlist):
+        sim = FaultSimulator(and_netlist)
+        result = sim.simulate_stuck(
+            [StuckFault("y", 1)], [{"a": 1, "b": 1}]
+        )
+        assert result.detected[StuckFault("y", 1)] == 0
+
+    def test_state_outputs_observable(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        # G13 feeds only DFF G7 -- detectable only via the state output.
+        fault = StuckFault("G13", 0)
+        patterns = [
+            {"G0": 0, "G1": 0, "G2": 0, "G3": 0, "G5": 0, "G6": 0, "G7": 0}
+        ]
+        result = sim.simulate_stuck([fault], patterns)
+        # G13 = NOR(G2=0, G12=NOR(G1=0,G7=0)=1) = 0 -> not excited; flip G1.
+        patterns = [
+            {"G0": 0, "G1": 1, "G2": 0, "G3": 0, "G5": 0, "G6": 0, "G7": 0}
+        ]
+        result = sim.simulate_stuck([fault], patterns)
+        assert result.detected[fault] == 1
+
+    def test_coverage_metric(self, and_netlist):
+        sim = FaultSimulator(and_netlist)
+        faults = [StuckFault("y", 0), StuckFault("y", 1)]
+        result = sim.simulate_stuck(faults, [{"a": 1, "b": 1}])
+        assert result.coverage == 0.5
+        assert result.detected_faults == [StuckFault("y", 0)]
+
+    def test_exhaustive_matches_bruteforce(self, s27_netlist):
+        """Parallel fault sim must agree with naive per-pattern resim."""
+        from repro.power import LogicSimulator
+
+        rng = random.Random(17)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        patterns = [
+            {net: rng.randint(0, 1) for net in nets} for _ in range(8)
+        ]
+        faults = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        sim = FaultSimulator(s27_netlist)
+        result = sim.simulate_stuck(faults, patterns)
+
+        def naive(fault, pattern):
+            good = dict(pattern)
+            LogicSimulator(s27_netlist).eval_combinational(good, 1)
+            # Rebuild netlist with fault injected as a constant by
+            # resimulating with an override.
+            faulty = dict(pattern)
+            order = sim.sim.order
+            from repro.netlist import evaluate_gate
+
+            if fault.net in faulty:
+                faulty[fault.net] = fault.value
+            for name in order:
+                gate = s27_netlist.gate(name)
+                if name == fault.net:
+                    faulty[name] = fault.value
+                else:
+                    faulty[name] = evaluate_gate(
+                        gate.func, tuple(faulty[f] for f in gate.fanin), 1
+                    )
+            return any(
+                good[o] != faulty[o] for o in s27_netlist.core_outputs
+            )
+
+        for fault in faults:
+            for i, pattern in enumerate(patterns):
+                expected = naive(fault, pattern)
+                got = bool((result.detected[fault] >> i) & 1)
+                assert got == expected, f"{fault} pattern {i}"
+
+
+class TestTransitionDetection:
+    def test_needs_launch_and_detect(self, and_netlist):
+        sim = FaultSimulator(and_netlist)
+        str_y = TransitionFault("y", "rise")
+        # V1 sets y=0, V2 sets y=1 and detects sa0.
+        good_pair = ({"a": 0, "b": 1}, {"a": 1, "b": 1})
+        # V1 already has y=1: no launch.
+        no_launch = ({"a": 1, "b": 1}, {"a": 1, "b": 1})
+        result = sim.simulate_transition([str_y], [good_pair, no_launch])
+        assert result.detected[str_y] == 0b01
+
+    def test_slow_to_fall(self, and_netlist):
+        sim = FaultSimulator(and_netlist)
+        stf_y = TransitionFault("y", "fall")
+        pair = ({"a": 1, "b": 1}, {"a": 0, "b": 1})
+        result = sim.simulate_transition([stf_y], [pair])
+        assert result.detected[stf_y] == 0b1
+
+    def test_mismatched_pair_lists_rejected(self, and_netlist):
+        # simulate_transition packs v1s and v2s separately; lengths match
+        # by construction, so this exercises the internal consistency.
+        sim = FaultSimulator(and_netlist)
+        result = sim.simulate_transition([], [])
+        assert result.coverage == 0.0
+
+
+class TestRandomCoverage:
+    def test_random_coverage_s27(self, s27_netlist):
+        faults = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        result = random_pattern_coverage(s27_netlist, faults, n_patterns=64)
+        assert result.coverage == 1.0  # s27 is fully random testable
+
+    def test_more_patterns_never_worse(self, s298_netlist):
+        faults = collapse_stuck(
+            s298_netlist, all_stuck_faults(s298_netlist)
+        )
+        few = random_pattern_coverage(s298_netlist, faults, n_patterns=8)
+        many = random_pattern_coverage(s298_netlist, faults, n_patterns=64)
+        assert many.coverage >= few.coverage

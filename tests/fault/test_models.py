@@ -1,0 +1,61 @@
+"""Tests for fault models and fault universes."""
+
+import pytest
+
+from repro.fault import (
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+    all_transition_faults,
+)
+
+
+class TestStuckFault:
+    def test_str(self):
+        assert str(StuckFault("n1", 0)) == "n1/sa0"
+        assert str(StuckFault("n1", 1)) == "n1/sa1"
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckFault("n1", 2)
+
+    def test_hashable_and_ordered(self):
+        faults = {StuckFault("a", 0), StuckFault("a", 0), StuckFault("a", 1)}
+        assert len(faults) == 2
+        assert StuckFault("a", 0) < StuckFault("a", 1)
+
+
+class TestTransitionFault:
+    def test_slow_to_rise_semantics(self):
+        f = TransitionFault("n1", "rise")
+        assert f.initial_value == 0
+        assert f.equivalent_stuck == StuckFault("n1", 0)
+
+    def test_slow_to_fall_semantics(self):
+        f = TransitionFault("n1", "fall")
+        assert f.initial_value == 1
+        assert f.equivalent_stuck == StuckFault("n1", 1)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionFault("n1", "up")
+
+    def test_str(self):
+        assert str(TransitionFault("n1", "rise")) == "n1/slow-to-rise"
+
+
+class TestUniverses:
+    def test_stuck_universe_s27(self, s27_netlist):
+        faults = all_stuck_faults(s27_netlist)
+        # 10 gates + 3 DFF outputs + 4 PIs = 17 nets, 2 faults each.
+        assert len(faults) == 34
+        assert len(set(faults)) == 34
+
+    def test_transition_universe_matches_stuck(self, s27_netlist):
+        assert len(all_transition_faults(s27_netlist)) == len(
+            all_stuck_faults(s27_netlist)
+        )
+
+    def test_universes_sorted(self, s27_netlist):
+        faults = all_stuck_faults(s27_netlist)
+        assert faults == sorted(faults)

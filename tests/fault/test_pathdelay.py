@@ -1,0 +1,156 @@
+"""Tests for the path-delay fault model."""
+
+import pytest
+
+from repro.fault import (
+    DelayPath,
+    enumerate_critical_paths,
+    nonrobust_test_ok,
+    path_coverage,
+)
+from repro.netlist import Netlist
+from repro.synth import map_netlist
+from repro.timing import analyze
+
+
+@pytest.fixture
+def mapped_chain(library):
+    n = Netlist("chain")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("g1", "AND", ("a", "b"))
+    n.add("g2", "NOT", ("g1",))
+    n.add_output("g2")
+    return map_netlist(n, library)
+
+
+class TestEnumeration:
+    def test_single_path_circuit(self, mapped_chain, library):
+        paths = enumerate_critical_paths(mapped_chain, library, k=5)
+        assert paths
+        longest = paths[0]
+        assert longest.nets[-1] == "g2"
+        assert longest.nets[0] in ("a", "b")
+        assert longest.delay > 0.0
+
+    def test_longest_matches_sta(self, s27_mapped, library):
+        report = analyze(s27_mapped, library)
+        paths = enumerate_critical_paths(s27_mapped, library, k=1)
+        # The top enumerated path must be the STA critical path's nets.
+        assert paths[0].nets == report.critical_path
+
+    def test_paths_sorted_by_delay(self, s298_mapped, library):
+        paths = enumerate_critical_paths(s298_mapped, library, k=8)
+        delays = [p.delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+        assert len(paths) == 8
+
+    def test_paths_are_structural(self, s298_mapped, library):
+        for path in enumerate_critical_paths(s298_mapped, library, k=5):
+            for upstream, downstream in zip(path.nets, path.nets[1:]):
+                assert upstream in s298_mapped.gate(downstream).fanin
+
+    def test_launch_and_capture_points(self, s298_mapped, library):
+        launches = set(s298_mapped.inputs) | set(s298_mapped.state_inputs)
+        captures = set(s298_mapped.outputs) | set(s298_mapped.state_outputs)
+        for path in enumerate_critical_paths(s298_mapped, library, k=5):
+            assert path.launch in launches
+            assert path.capture in captures
+
+
+class TestNonRobustCheck:
+    def test_full_transition_path_detected(self, mapped_chain):
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        v1 = {"a": 0, "b": 1}
+        v2 = {"a": 1, "b": 1}
+        assert nonrobust_test_ok(mapped_chain, path, v1, v2)
+
+    def test_blocked_path_rejected(self, mapped_chain):
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        v1 = {"a": 0, "b": 0}   # side input blocks the AND
+        v2 = {"a": 1, "b": 0}
+        assert not nonrobust_test_ok(mapped_chain, path, v1, v2)
+
+    def test_no_launch_rejected(self, mapped_chain):
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        v1 = {"a": 1, "b": 1}
+        v2 = {"a": 1, "b": 1}
+        assert not nonrobust_test_ok(mapped_chain, path, v1, v2)
+
+    def test_coverage_over_set(self, mapped_chain):
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        pairs = [
+            ({"a": 1, "b": 1}, {"a": 1, "b": 1}),   # useless
+            ({"a": 0, "b": 1}, {"a": 1, "b": 1}),   # tests the path
+        ]
+        covered = path_coverage(mapped_chain, [path], pairs)
+        assert covered[path]
+
+    def test_robust_stronger_than_nonrobust(self, mapped_chain):
+        from repro.fault import robust_test_ok
+
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        # Side input b steady non-controlling: robust.
+        v1 = {"a": 0, "b": 1}
+        v2 = {"a": 1, "b": 1}
+        assert robust_test_ok(mapped_chain, path, v1, v2)
+
+    def test_robust_side_input_conditions(self, library):
+        """AND gate on-path input: steady non-controlling side input is
+        required when the transition heads to the controlling value."""
+        from repro.fault import robust_test_ok
+
+        n = Netlist("side")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("g1", "AND", ("a", "b"))
+        n.add("g2", "NOT", ("g1",))
+        n.add_output("g2")
+        mapped = map_netlist(n, library)
+        path = DelayPath(("a", "g1", "g2"), 1.0)
+        # Rising a (away from controlling 0), b steady 1: robust.
+        assert robust_test_ok(
+            mapped, path, {"a": 0, "b": 1}, {"a": 1, "b": 1}
+        )
+        # Falling a (to controlling 0), b steady 1: robust.
+        assert robust_test_ok(
+            mapped, path, {"a": 1, "b": 1}, {"a": 0, "b": 1}
+        )
+        # Falling a with b rising 0 -> 1: the side input is not steady,
+        # so a late b could mask the path -- not robust.  (b=0 in V1
+        # blocks the AND, so this is not even a non-robust test.)
+        assert not robust_test_ok(
+            mapped, path, {"a": 1, "b": 0}, {"a": 0, "b": 1}
+        )
+
+    def test_robust_rejects_xor_paths(self, library):
+        from repro.fault import robust_test_ok
+
+        n = Netlist("x")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("g1", "XOR", ("a", "b"))
+        n.add_output("g1")
+        mapped = map_netlist(n, library)
+        path = DelayPath(("a", "g1"), 1.0)
+        v1 = {"a": 0, "b": 0}
+        v2 = {"a": 1, "b": 0}
+        from repro.fault import nonrobust_test_ok as nr
+
+        assert nr(mapped, path, v1, v2)
+        assert not robust_test_ok(mapped, path, v1, v2)
+
+    def test_atpg_pairs_cover_critical_paths(self, s27_mapped, library):
+        """Arbitrary two-pattern sets reach the top paths on s27."""
+        from repro.fault import TransitionAtpg, all_transition_faults
+        from repro.fault import collapse_transition
+
+        faults = collapse_transition(
+            s27_mapped, all_transition_faults(s27_mapped)
+        )
+        result = TransitionAtpg(s27_mapped, seed=3).generate(faults)
+        paths = enumerate_critical_paths(s27_mapped, library, k=5)
+        covered = path_coverage(
+            s27_mapped, paths, [(t.v1, t.v2) for t in result.tests]
+        )
+        assert any(covered.values())

@@ -1,0 +1,133 @@
+"""Tests for PODEM test generation."""
+
+import pytest
+
+from repro.fault import (
+    FaultSimulator,
+    Podem,
+    StuckFault,
+    all_stuck_faults,
+    collapse_stuck,
+    eval3,
+    generate_tests,
+    justify,
+)
+from repro.fault.podem import X
+from repro.netlist import Netlist
+
+
+class TestEval3:
+    def test_and_with_x(self):
+        assert eval3("AND", (0, X)) == 0      # controlling wins
+        assert eval3("AND", (1, X)) == X
+        assert eval3("AND", (1, 1)) == 1
+
+    def test_or_with_x(self):
+        assert eval3("OR", (1, X)) == 1
+        assert eval3("OR", (0, X)) == X
+
+    def test_nand_nor(self):
+        assert eval3("NAND", (0, X)) == 1
+        assert eval3("NOR", (1, X)) == 0
+
+    def test_xor_with_x(self):
+        assert eval3("XOR", (1, X)) == X
+        assert eval3("XOR", (1, 0)) == 1
+
+    def test_not_buf(self):
+        assert eval3("NOT", (X,)) == X
+        assert eval3("NOT", (0,)) == 1
+        assert eval3("BUF", (X,)) == X
+
+    def test_mux_with_known_equal_data(self):
+        assert eval3("MUX2", (X, 1, 1)) == 1
+        assert eval3("MUX2", (X, 1, 0)) == X
+        assert eval3("MUX2", (0, 1, 0)) == 1
+
+    def test_complex_gates(self):
+        assert eval3("AOI21", (1, 1, X)) == 0
+        assert eval3("AOI21", (0, X, 0)) == 1  # AND arm killed by the 0
+        assert eval3("AOI21", (1, X, 0)) == X
+        assert eval3("OAI21", (0, 0, X)) == 1
+
+
+class TestPodemS27:
+    def test_full_coverage(self, s27_netlist):
+        faults = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        results = generate_tests(s27_netlist, faults)
+        assert all(r.detected for r in results)
+
+    def test_every_test_verifies(self, s27_netlist):
+        faults = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        sim = FaultSimulator(s27_netlist)
+        for result in generate_tests(s27_netlist, faults):
+            check = sim.simulate_stuck([result.fault], [result.test])
+            assert check.detected[result.fault], str(result.fault)
+
+    def test_tests_assign_all_inputs(self, s27_netlist):
+        fault = StuckFault("G11", 0)
+        result = Podem(s27_netlist).generate(fault)
+        assert result.detected
+        assert set(result.test) == set(s27_netlist.core_inputs)
+
+
+class TestUntestable:
+    def test_redundant_fault_proven(self):
+        # y = OR(a, NOT(a)) == 1 always: y/sa1 is undetectable.
+        n = Netlist("redundant")
+        n.add_input("a")
+        n.add("an", "NOT", ("a",))
+        n.add("y", "OR", ("a", "an"))
+        n.add_output("y")
+        result = Podem(n).generate(StuckFault("y", 1))
+        assert result.status == "untestable"
+
+    def test_constant_zero_sa0_untestable(self):
+        n = Netlist("const")
+        n.add_input("a")
+        n.add("an", "NOT", ("a",))
+        n.add("y", "AND", ("a", "an"))  # always 0
+        n.add_output("y")
+        result = Podem(n).generate(StuckFault("y", 0))
+        assert result.status == "untestable"
+        # But sa1 is testable (any input works).
+        assert Podem(n).generate(StuckFault("y", 1)).detected
+
+
+class TestJustify:
+    def test_justify_both_values(self, s27_netlist):
+        from repro.power import LogicSimulator
+
+        for net in ("G11", "G9", "G15", "G8"):
+            for value in (0, 1):
+                vec = justify(s27_netlist, net, value)
+                assert vec is not None, f"{net}={value}"
+                values = dict(vec)
+                LogicSimulator(s27_netlist).eval_combinational(values, 1)
+                assert values[net] == value
+
+    def test_justify_impossible_returns_none(self):
+        n = Netlist("const")
+        n.add_input("a")
+        n.add("an", "NOT", ("a",))
+        n.add("y", "AND", ("a", "an"))
+        n.add_output("y")
+        assert justify(n, "y", 1) is None
+
+    def test_justify_input_directly(self, s27_netlist):
+        vec = justify(s27_netlist, "G0", 1)
+        assert vec is not None and vec["G0"] == 1
+
+
+class TestBigger:
+    def test_s298_verified_coverage(self, s298_netlist):
+        faults = collapse_stuck(
+            s298_netlist, all_stuck_faults(s298_netlist)
+        )
+        results = generate_tests(s298_netlist, faults, backtrack_limit=30)
+        detected = [r for r in results if r.detected]
+        assert len(detected) / len(faults) > 0.7
+        sim = FaultSimulator(s298_netlist)
+        patterns = [r.test for r in detected]
+        batch = sim.simulate_stuck([r.fault for r in detected], patterns)
+        assert batch.coverage == 1.0  # every generated test verifies

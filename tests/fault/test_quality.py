@@ -1,0 +1,75 @@
+"""Tests for the variation-defect escape study."""
+
+import pytest
+
+from repro.fault import (
+    STYLE_ARBITRARY,
+    STYLE_BROADSIDE,
+    TransitionAtpg,
+    all_transition_faults,
+    collapse_transition,
+    escape_study,
+    sample_delay_defects,
+)
+
+
+class TestSampling:
+    def test_defect_count(self, s298_netlist):
+        defects = sample_delay_defects(s298_netlist, n_defects=30, seed=1)
+        assert len(defects) == 30
+
+    def test_deterministic(self, s298_netlist):
+        a = sample_delay_defects(s298_netlist, n_defects=20, seed=5)
+        b = sample_delay_defects(s298_netlist, n_defects=20, seed=5)
+        assert a == b
+
+    def test_sites_are_combinational(self, s298_netlist):
+        comb = {g.name for g in s298_netlist.combinational_gates()}
+        for defect in sample_delay_defects(s298_netlist, 20, seed=2):
+            assert defect.net in comb
+
+
+class TestEscapeStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.bench import load_circuit
+
+        netlist = load_circuit("s298")
+        faults = collapse_transition(
+            netlist, all_transition_faults(netlist)
+        )
+        arbitrary = TransitionAtpg(netlist, seed=3).generate(
+            faults, style=STYLE_ARBITRARY, n_random_pairs=32
+        )
+        broadside = TransitionAtpg(netlist, seed=3).generate(
+            faults, style=STYLE_BROADSIDE, n_random_pairs=32
+        )
+        reports = escape_study(
+            netlist,
+            {"arbitrary": arbitrary.tests, "broadside": broadside.tests},
+            n_defects=40,
+            seed=9,
+        )
+        return reports
+
+    def test_same_defect_population(self, study):
+        assert study["arbitrary"].n_defects == study["broadside"].n_defects
+
+    def test_escape_rates_in_range(self, study):
+        for report in study.values():
+            assert 0.0 <= report.escape_rate <= 1.0
+
+    def test_arbitrary_escapes_fewer(self, study):
+        """The paper's motivation: better application style, fewer
+        variation-induced defects slipping through."""
+        assert (
+            study["arbitrary"].escape_rate
+            <= study["broadside"].escape_rate
+        )
+
+    def test_empty_test_set_catches_nothing(self, s298_netlist):
+        reports = escape_study(
+            s298_netlist, {"none": []}, n_defects=10, seed=1
+        )
+        assert reports["none"].caught == 0
+        assert reports["none"].escape_rate == 1.0

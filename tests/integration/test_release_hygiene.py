@@ -1,0 +1,125 @@
+"""Release-hygiene checks: docs, exports and artifacts stay coherent.
+
+These meta-tests fail when documentation drifts from the code: a README
+that names a missing example, a bench table pointing at a deleted file,
+or a package whose ``__all__`` advertises something it doesn't define.
+"""
+
+import importlib
+import os
+import re
+
+import pytest
+
+REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+PACKAGES = [
+    "repro",
+    "repro.bench",
+    "repro.bist",
+    "repro.cells",
+    "repro.dft",
+    "repro.experiments",
+    "repro.fault",
+    "repro.netlist",
+    "repro.power",
+    "repro.spice",
+    "repro.synth",
+    "repro.testapp",
+    "repro.timing",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_is_honest(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    missing = [n for n in module.__all__ if not hasattr(module, n)]
+    assert not missing, f"{name}: __all__ advertises {missing}"
+    assert module.__doc__, f"{name}: missing module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_symbols_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if callable(obj) and getattr(obj, "__doc__", None) is None:
+            undocumented.append(symbol)
+    assert not undocumented, f"{name}: no docstring on {undocumented}"
+
+
+def _read(relpath):
+    with open(os.path.join(REPO, relpath), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_required_documents_exist():
+    for relpath in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                    "LICENSE", "docs/tutorial.md", "pyproject.toml"):
+        assert os.path.exists(os.path.join(REPO, relpath)), relpath
+
+
+def test_readme_examples_exist():
+    readme = _read("README.md")
+    for match in re.findall(r"`examples/([\w.]+\.py)`", readme):
+        assert os.path.exists(
+            os.path.join(REPO, "examples", match)
+        ), f"README references missing example {match}"
+
+
+def test_readme_benches_exist():
+    readme = _read("README.md")
+    for match in re.findall(r"`benchmarks/(bench_[\w.]+\.py)`", readme):
+        assert os.path.exists(
+            os.path.join(REPO, "benchmarks", match)
+        ), f"README references missing bench {match}"
+
+
+def test_experiments_doc_benches_exist():
+    doc = _read("EXPERIMENTS.md")
+    for match in set(re.findall(r"`(bench_[\w]+\.py)`", doc)):
+        assert os.path.exists(
+            os.path.join(REPO, "benchmarks", match)
+        ), f"EXPERIMENTS.md references missing bench {match}"
+
+
+def test_every_bench_has_docstring_and_assertions():
+    bench_dir = os.path.join(REPO, "benchmarks")
+    for fname in os.listdir(bench_dir):
+        if not fname.startswith("bench_") or not fname.endswith(".py"):
+            continue
+        text = _read(os.path.join("benchmarks", fname))
+        assert text.lstrip().startswith('"""'), f"{fname}: no docstring"
+        assert "assert" in text, f"{fname}: no shape assertions"
+        assert "save_result" in text, f"{fname}: result not archived"
+
+
+def test_examples_have_docstrings_and_mains():
+    example_dir = os.path.join(REPO, "examples")
+    count = 0
+    for fname in sorted(os.listdir(example_dir)):
+        if not fname.endswith(".py"):
+            continue
+        text = _read(os.path.join("examples", fname))
+        assert text.lstrip().startswith('"""'), f"{fname}: no docstring"
+        assert '__main__' in text, f"{fname}: not runnable"
+        count += 1
+    assert count >= 3, "the project promises at least three examples"
+
+
+def test_design_doc_covers_every_table_and_figure():
+    design = _read("DESIGN.md")
+    for artifact in ("Table I", "Table II", "Table III", "Table IV",
+                     "Fig. 2", "Fig. 4", "Fig. 5"):
+        assert artifact in design, f"DESIGN.md misses {artifact}"
+
+
+def test_version_consistent():
+    import repro
+
+    pyproject = _read("pyproject.toml")
+    assert f'version = "{repro.__version__}"' in pyproject

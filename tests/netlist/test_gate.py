@@ -1,0 +1,148 @@
+"""Tests for the Gate primitive and bit-parallel evaluation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Gate, evaluate_gate
+
+
+class TestGateConstruction:
+    def test_basic_gate(self):
+        g = Gate("n1", "NAND", ("a", "b"))
+        assert g.name == "n1"
+        assert g.func == "NAND"
+        assert g.fanin == ("a", "b")
+        assert g.is_combinational
+
+    def test_fanin_list_coerced_to_tuple(self):
+        g = Gate("n1", "AND", ["a", "b"])
+        assert isinstance(g.fanin, tuple)
+
+    def test_input_marker(self):
+        g = Gate("pi", "INPUT")
+        assert g.is_input
+        assert not g.is_combinational
+        assert g.n_inputs == 0
+
+    def test_dff(self):
+        g = Gate("q", "DFF", ("d",))
+        assert g.is_dff
+        assert not g.is_combinational
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "FROB", ("a",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("", "AND", ("a", "b"))
+
+    def test_not_requires_one_input(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "NOT", ("a", "b"))
+
+    def test_mux_requires_three_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "MUX2", ("a", "b"))
+
+    def test_aoi22_requires_four_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "AOI22", ("a", "b", "c"))
+
+    def test_nary_requires_at_least_one(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "AND", ())
+
+    def test_self_loop_rejected_for_comb(self):
+        with pytest.raises(NetlistError):
+            Gate("n1", "AND", ("n1", "b"))
+
+    def test_self_loop_allowed_for_dff(self):
+        g = Gate("q", "DFF", ("q",))
+        assert g.fanin == ("q",)
+
+    def test_with_fanin(self):
+        g = Gate("n1", "AND", ("a", "b"))
+        g2 = g.with_fanin(("c", "d"))
+        assert g2.fanin == ("c", "d")
+        assert g.fanin == ("a", "b")  # original untouched
+
+    def test_with_cell(self):
+        g = Gate("n1", "AND", ("a", "b"))
+        assert g.with_cell("AND2_X1").cell == "AND2_X1"
+
+    def test_renamed(self):
+        g = Gate("n1", "AND", ("a", "b"))
+        assert g.renamed("n2").name == "n2"
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "func,values,expected",
+        [
+            ("AND", (1, 1), 1),
+            ("AND", (1, 0), 0),
+            ("NAND", (1, 1), 0),
+            ("NAND", (0, 1), 1),
+            ("OR", (0, 0), 0),
+            ("OR", (0, 1), 1),
+            ("NOR", (0, 0), 1),
+            ("NOR", (1, 0), 0),
+            ("XOR", (1, 0), 1),
+            ("XOR", (1, 1), 0),
+            ("XNOR", (1, 1), 1),
+            ("XNOR", (1, 0), 0),
+            ("NOT", (1,), 0),
+            ("NOT", (0,), 1),
+            ("BUF", (1,), 1),
+        ],
+    )
+    def test_single_bit(self, func, values, expected):
+        assert evaluate_gate(func, values, mask=1) == expected
+
+    def test_three_input_and(self):
+        assert evaluate_gate("AND", (1, 1, 1), 1) == 1
+        assert evaluate_gate("AND", (1, 1, 0), 1) == 0
+
+    def test_wide_xor_parity(self):
+        assert evaluate_gate("XOR", (1, 1, 1), 1) == 1
+        assert evaluate_gate("XOR", (1, 1, 1, 1), 1) == 0
+
+    def test_aoi21(self):
+        # out = NOT(a1.a2 + b)
+        assert evaluate_gate("AOI21", (1, 1, 0), 1) == 0
+        assert evaluate_gate("AOI21", (0, 1, 0), 1) == 1
+        assert evaluate_gate("AOI21", (0, 0, 1), 1) == 0
+
+    def test_aoi22(self):
+        assert evaluate_gate("AOI22", (1, 1, 0, 0), 1) == 0
+        assert evaluate_gate("AOI22", (0, 1, 0, 1), 1) == 1
+
+    def test_oai21(self):
+        # out = NOT((a1+a2).b)
+        assert evaluate_gate("OAI21", (0, 0, 1), 1) == 1
+        assert evaluate_gate("OAI21", (1, 0, 1), 1) == 0
+        assert evaluate_gate("OAI21", (1, 1, 0), 1) == 1
+
+    def test_oai22(self):
+        assert evaluate_gate("OAI22", (1, 0, 0, 1), 1) == 0
+        assert evaluate_gate("OAI22", (0, 0, 1, 1), 1) == 1
+
+    def test_mux2(self):
+        # (sel, d0, d1)
+        assert evaluate_gate("MUX2", (0, 1, 0), 1) == 1
+        assert evaluate_gate("MUX2", (1, 1, 0), 1) == 0
+
+    def test_bit_parallel_masking(self):
+        mask = 0b1111
+        out = evaluate_gate("NAND", (0b1100, 0b1010), mask)
+        assert out == (~(0b1100 & 0b1010)) & mask == 0b0111
+
+    def test_bit_parallel_wide_word(self):
+        mask = (1 << 64) - 1
+        a = 0x0123456789ABCDEF
+        assert evaluate_gate("NOT", (a,), mask) == (~a) & mask
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(NetlistError):
+            evaluate_gate("DFF", (1,), 1)

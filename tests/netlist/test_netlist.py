@@ -1,0 +1,155 @@
+"""Tests for the Netlist container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Gate, Netlist
+
+
+@pytest.fixture
+def tiny():
+    """a, b -> g1 = AND(a,b); g2 = NOT(g1); out = g2."""
+    n = Netlist("tiny")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("g1", "AND", ("a", "b"))
+    n.add("g2", "NOT", ("g1",))
+    n.add_output("g2")
+    return n
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("")
+
+    def test_counts(self, tiny):
+        assert len(tiny.inputs) == 2
+        assert len(tiny.outputs) == 1
+        assert tiny.n_gates() == 2
+        assert tiny.n_dffs() == 0
+        assert len(tiny) == 4  # includes INPUT markers
+
+    def test_duplicate_driver_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add("g1", "OR", ("a", "b"))
+
+    def test_duplicate_input_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_input("a")
+
+    def test_duplicate_output_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_output("g2")
+
+    def test_contains(self, tiny):
+        assert "g1" in tiny
+        assert "nope" not in tiny
+
+    def test_repr_mentions_counts(self, tiny):
+        assert "2 PI" in repr(tiny)
+        assert "2 gates" in repr(tiny)
+
+
+class TestFanout:
+    def test_fanout_tracked(self, tiny):
+        assert tiny.fanout("g1") == {"g2"}
+        assert tiny.fanout("a") == {"g1"}
+        assert tiny.fanout("g2") == set()
+
+    def test_fanout_count(self, tiny):
+        assert tiny.fanout_count("a") == 1
+        assert tiny.fanout_count("g2") == 0
+
+    def test_fanout_returns_copy(self, tiny):
+        view = tiny.fanout("a")
+        view.add("bogus")
+        assert tiny.fanout("a") == {"g1"}
+
+
+class TestMutation:
+    def test_remove_gate(self, tiny):
+        tiny._outputs.remove("g2")  # make removable for the test
+        tiny.remove_gate("g2")
+        assert "g2" not in tiny
+        assert tiny.fanout("g1") == set()
+
+    def test_remove_gate_with_fanout_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.remove_gate("g1")
+
+    def test_remove_primary_output_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.remove_gate("g2")
+
+    def test_remove_missing_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.remove_gate("ghost")
+
+    def test_replace_gate_updates_fanout(self, tiny):
+        tiny.replace_gate(Gate("g2", "NOT", ("a",)))
+        assert tiny.fanout("g1") == set()
+        assert "g2" in tiny.fanout("a")
+
+    def test_rewire_pin(self, tiny):
+        tiny.rewire_pin("g1", 1, "a")
+        assert tiny.gate("g1").fanin == ("a", "a")
+        assert tiny.fanout("b") == set()
+
+    def test_rewire_bad_pin_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.rewire_pin("g1", 5, "a")
+
+    def test_redirect_fanout(self, tiny):
+        tiny.add("g3", "BUF", ("a",))
+        moved = tiny.redirect_fanout("a", "g3", only={"g1"})
+        assert moved == 1
+        assert tiny.gate("g1").fanin == ("g3", "b")
+
+    def test_redirect_counts_multiplicity(self):
+        n = Netlist("m")
+        n.add_input("a")
+        n.add("g", "AND", ("a", "a"))
+        n.add("b", "BUF", ("a",))
+        n.add_output("g")
+        n.add_output("b")
+        moved = n.redirect_fanout("a", "b", only={"g"})
+        assert moved == 2
+        assert n.gate("g").fanin == ("b", "b")
+
+    def test_fresh_net(self, tiny):
+        assert tiny.fresh_net("new") == "new"
+        assert tiny.fresh_net("g1") == "g1_1"
+        tiny.add("g1_1", "BUF", ("a",))
+        assert tiny.fresh_net("g1") == "g1_2"
+
+
+class TestSequentialViews:
+    def test_state_views(self):
+        n = Netlist("seq")
+        n.add_input("a")
+        n.add("ff1", "DFF", ("g",))
+        n.add("g", "AND", ("a", "ff1"))
+        n.add_output("g")
+        assert n.state_inputs == ("ff1",)
+        assert n.state_outputs == ("g",)
+        assert n.core_inputs == ("a", "ff1")
+        assert n.core_outputs == ("g", "g")
+
+    def test_dffs_listed(self, s27_netlist):
+        names = {g.name for g in s27_netlist.dffs()}
+        assert names == {"G5", "G6", "G7"}
+
+
+class TestCopy:
+    def test_copy_is_independent(self, tiny):
+        clone = tiny.copy()
+        clone.add("g4", "BUF", ("a",))
+        assert "g4" not in tiny
+        assert tiny.fanout("a") == {"g1"}
+
+    def test_copy_preserves_order(self, tiny):
+        clone = tiny.copy("renamed")
+        assert clone.name == "renamed"
+        assert clone.inputs == tiny.inputs
+        assert clone.outputs == tiny.outputs

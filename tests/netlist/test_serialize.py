@@ -1,0 +1,51 @@
+"""Tests for netlist JSON serialization."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import collect_stats, from_dict, from_json, to_dict, to_json
+
+
+def test_round_trip_s27(s27_netlist):
+    clone = from_dict(to_dict(s27_netlist))
+    assert collect_stats(clone).as_row() == collect_stats(s27_netlist).as_row()
+    for gate in s27_netlist.gates():
+        assert clone.gate(gate.name).func == gate.func
+        assert clone.gate(gate.name).fanin == gate.fanin
+
+
+def test_round_trip_preserves_cells(s27_mapped):
+    clone = from_json(to_json(s27_mapped))
+    for gate in s27_mapped.gates():
+        assert clone.gate(gate.name).cell == gate.cell
+
+
+def test_round_trip_generated():
+    from repro.bench import load_circuit
+
+    original = load_circuit("s344")
+    clone = from_json(to_json(original))
+    assert collect_stats(clone).as_row() == collect_stats(original).as_row()
+
+
+def test_json_is_valid_and_stable(s27_netlist):
+    import json
+
+    text = to_json(s27_netlist, indent=2)
+    data = json.loads(text)
+    assert data["name"] == "s27"
+    assert data["format"] == 1
+    assert to_json(from_json(text)) == to_json(s27_netlist)
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(NetlistError):
+        from_dict({"format": 99, "name": "x", "inputs": [], "outputs": [],
+                   "gates": []})
+
+
+def test_input_markers_not_duplicated(s27_netlist):
+    data = to_dict(s27_netlist)
+    names = [g["name"] for g in data["gates"]]
+    for pi in s27_netlist.inputs:
+        assert pi not in names

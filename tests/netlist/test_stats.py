@@ -1,0 +1,46 @@
+"""Tests for netlist statistics collection."""
+
+from repro.netlist import collect_stats
+
+
+def test_s27_stats(s27_netlist):
+    stats = collect_stats(s27_netlist)
+    assert stats.name == "s27"
+    assert stats.n_inputs == 4
+    assert stats.n_outputs == 1
+    assert stats.n_dffs == 3
+    assert stats.n_gates == 10
+    assert stats.logic_depth == 6
+    assert stats.total_state_fanout == 3
+    assert stats.unique_first_level == 3
+
+
+def test_ratios(s27_netlist):
+    stats = collect_stats(s27_netlist)
+    assert stats.fanout_per_ff == 1.0
+    assert stats.unique_fanout_ratio == 1.0
+
+
+def test_histogram(s27_netlist):
+    stats = collect_stats(s27_netlist)
+    assert stats.func_histogram["NOR"] == 4
+    assert stats.func_histogram["NOT"] == 2
+    assert sum(stats.func_histogram.values()) == 10
+
+
+def test_as_row_keys(s27_netlist):
+    row = collect_stats(s27_netlist).as_row()
+    for key in ("circuit", "PI", "PO", "FF", "gates", "depth", "ratio"):
+        assert key in row
+
+
+def test_zero_ff_ratios():
+    from repro.netlist import Netlist
+
+    n = Netlist("comb")
+    n.add_input("a")
+    n.add("g", "NOT", ("a",))
+    n.add_output("g")
+    stats = collect_stats(n)
+    assert stats.fanout_per_ff == 0.0
+    assert stats.unique_fanout_ratio == 0.0

@@ -1,0 +1,71 @@
+"""Tests for structural netlist validation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Gate, Netlist, validate, validation_issues
+
+
+def test_valid_s27_passes(s27_netlist):
+    validate(s27_netlist)
+    assert validation_issues(s27_netlist) == []
+
+
+def test_undriven_fanin_reported():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add("g", "AND", ("a", "ghost"))
+    n.add_output("g")
+    issues = validation_issues(n)
+    assert any("ghost" in issue for issue in issues)
+    with pytest.raises(NetlistError):
+        validate(n)
+
+
+def test_undriven_output_reported():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add_output("nowhere")
+    issues = validation_issues(n)
+    assert any("nowhere" in issue for issue in issues)
+
+
+def test_dangling_gate_reported():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add("g1", "NOT", ("a",))
+    n.add("g2", "NOT", ("a",))
+    n.add_output("g1")
+    issues = validation_issues(n)
+    assert any("g2" in issue and "drives nothing" in issue for issue in issues)
+
+
+def test_dangling_state_output_is_fine():
+    n = Netlist("ok")
+    n.add_input("a")
+    n.add("g", "NOT", ("a",))
+    n.add("ff", "DFF", ("g",))
+    n.add("g2", "AND", ("ff", "a"))
+    n.add_output("g2")
+    assert validation_issues(n) == []
+
+
+def test_cycle_reported():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add("g1", "AND", ("a", "g2"))
+    n.add("g2", "NOT", ("g1",))
+    n.add_output("g2")
+    issues = validation_issues(n)
+    assert any("cycle" in issue for issue in issues)
+
+
+def test_many_issues_summarized():
+    n = Netlist("bad")
+    n.add_input("a")
+    for i in range(15):
+        n.add(f"g{i}", "AND", ("a", f"ghost{i}"))
+        n.add_output(f"g{i}")
+    with pytest.raises(NetlistError) as err:
+        validate(n)
+    assert "more" in str(err.value)

@@ -1,0 +1,100 @@
+"""Tests for the event-driven timing simulator and glitch accounting."""
+
+import random
+
+import pytest
+
+from repro.netlist import Netlist
+from repro.power import (
+    LogicSimulator,
+    TimingSimulator,
+    glitch_activity,
+    glitch_study,
+)
+from repro.synth import map_netlist
+
+
+@pytest.fixture
+def hazard_circuit(library):
+    """y = AND(a, NOT(a)): a rising 'a' makes a classic static-0 hazard
+    (the direct input arrives before the inverted one)."""
+    n = Netlist("hazard")
+    n.add_input("a")
+    n.add("an", "NOT", ("a",))
+    n.add("y", "AND", ("a", "an"))
+    n.add_output("y")
+    return map_netlist(n, library)
+
+
+class TestSettle:
+    def test_steady_state_matches_zero_delay(self, s298_mapped, library):
+        logic = LogicSimulator(s298_mapped)
+        timing = TimingSimulator(s298_mapped, library)
+        rng = random.Random(4)
+        nets = list(s298_mapped.inputs) + list(s298_mapped.state_inputs)
+        prev = {net: rng.randint(0, 1) for net in nets}
+        ref_prev = dict(prev)
+        logic.eval_combinational(ref_prev, 1)
+        new = {net: rng.randint(0, 1) for net in nets}
+        ref_new = dict(new)
+        logic.eval_combinational(ref_new, 1)
+
+        state = dict(ref_prev)
+        changed = [net for net in nets if new[net] != prev[net]]
+        for net in changed:
+            state[net] = new[net]
+        timing.settle(state, changed)
+        for net in ref_new:
+            assert state[net] == ref_new[net]
+
+    def test_static_hazard_counted(self, hazard_circuit, library):
+        """y glitches 0 -> 1 -> 0 when a rises."""
+        logic = LogicSimulator(hazard_circuit)
+        timing = TimingSimulator(hazard_circuit, library)
+        state = {"a": 0}
+        logic.eval_combinational(state, 1)
+        assert state["y"] == 0
+        state["a"] = 1
+        toggles = timing.settle(state, ["a"])
+        assert state["y"] == 0          # steady state unchanged
+        assert toggles.get("y", 0) == 2  # but the glitch was counted
+
+    def test_no_input_change_no_toggles(self, s27_mapped, library):
+        logic = LogicSimulator(s27_mapped)
+        timing = TimingSimulator(s27_mapped, library)
+        state = {
+            net: 0
+            for net in list(s27_mapped.inputs) + list(s27_mapped.state_inputs)
+        }
+        logic.eval_combinational(state, 1)
+        assert timing.settle(state, []) == {}
+
+
+class TestGlitchStudy:
+    def test_factor_at_least_one(self, s298_mapped):
+        report = glitch_study(s298_mapped, n_vectors=20)
+        assert report.glitch_factor >= 1.0
+
+    def test_xor_rich_circuit_glitches_more(self, library):
+        from repro.bench import load_circuit
+
+        plain = glitch_study(
+            map_netlist(load_circuit("s298"), library), n_vectors=20
+        )
+        xor_rich = glitch_study(
+            map_netlist(load_circuit("s1238"), library), n_vectors=20
+        )
+        assert xor_rich.glitch_factor > plain.glitch_factor
+
+    def test_activity_superset_of_zero_delay(self, s27_mapped):
+        from repro.power import switching_activity
+
+        zero = switching_activity(s27_mapped, n_vectors=20, seed=3)
+        timed = glitch_activity(s27_mapped, n_vectors=20, seed=3)
+        for gate in s27_mapped.combinational_gates():
+            assert timed.get(gate.name, 0.0) >= zero[gate.name] - 1e-9
+
+    def test_deterministic(self, s27_mapped):
+        a = glitch_activity(s27_mapped, n_vectors=15, seed=3)
+        b = glitch_activity(s27_mapped, n_vectors=15, seed=3)
+        assert a == b

@@ -1,0 +1,90 @@
+"""Tests for the compiled logic simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist import Netlist
+from repro.power import LogicSimulator, pack_patterns, unpack_word
+
+
+class TestCombinational:
+    def test_s27_known_vector(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        values = {"G0": 0, "G1": 0, "G2": 0, "G3": 0,
+                  "G5": 0, "G6": 0, "G7": 0}
+        sim.eval_combinational(values, 1)
+        # G14 = NOT(G0) = 1; G8 = AND(G14, G6) = 0; G12 = NOR(G1,G7) = 1
+        assert values["G14"] == 1
+        assert values["G8"] == 0
+        assert values["G12"] == 1
+        # G11 = NOR(G5, G9); G9 = NAND(G16, G15)
+        assert values["G16"] == 0  # OR(G3=0, G8=0)
+        assert values["G15"] == 1  # OR(G12=1, G8=0)
+        assert values["G9"] == 1
+        assert values["G11"] == 0
+        assert values["G17"] == 1
+
+    def test_missing_input_rejected(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        with pytest.raises(SimulationError):
+            sim.eval_combinational({"G0": 0}, 1)
+
+    def test_bit_parallel_matches_serial(self, s298_netlist):
+        import random
+
+        sim = LogicSimulator(s298_netlist)
+        rng = random.Random(11)
+        nets = list(s298_netlist.inputs) + list(s298_netlist.state_inputs)
+        patterns = [
+            {net: rng.randint(0, 1) for net in nets} for _ in range(16)
+        ]
+        packed, mask = pack_patterns(patterns, nets)
+        sim.eval_combinational(packed, mask)
+        for i, pattern in enumerate(patterns):
+            serial = dict(pattern)
+            sim.eval_combinational(serial, 1)
+            for out in s298_netlist.core_outputs:
+                assert (packed[out] >> i) & 1 == serial[out]
+
+
+class TestSequential:
+    def test_state_advances(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        vectors = [{"G0": 0, "G1": 0, "G2": 0, "G3": 0}] * 3
+        frames = sim.run_sequential(vectors)
+        assert len(frames) == 3
+        # After cycle 1 state G7 should hold G13 of cycle 0.
+        assert frames[1]["G7"] == frames[0]["G13"]
+        assert frames[2]["G5"] == frames[1]["G10"]
+
+    def test_initial_state_honoured(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        frames = sim.run_sequential(
+            [{"G0": 1, "G1": 1, "G2": 1, "G3": 1}],
+            initial_state={"G5": 1, "G6": 1, "G7": 1},
+        )
+        assert frames[0]["G5"] == 1
+
+    def test_bad_initial_state_rejected(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        with pytest.raises(SimulationError):
+            sim.run_sequential([{}], initial_state={"G14": 1})
+
+    def test_random_vectors_deterministic(self, s27_netlist):
+        sim = LogicSimulator(s27_netlist)
+        assert sim.random_vectors(5, seed=1) == sim.random_vectors(5, seed=1)
+        assert sim.random_vectors(5, seed=1) != sim.random_vectors(5, seed=2)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        patterns = [{"a": 1}, {"a": 0}, {"a": 1}]
+        packed, mask = pack_patterns(patterns, ["a"])
+        assert mask == 0b111
+        assert packed["a"] == 0b101
+        assert unpack_word(packed["a"], 3) == [1, 0, 1]
+
+    def test_empty_patterns(self):
+        packed, mask = pack_patterns([], ["a"])
+        assert mask == 0
+        assert packed["a"] == 0

@@ -1,0 +1,100 @@
+"""Tests for activity extraction and power models."""
+
+import pytest
+
+from repro import units
+from repro.power import (
+    PowerOverlay,
+    activity_from_frames,
+    analyze_power,
+    clock_power,
+    dynamic_power,
+    leakage_power,
+    mean_activity,
+    switching_activity,
+)
+
+
+class TestActivity:
+    def test_from_frames(self):
+        frames = [{"x": 0, "y": 1}, {"x": 1, "y": 1}, {"x": 0, "y": 1}]
+        act = activity_from_frames(frames)
+        assert act["x"] == pytest.approx(1.0)
+        assert act["y"] == 0.0
+
+    def test_single_frame_zero(self):
+        assert activity_from_frames([{"x": 1}]) == {"x": 0.0}
+
+    def test_activity_bounded(self, s298_mapped):
+        act = switching_activity(s298_mapped, n_vectors=50, seed=9)
+        assert all(0.0 <= a <= 1.0 for a in act.values())
+        assert 0.0 < mean_activity(act) < 1.0
+
+    def test_deterministic(self, s27_mapped):
+        a = switching_activity(s27_mapped, n_vectors=20, seed=4)
+        b = switching_activity(s27_mapped, n_vectors=20, seed=4)
+        assert a == b
+
+
+class TestPower:
+    def test_report_breakdown(self, s27_mapped, library):
+        report = analyze_power(s27_mapped, library, n_vectors=30)
+        assert report.dynamic > 0.0
+        assert report.clock > 0.0
+        assert report.leakage > 0.0
+        assert report.total == pytest.approx(
+            report.dynamic + report.clock + report.leakage
+        )
+
+    def test_as_row_microwatts(self, s27_mapped, library):
+        report = analyze_power(s27_mapped, library, n_vectors=30)
+        row = report.as_row()
+        assert row["total_uW"] == pytest.approx(report.total / units.UW)
+
+    def test_dynamic_scales_with_frequency(self, s27_mapped, library):
+        act = switching_activity(s27_mapped, n_vectors=30)
+        p1 = dynamic_power(s27_mapped, act, library, frequency=1e8)
+        p2 = dynamic_power(s27_mapped, act, library, frequency=2e8)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_zero_activity_zero_dynamic(self, s27_mapped, library):
+        act = {g.name: 0.0 for g in s27_mapped.gates()}
+        assert dynamic_power(s27_mapped, act, library) == 0.0
+
+    def test_clock_power_counts_dffs(self, s27_mapped, library):
+        cell = library.cell("DFF_X1")
+        expected = 3 * cell.clock_energy() * units.FCLK_NORMAL
+        assert clock_power(s27_mapped, library) == pytest.approx(expected)
+
+    def test_leakage_overlay_scaling(self, s27_mapped, library):
+        base = leakage_power(s27_mapped, library)
+        overlay = PowerOverlay(
+            leakage_scale={"G11": 0.5}, extra_leakage=1e-6
+        )
+        scaled = leakage_power(s27_mapped, library, overlay)
+        cell = library.cell(s27_mapped.gate("G11").cell)
+        expected = base - 0.5 * cell.leakage_power + 1e-6
+        assert scaled == pytest.approx(expected)
+
+    def test_extra_energy_per_toggle(self, s27_mapped, library):
+        act = switching_activity(s27_mapped, n_vectors=30)
+        base = dynamic_power(s27_mapped, act, library)
+        overlay = PowerOverlay(extra_energy_per_toggle={"G11": 1e-15})
+        boosted = dynamic_power(s27_mapped, act, library, overlay)
+        expected = base + act["G11"] * 1e-15 * units.FCLK_NORMAL
+        assert boosted == pytest.approx(expected)
+
+    def test_gate_filter(self, s27_mapped, library):
+        act = switching_activity(s27_mapped, n_vectors=30)
+        total = dynamic_power(s27_mapped, act, library)
+        comb_only = dynamic_power(
+            s27_mapped, act, library,
+            gate_filter=lambda g: g.is_combinational,
+        )
+        assert 0.0 < comb_only <= total
+
+    def test_precomputed_activity_used(self, s27_mapped, library):
+        act = switching_activity(s27_mapped, n_vectors=30, seed=4)
+        a = analyze_power(s27_mapped, library, activity=act)
+        b = analyze_power(s27_mapped, library, n_vectors=30, seed=4)
+        assert a.total == pytest.approx(b.total)

@@ -1,0 +1,103 @@
+"""Hypothesis properties of the test-generation engines.
+
+The key soundness property: anything PODEM or the transition ATPG
+*claims* to detect must actually be detected by the independent
+bit-parallel fault simulator, on arbitrary circuits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fault import (
+    FaultSimulator,
+    Podem,
+    all_stuck_faults,
+    all_transition_faults,
+    collapse_stuck,
+    collapse_transition,
+    justify,
+)
+from repro.netlist import Netlist, validate
+from repro.power import LogicSimulator
+
+NARY = ["AND", "NAND", "OR", "NOR", "XOR", "XNOR"]
+
+
+@st.composite
+def comb_netlist(draw):
+    """Random combinational netlist (no flip-flops, ATPG-friendly)."""
+    n_inputs = draw(st.integers(2, 4))
+    n_gates = draw(st.integers(2, 12))
+    netlist = Netlist("atpg_rand")
+    nets = []
+    for i in range(n_inputs):
+        netlist.add_input(f"i{i}")
+        nets.append(f"i{i}")
+    gates = []
+    for g in range(n_gates):
+        func = draw(st.sampled_from(NARY + ["NOT", "BUF"]))
+        if func in ("NOT", "BUF"):
+            fanin = [draw(st.sampled_from(nets))]
+        else:
+            k = draw(st.integers(2, 3))
+            fanin = [draw(st.sampled_from(nets)) for _ in range(k)]
+        name = f"g{g}"
+        netlist.add(name, func, fanin)
+        nets.append(name)
+        gates.append(name)
+    netlist.add_output(gates[-1])
+    for name in gates:
+        if not netlist.fanout(name) and name not in netlist.outputs:
+            netlist.add_output(name)
+    validate(netlist)
+    return netlist
+
+
+@given(comb_netlist())
+@settings(max_examples=40, deadline=None)
+def test_podem_claims_verify_in_fault_simulator(netlist):
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+    engine = Podem(netlist, backtrack_limit=30)
+    sim = FaultSimulator(netlist)
+    for fault in faults:
+        result = engine.generate(fault)
+        if result.detected:
+            check = sim.simulate_stuck([fault], [result.test])
+            assert check.detected[fault], f"{netlist.name}: {fault}"
+
+
+@given(comb_netlist())
+@settings(max_examples=30, deadline=None)
+def test_untestable_claims_survive_random_search(netlist):
+    """PODEM 'untestable' must never be contradicted by random patterns."""
+    import random as _random
+
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+    engine = Podem(netlist, backtrack_limit=50)
+    untestable = [
+        f for f in faults if engine.generate(f).status == "untestable"
+    ]
+    if not untestable:
+        return
+    rng = _random.Random(13)
+    nets = list(netlist.inputs)
+    patterns = [
+        {net: rng.randint(0, 1) for net in nets} for _ in range(64)
+    ]
+    sim = FaultSimulator(netlist)
+    result = sim.simulate_stuck(untestable, patterns)
+    for fault in untestable:
+        assert result.detected[fault] == 0, f"{fault} detected randomly!"
+
+
+@given(comb_netlist(), st.integers(0, 1))
+@settings(max_examples=40, deadline=None)
+def test_justify_results_actually_justify(netlist, value):
+    sim = LogicSimulator(netlist)
+    for gate in list(netlist.combinational_gates())[:5]:
+        vector = justify(netlist, gate.name, value, backtrack_limit=30)
+        if vector is None:
+            continue
+        values = dict(vector)
+        sim.eval_combinational(values, 1)
+        assert values[gate.name] == value

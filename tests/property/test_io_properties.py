@@ -1,0 +1,82 @@
+"""Hypothesis round-trip properties for the netlist I/O formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import bench_text, parse_bench
+from repro.netlist import Netlist, from_dict, from_json, to_dict, to_json
+
+FUNCS = ["AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF"]
+
+
+@st.composite
+def io_netlist(draw):
+    """Random sequential netlist using only .bench-expressible funcs."""
+    n_inputs = draw(st.integers(1, 4))
+    n_gates = draw(st.integers(1, 14))
+    n_ffs = draw(st.integers(0, 2))
+    netlist = Netlist("io_rand")
+    nets = []
+    for i in range(n_inputs):
+        netlist.add_input(f"i{i}")
+        nets.append(f"i{i}")
+    ff_names = [f"ff{i}" for i in range(n_ffs)]
+    nets.extend(ff_names)
+    gates = []
+    for g in range(n_gates):
+        func = draw(st.sampled_from(FUNCS))
+        if func in ("NOT", "BUF"):
+            fanin = [draw(st.sampled_from(nets))]
+        else:
+            k = draw(st.integers(2, 4))
+            fanin = [draw(st.sampled_from(nets)) for _ in range(k)]
+        name = f"g{g}"
+        netlist.add(name, func, fanin)
+        nets.append(name)
+        gates.append(name)
+    for i, ff in enumerate(ff_names):
+        netlist.add(ff, "DFF", (gates[i % len(gates)],))
+    netlist.add_output(gates[-1])
+    for name in gates:
+        if not netlist.fanout(name) and name not in netlist.outputs:
+            netlist.add_output(name)
+    for ff in ff_names:
+        if not netlist.fanout(ff):
+            use = f"u{ff}"
+            netlist.add(use, "BUF", (ff,))
+            netlist.add_output(use)
+    return netlist
+
+
+def _signature(netlist):
+    return (
+        netlist.inputs,
+        netlist.outputs,
+        sorted(
+            (g.name, g.func, g.fanin)
+            for g in netlist.gates()
+            if not g.is_input
+        ),
+    )
+
+
+@given(io_netlist())
+@settings(max_examples=50, deadline=None)
+def test_bench_round_trip(netlist):
+    reparsed = parse_bench(bench_text(netlist), name=netlist.name)
+    assert _signature(reparsed) == _signature(netlist)
+
+
+@given(io_netlist())
+@settings(max_examples=50, deadline=None)
+def test_json_round_trip(netlist):
+    assert _signature(from_json(to_json(netlist))) == _signature(netlist)
+    assert _signature(from_dict(to_dict(netlist))) == _signature(netlist)
+
+
+@given(io_netlist())
+@settings(max_examples=30, deadline=None)
+def test_double_round_trip_stable(netlist):
+    once = parse_bench(bench_text(netlist), name=netlist.name)
+    twice = parse_bench(bench_text(once), name=netlist.name)
+    assert bench_text(once) == bench_text(twice)

@@ -1,0 +1,112 @@
+"""Hypothesis properties of the DFT transforms on random sequential DAGs.
+
+The holding transforms (enhanced scan, MUX-hold) insert transparent
+elements, and FLH touches nothing structurally -- so the steady-state
+logic function of the combinational core must be bit-identical across
+all styles, for *any* circuit.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft import build_all_styles
+from repro.netlist import Netlist, validate
+from repro.power import LogicSimulator
+from repro.synth import map_netlist
+
+NARY = ["AND", "NAND", "OR", "NOR", "XOR", "XNOR"]
+
+
+@st.composite
+def sequential_netlist(draw):
+    """A small random sequential netlist with at least one flip-flop."""
+    n_inputs = draw(st.integers(1, 3))
+    n_ffs = draw(st.integers(1, 3))
+    n_gates = draw(st.integers(n_ffs + 1, 12))
+    netlist = Netlist("rand_seq")
+    nets = []
+    for i in range(n_inputs):
+        netlist.add_input(f"i{i}")
+        nets.append(f"i{i}")
+    ff_names = [f"ff{i}" for i in range(n_ffs)]
+    nets.extend(ff_names)  # flip-flop outputs usable as fanin
+    gate_names = []
+    for g in range(n_gates):
+        func = draw(st.sampled_from(NARY + ["NOT", "BUF"]))
+        if func in ("NOT", "BUF"):
+            fanin = [draw(st.sampled_from(nets))]
+        else:
+            k = draw(st.integers(2, 3))
+            fanin = [draw(st.sampled_from(nets)) for _ in range(k)]
+        name = f"g{g}"
+        netlist.add(name, func, fanin)
+        nets.append(name)
+        gate_names.append(name)
+    # Flip-flop data inputs and one primary output from the last gates.
+    for i, ff in enumerate(ff_names):
+        source = gate_names[-(i % len(gate_names)) - 1]
+        netlist.add(ff, "DFF", (source,))
+    netlist.add_output(gate_names[-1])
+    # Every flip-flop output must reach some logic (FLH needs a first
+    # level to gate; real scan circuits always have one).
+    for i, ff in enumerate(ff_names):
+        if not any(
+            netlist.gate(s).is_combinational for s in netlist.fanout(ff)
+        ):
+            use = f"use{i}"
+            netlist.add(use, "BUF", (ff,))
+            netlist.add_output(use)
+            gate_names.append(use)
+    # Tie off dangling gates as extra outputs so validation passes.
+    for name in gate_names:
+        if not netlist.fanout(name) and name not in netlist.outputs:
+            netlist.add_output(name)
+    validate(netlist)
+    return netlist
+
+
+@given(sequential_netlist(), st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_all_styles_functionally_identical(netlist, seed):
+    designs = build_all_styles(netlist)
+    rng = random.Random(seed)
+    inputs = list(netlist.inputs) + list(netlist.state_inputs)
+    vec = {net: rng.randint(0, 1) for net in inputs}
+    outputs = {}
+    for style, design in designs.items():
+        values = dict(vec)
+        LogicSimulator(design.netlist).eval_combinational(values, 1)
+        outputs[style] = (
+            tuple(values[po] for po in design.netlist.outputs),
+            tuple(values[so] for so in design.netlist.state_outputs),
+        )
+    assert outputs["scan"][0] == outputs["enhanced"][0]
+    assert outputs["scan"][0] == outputs["mux"][0]
+    assert outputs["scan"][0] == outputs["flh"][0]
+    # State outputs (flip-flop data values) must agree as well.
+    assert outputs["scan"][1] == outputs["flh"][1]
+
+
+@given(sequential_netlist())
+@settings(max_examples=25, deadline=None)
+def test_mapping_preserves_stats(netlist):
+    mapped = map_netlist(netlist)
+    validate(mapped)
+    assert mapped.n_dffs() == netlist.n_dffs()
+    assert mapped.inputs == netlist.inputs
+    assert mapped.outputs == netlist.outputs
+    assert all(
+        g.cell is not None for g in mapped.gates() if not g.is_input
+    )
+
+
+@given(sequential_netlist())
+@settings(max_examples=20, deadline=None)
+def test_flh_targets_are_exactly_first_level(netlist):
+    from repro.netlist import first_level_gates
+
+    designs = build_all_styles(netlist)
+    flh = designs["flh"]
+    assert set(flh.flh_gating) == set(first_level_gates(flh.netlist))

@@ -1,0 +1,89 @@
+"""Tests for the transient-circuit container."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.spice import GND_NODE, VDD_NODE, TransientCircuit, constant, step_wave
+
+
+class TestWaveforms:
+    def test_constant(self):
+        wave = constant(0.7)
+        assert wave(0.0) == 0.7
+        assert wave(1e-6) == 0.7
+
+    def test_step_wave(self):
+        wave = step_wave({1e-9: 1.0, 3e-9: 0.2}, initial=0.5)
+        assert wave(0.0) == 0.5
+        assert wave(1e-9) == 1.0
+        assert wave(2e-9) == 1.0
+        assert wave(5e-9) == 0.2
+
+    def test_step_wave_empty(self):
+        assert step_wave({}, initial=0.3)(1.0) == 0.3
+
+
+class TestConstruction:
+    def test_supplies_predefined(self):
+        tb = TransientCircuit()
+        assert tb.sources[VDD_NODE](0.0) == units.VDD_70NM
+        assert tb.sources[GND_NODE](0.0) == 0.0
+
+    def test_inverter_adds_two_devices(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y")
+        assert len(tb.devices) == 2
+        kinds = {d.kind for d in tb.devices}
+        assert kinds == {"n", "p"}
+
+    def test_pmos_width_includes_pn_ratio(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y", drive=1.0)
+        p = next(d for d in tb.devices if d.kind == "p")
+        n = next(d for d in tb.devices if d.kind == "n")
+        assert p.width == pytest.approx(n.width * units.PN_RATIO)
+
+    def test_free_nodes_exclude_sources(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y")
+        tb.drive("a", constant(0.0))
+        assert tb.free_nodes() == ["y"]
+
+    def test_node_caps_all_positive(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y")
+        tb.inverter("i2", "y", "z")
+        tb.drive("a", constant(0.0))
+        caps = tb.node_caps()
+        assert set(caps) == {"y", "z"}
+        assert all(c > 0 for c in caps.values())
+
+    def test_explicit_cap_added(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y")
+        tb.drive("a", constant(0.0))
+        before = tb.node_caps()["y"]
+        tb.add_cap("y", 5 * units.FF)
+        assert tb.node_caps()["y"] == pytest.approx(before + 5 * units.FF)
+
+    def test_check_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            TransientCircuit().check()
+
+    def test_check_rejects_initial_on_source(self):
+        tb = TransientCircuit()
+        tb.inverter("i1", "a", "y")
+        tb.drive("a", constant(0.0))
+        tb.set_initial("a", 1.0)
+        with pytest.raises(SimulationError):
+            tb.check()
+
+    def test_transmission_gate_device_roles(self):
+        tb = TransientCircuit()
+        tb.transmission_gate("t", "a", "b", "en", "enb")
+        assert len(tb.devices) == 2
+        n = next(d for d in tb.devices if d.kind == "n")
+        p = next(d for d in tb.devices if d.kind == "p")
+        assert n.gate == "en"
+        assert p.gate == "enb"

@@ -1,0 +1,82 @@
+"""Tests for the alpha-power MOSFET model."""
+
+import pytest
+
+from repro import units
+from repro.spice.mosfet import Mosfet
+
+
+@pytest.fixture
+def n1():
+    return Mosfet("m1", "n", "d", "g", "s", 1 * units.UM)
+
+
+@pytest.fixture
+def p1():
+    return Mosfet("m2", "p", "d", "g", "s", 1 * units.UM)
+
+
+class TestNmos:
+    def test_off_leakage_matches_technology(self, n1):
+        ids = n1.current(vd=units.VDD_70NM, vg=0.0, vs=0.0)
+        assert ids == pytest.approx(
+            units.ILEAK_PER_WIDTH * units.UM, rel=0.05
+        )
+
+    def test_on_current_strong(self, n1):
+        ids = n1.current(vd=units.VDD_70NM, vg=units.VDD_70NM, vs=0.0)
+        assert ids > 1e-4  # ~0.5 mA/um
+
+    def test_zero_vds_zero_current(self, n1):
+        assert n1.current(vd=0.5, vg=1.0, vs=0.5) == 0.0
+
+    def test_reversed_terminals_negative(self, n1):
+        forward = n1.current(vd=1.0, vg=1.0, vs=0.0)
+        backward = n1.current(vd=0.0, vg=1.0, vs=1.0)
+        assert backward == pytest.approx(-forward)
+
+    def test_current_monotone_in_vgs(self, n1):
+        currents = [
+            n1.current(vd=1.0, vg=vg / 10.0, vs=0.0) for vg in range(11)
+        ]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_current_monotone_in_vds(self, n1):
+        currents = [
+            n1.current(vd=vd / 10.0, vg=1.0, vs=0.0) for vd in range(11)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(currents, currents[1:]))
+
+    def test_linear_region_below_saturation(self, n1):
+        lin = n1.current(vd=0.05, vg=1.0, vs=0.0)
+        sat = n1.current(vd=1.0, vg=1.0, vs=0.0)
+        assert 0.0 < lin < sat
+
+    def test_vt_shift_cuts_leakage(self):
+        svt = Mosfet("a", "n", "d", "g", "s", 1 * units.UM)
+        hvt = Mosfet("b", "n", "d", "g", "s", 1 * units.UM, vt_shift=0.1)
+        assert hvt.current(1.0, 0.0, 0.0) < svt.current(1.0, 0.0, 0.0) / 5
+
+    def test_width_scales_current(self):
+        w1 = Mosfet("a", "n", "d", "g", "s", 1 * units.UM)
+        w2 = Mosfet("b", "n", "d", "g", "s", 2 * units.UM)
+        assert w2.current(1.0, 1.0, 0.0) == pytest.approx(
+            2 * w1.current(1.0, 1.0, 0.0)
+        )
+
+
+class TestPmos:
+    def test_conducts_with_low_gate(self, p1):
+        # Source at VDD, drain low, gate low: strong conduction (negative
+        # current = drain->source convention flow into the drain).
+        ids = p1.current(vd=0.0, vg=0.0, vs=1.0)
+        assert ids < -1e-4
+
+    def test_off_with_high_gate(self, p1):
+        ids = p1.current(vd=0.0, vg=1.0, vs=1.0)
+        assert abs(ids) < 1e-6
+
+    def test_weaker_than_nmos(self, n1, p1):
+        i_n = n1.current(vd=1.0, vg=1.0, vs=0.0)
+        i_p = abs(p1.current(vd=0.0, vg=0.0, vs=1.0))
+        assert i_p == pytest.approx(i_n / units.PN_RATIO, rel=0.05)

@@ -1,0 +1,135 @@
+"""Tests for the transient solver on small circuits."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.spice import TransientCircuit, simulate, step_wave
+
+
+def test_inverter_switches():
+    tb = TransientCircuit("inv")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({1 * units.NS: units.VDD_70NM}, initial=0.0))
+    tb.set_initial("out", units.VDD_70NM)
+    result = simulate(tb, 3 * units.NS, record_every=10 * units.PS)
+    assert result.at("out", 0.5 * units.NS) > 0.9 * units.VDD_70NM
+    assert result.at("out", 2.8 * units.NS) < 0.1 * units.VDD_70NM
+
+
+def test_inverter_chain_propagates():
+    tb = TransientCircuit("chain")
+    tb.inverter("i1", "in", "n1")
+    tb.inverter("i2", "n1", "n2")
+    tb.drive("in", step_wave({0.5 * units.NS: units.VDD_70NM}, initial=0.0))
+    tb.set_initial("n1", units.VDD_70NM)
+    tb.set_initial("n2", 0.0)
+    result = simulate(tb, 3 * units.NS, record_every=10 * units.PS)
+    assert result.at("n1", 2.9 * units.NS) < 0.1
+    assert result.at("n2", 2.9 * units.NS) > 0.9
+
+
+def test_crossing_time_measured():
+    tb = TransientCircuit("inv")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({1 * units.NS: units.VDD_70NM}, initial=0.0))
+    tb.set_initial("out", units.VDD_70NM)
+    result = simulate(tb, 3 * units.NS, record_every=5 * units.PS)
+    t_cross = result.crossing_time("out", 0.5, falling=True)
+    assert t_cross is not None
+    assert 1 * units.NS < t_cross < 1.5 * units.NS
+
+
+def test_crossing_time_none_when_never():
+    tb = TransientCircuit("idle")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({}, initial=0.0))
+    tb.set_initial("out", units.VDD_70NM)
+    result = simulate(tb, 1 * units.NS)
+    assert result.crossing_time("out", 0.3, falling=True) is None
+
+
+def test_transmission_gate_passes_when_enabled():
+    tb = TransientCircuit("tg")
+    tb.transmission_gate("t1", "a", "b", "en", "enb")
+    tb.drive("a", step_wave({}, initial=units.VDD_70NM))
+    tb.drive("en", step_wave({}, initial=units.VDD_70NM))
+    tb.drive("enb", step_wave({}, initial=0.0))
+    tb.set_initial("b", 0.0)
+    result = simulate(tb, 2 * units.NS)
+    assert result.at("b", 1.9 * units.NS) > 0.9
+
+
+def test_transmission_gate_blocks_when_disabled():
+    tb = TransientCircuit("tg")
+    tb.transmission_gate("t1", "a", "b", "en", "enb")
+    tb.drive("a", step_wave({}, initial=units.VDD_70NM))
+    tb.drive("en", step_wave({}, initial=0.0))
+    tb.drive("enb", step_wave({}, initial=units.VDD_70NM))
+    tb.set_initial("b", 0.0)
+    result = simulate(tb, 2 * units.NS)
+    assert result.at("b", 1.9 * units.NS) < 0.3
+
+
+def test_empty_circuit_rejected():
+    tb = TransientCircuit("empty")
+    with pytest.raises(SimulationError):
+        simulate(tb, 1 * units.NS)
+
+
+def test_initial_condition_on_driven_node_rejected():
+    tb = TransientCircuit("bad")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({}, initial=0.0))
+    tb.set_initial("in", 1.0)
+    with pytest.raises(SimulationError):
+        simulate(tb, 1 * units.NS)
+
+
+def test_supply_current_recorded():
+    tb = TransientCircuit("imeas")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({0.5 * units.NS: units.VDD_70NM}, initial=0.0))
+    tb.set_initial("out", units.VDD_70NM)
+    result = simulate(
+        tb, 2 * units.NS, measure_current_from="vdd",
+        record_every=5 * units.PS,
+    )
+    assert result.supply_current is not None
+    assert len(result.supply_current) == len(result.times)
+
+
+def test_result_helpers():
+    tb = TransientCircuit("helpers")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({1 * units.NS: units.VDD_70NM}, initial=0.0))
+    tb.set_initial("out", units.VDD_70NM)
+    result = simulate(tb, 2 * units.NS, record_every=10 * units.PS)
+    # `at` clamps beyond-range times to the last sample.
+    assert result.at("out", 100 * units.NS) == pytest.approx(
+        float(result.voltages["out"][-1])
+    )
+    assert result.minimum("out") <= result.maximum("out")
+    # Rising crossing on a falling node never happens from the top rail.
+    assert result.crossing_time("out", 1.2, falling=False) is None
+
+
+def test_rising_crossing_detected():
+    tb = TransientCircuit("rise")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({1 * units.NS: 0.0},
+                             initial=units.VDD_70NM))
+    tb.set_initial("out", 0.0)
+    result = simulate(tb, 3 * units.NS, record_every=10 * units.PS)
+    t_rise = result.crossing_time("out", 0.5, falling=False)
+    assert t_rise is not None and t_rise > 1 * units.NS
+
+
+def test_voltages_stay_clamped():
+    tb = TransientCircuit("clamp")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({}, initial=0.0))
+    tb.set_initial("out", 0.0)
+    result = simulate(tb, 2 * units.NS)
+    assert result.maximum("out") <= 1.05 * units.VDD_70NM + 1e-9
+    assert result.minimum("out") >= -0.05 * units.VDD_70NM - 1e-9

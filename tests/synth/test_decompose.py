@@ -1,0 +1,80 @@
+"""Tests for arity decomposition."""
+
+import itertools
+
+import pytest
+
+from repro.errors import MappingError
+from repro.netlist import Netlist, evaluate_gate, validate
+from repro.power import LogicSimulator
+from repro.synth import clip_arity
+
+
+def wide_gate_netlist(func, width):
+    n = Netlist("wide")
+    pins = [f"i{k}" for k in range(width)]
+    for p in pins:
+        n.add_input(p)
+    n.add("y", func, pins)
+    n.add_output("y")
+    return n, pins
+
+
+@pytest.mark.parametrize("func", ["AND", "NAND", "OR", "NOR", "XOR", "XNOR"])
+def test_decomposition_preserves_function(func):
+    width = 6
+    n, pins = wide_gate_netlist(func, width)
+    reference = {
+        bits: evaluate_gate(func, bits, 1)
+        for bits in itertools.product((0, 1), repeat=width)
+    }
+    count = clip_arity(n, max_arity=4)
+    assert count >= 1
+    validate(n)
+    assert all(g.n_inputs <= 4 for g in n.combinational_gates())
+    sim = LogicSimulator(n)
+    for bits, expected in reference.items():
+        values = dict(zip(pins, bits))
+        sim.eval_combinational(values, mask=1)
+        assert values["y"] == expected, f"{func} mismatch at {bits}"
+
+
+def test_narrow_gates_untouched(s27_netlist):
+    before = s27_netlist.n_gates()
+    assert clip_arity(s27_netlist) == 0
+    assert s27_netlist.n_gates() == before
+
+
+def test_very_wide_gate_iterates():
+    n, pins = wide_gate_netlist("AND", 20)
+    clip_arity(n, max_arity=4)
+    validate(n)
+    assert all(g.n_inputs <= 4 for g in n.combinational_gates())
+    sim = LogicSimulator(n)
+    values = {p: 1 for p in pins}
+    sim.eval_combinational(values, 1)
+    assert values["y"] == 1
+    values = {p: 1 for p in pins}
+    values[pins[13]] = 0
+    sim.eval_combinational(values, 1)
+    assert values["y"] == 0
+
+
+def test_buf_cannot_be_decomposed():
+    n = Netlist("bad")
+    for k in range(5):
+        n.add_input(f"i{k}")
+    # Force an illegal wide gate through the Gate API guard by building
+    # a MUX2 (fixed arity) -- clip_arity only sees arity > max for n-ary
+    # funcs, so craft an AND and rename func map instead: use max_arity=1.
+    n.add("y", "AND", [f"i{k}" for k in range(5)])
+    n.add_output("y")
+    with pytest.raises(MappingError):
+        clip_arity(n, max_arity=1)
+
+
+def test_max_arity_two():
+    n, pins = wide_gate_netlist("NOR", 5)
+    clip_arity(n, max_arity=2)
+    validate(n)
+    assert all(g.n_inputs <= 2 for g in n.combinational_gates())

@@ -1,0 +1,151 @@
+"""Tests for technology mapping."""
+
+import itertools
+
+import pytest
+
+from repro.cells import default_library
+from repro.errors import MappingError
+from repro.netlist import Netlist, validate
+from repro.power import LogicSimulator
+from repro.synth import (
+    cell_histogram,
+    check_mapped,
+    map_netlist,
+    match_complex_gates,
+)
+
+
+class TestComplexMatching:
+    def build_aoi21_candidate(self):
+        n = Netlist("aoi")
+        for p in ("a", "b", "c"):
+            n.add_input(p)
+        n.add("t", "AND", ("a", "b"))
+        n.add("y", "NOR", ("t", "c"))
+        n.add_output("y")
+        return n
+
+    def test_aoi21_fused(self):
+        n = self.build_aoi21_candidate()
+        assert match_complex_gates(n) == 1
+        gate = n.gate("y")
+        assert gate.func == "AOI21"
+        assert gate.fanin == ("a", "b", "c")
+        assert "t" not in n
+        validate(n)
+
+    def test_aoi21_function_preserved(self):
+        reference = self.build_aoi21_candidate()
+        fused = self.build_aoi21_candidate()
+        match_complex_gates(fused)
+        for bits in itertools.product((0, 1), repeat=3):
+            vals_ref = dict(zip(("a", "b", "c"), bits))
+            vals_fused = dict(vals_ref)
+            LogicSimulator(reference).eval_combinational(vals_ref, 1)
+            LogicSimulator(fused).eval_combinational(vals_fused, 1)
+            assert vals_ref["y"] == vals_fused["y"]
+
+    def test_oai22_fused(self):
+        n = Netlist("oai")
+        for p in ("a", "b", "c", "d"):
+            n.add_input(p)
+        n.add("t1", "OR", ("a", "b"))
+        n.add("t2", "OR", ("c", "d"))
+        n.add("y", "NAND", ("t1", "t2"))
+        n.add_output("y")
+        assert match_complex_gates(n) == 1
+        assert n.gate("y").func == "OAI22"
+
+    def test_multi_fanout_inner_not_fused(self):
+        n = Netlist("nofuse")
+        for p in ("a", "b", "c"):
+            n.add_input(p)
+        n.add("t", "AND", ("a", "b"))
+        n.add("y", "NOR", ("t", "c"))
+        n.add("z", "NOT", ("t",))     # second fanout blocks absorption
+        n.add_output("y")
+        n.add_output("z")
+        assert match_complex_gates(n) == 0
+        assert n.gate("y").func == "NOR"
+
+    def test_po_inner_not_fused(self):
+        n = Netlist("po")
+        for p in ("a", "b", "c"):
+            n.add_input(p)
+        n.add("t", "AND", ("a", "b"))
+        n.add("y", "NOR", ("t", "c"))
+        n.add_output("y")
+        n.add_output("t")             # inner gate is itself observable
+        assert match_complex_gates(n) == 0
+
+
+class TestMapping:
+    def test_s27_fully_mapped(self, s27_mapped, library):
+        check_mapped(s27_mapped, library)
+        validate(s27_mapped)
+
+    def test_original_untouched(self, s27_netlist):
+        map_netlist(s27_netlist)
+        assert all(
+            g.cell is None for g in s27_netlist.gates() if not g.is_input
+        )
+
+    def test_dffs_bound_to_dff_cell(self, s27_mapped):
+        for dff in s27_mapped.dffs():
+            assert dff.cell == "DFF_X1"
+
+    def test_high_fanout_gets_x2(self):
+        n = Netlist("fan")
+        n.add_input("a")
+        n.add("src", "NOT", ("a",))
+        for k in range(5):
+            n.add(f"s{k}", "NOT", ("src",))
+            n.add_output(f"s{k}")
+        mapped = map_netlist(n)
+        assert mapped.gate("src").cell == "INV_X2"
+        assert mapped.gate("s0").cell == "INV_X1"
+
+    def test_complex_gates_can_be_disabled(self):
+        n = Netlist("aoi")
+        for p in ("a", "b", "c"):
+            n.add_input(p)
+        n.add("t", "AND", ("a", "b"))
+        n.add("y", "NOR", ("t", "c"))
+        n.add_output("y")
+        plain = map_netlist(n, complex_gates=False)
+        assert plain.gate("y").func == "NOR"
+        fancy = map_netlist(n, complex_gates=True)
+        assert fancy.gate("y").func == "AOI21"
+
+    def test_mapping_reduces_or_keeps_gate_count(self, s298_netlist):
+        mapped = map_netlist(s298_netlist)
+        assert mapped.n_gates() <= s298_netlist.n_gates()
+
+    def test_check_mapped_catches_unbound(self, s27_netlist, library):
+        with pytest.raises(MappingError):
+            check_mapped(s27_netlist, library)
+
+    def test_cell_histogram(self, s27_mapped):
+        hist = cell_histogram(s27_mapped)
+        assert hist["DFF_X1"] == 3
+        assert sum(hist.values()) == len(
+            [g for g in s27_mapped.gates() if not g.is_input]
+        )
+
+    def test_mapped_functionality_matches(self, s27_netlist, s27_mapped):
+        """Mapping must not change the logic function."""
+        import random
+
+        rng = random.Random(5)
+        sim_a = LogicSimulator(s27_netlist)
+        sim_b = LogicSimulator(s27_mapped)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        for _ in range(30):
+            values = {net: rng.randint(0, 1) for net in nets}
+            va, vb = dict(values), dict(values)
+            sim_a.eval_combinational(va, 1)
+            sim_b.eval_combinational(vb, 1)
+            assert va["G17"] == vb["G17"]
+            for out in s27_netlist.state_outputs:
+                assert va[out] == vb[out]

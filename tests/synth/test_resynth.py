@@ -1,0 +1,126 @@
+"""Tests for buffer insertion and double-inverter collapsing."""
+
+import random
+
+import pytest
+
+from repro.netlist import Netlist, validate
+from repro.power import LogicSimulator
+from repro.synth import (
+    collapse_double_inverters,
+    existing_inverter,
+    insert_buffer_pair,
+    prune_dangling,
+)
+
+
+@pytest.fixture
+def fanout_net():
+    """src drives three NANDs and one inverter."""
+    n = Netlist("fan")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("src", "AND", ("a", "b"))
+    for k in range(3):
+        n.add(f"g{k}", "NAND", ("src", "a"))
+        n.add_output(f"g{k}")
+    n.add("inv", "NOT", ("src",))
+    n.add("useinv", "NAND", ("inv", "b"))
+    n.add_output("useinv")
+    return n
+
+
+def responses(netlist, seed=3, rounds=20):
+    sim = LogicSimulator(netlist)
+    rng = random.Random(seed)
+    out = []
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    for _ in range(rounds):
+        values = {net: rng.randint(0, 1) for net in nets}
+        sim.eval_combinational(values, 1)
+        out.append(tuple(values[o] for o in netlist.outputs))
+    return out
+
+
+class TestInsertBufferPair:
+    def test_structure(self, fanout_net):
+        ref = responses(fanout_net)
+        inv1, inv2 = insert_buffer_pair(fanout_net, "src")
+        validate(fanout_net)
+        # src now drives only inv1.
+        assert fanout_net.fanout("src") == {inv1}
+        assert fanout_net.gate(inv1).func == "NOT"
+        assert fanout_net.gate(inv2).fanin == (inv1,)
+        assert responses(fanout_net) == ref  # logic unchanged
+
+    def test_subset_of_sinks(self, fanout_net):
+        inv1, inv2 = insert_buffer_pair(fanout_net, "src", sinks={"g0"})
+        assert fanout_net.gate("g0").fanin[0] == inv2
+        assert fanout_net.gate("g1").fanin[0] == "src"
+
+    def test_mapped_netlist_gets_cells(self, s27_mapped):
+        n = s27_mapped.copy()
+        inv1, inv2 = insert_buffer_pair(n, "G5")
+        assert n.gate(inv1).cell == "INV_X1"
+
+
+class TestCollapseDoubleInverters:
+    def test_inverter_sink_folded(self, fanout_net):
+        ref = responses(fanout_net)
+        inv1, inv2 = insert_buffer_pair(fanout_net, "src")
+        removed = collapse_double_inverters(fanout_net, inv1, inv2)
+        validate(fanout_net)
+        assert removed >= 1
+        assert "inv" not in fanout_net or not fanout_net.gate("inv")
+        assert responses(fanout_net) == ref
+
+    def test_protected_inverter_not_removed(self):
+        n = Netlist("prot")
+        n.add_input("a")
+        n.add("src", "NOT", ("a",))
+        n.add("s1", "NOT", ("src",))
+        n.add("s2", "NAND", ("src", "a"))
+        n.add_output("s1")  # primary output: must stay
+        n.add_output("s2")
+        ref = responses(n)
+        inv1, inv2 = insert_buffer_pair(n, "src")
+        collapse_double_inverters(n, inv1, inv2)
+        assert "s1" in n
+        assert responses(n) == ref
+
+    def test_inv2_removed_when_empty(self):
+        n = Netlist("only_inv")
+        n.add_input("a")
+        n.add("src", "BUF", ("a",))
+        n.add("s1", "NOT", ("src",))
+        n.add("use", "NAND", ("s1", "a"))
+        n.add_output("use")
+        inv1, inv2 = insert_buffer_pair(n, "src")
+        collapse_double_inverters(n, inv1, inv2)
+        validate(n)
+        # Everything the second inverter fed was an inverter, so it died.
+        assert inv2 not in n
+
+
+class TestPruneDangling:
+    def test_prunes_chain(self):
+        n = Netlist("dangle")
+        n.add_input("a")
+        n.add("keep", "NOT", ("a",))
+        n.add("d1", "NOT", ("a",))
+        n.add("d2", "NOT", ("d1",))
+        n.add_output("keep")
+        assert prune_dangling(n) == 2
+        assert "d1" not in n and "d2" not in n
+        validate(n)
+
+    def test_keeps_outputs(self, fanout_net):
+        assert prune_dangling(fanout_net) == 0
+
+
+class TestExistingInverter:
+    def test_found(self, fanout_net):
+        assert existing_inverter(fanout_net, "src") == "inv"
+
+    def test_absent(self, fanout_net):
+        assert existing_inverter(fanout_net, "a") is None

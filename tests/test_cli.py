@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, QUICK, main
+
+
+def test_fig5_runs(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "== fig5 ==" in out
+    assert "Figure 5(b)" in out
+
+
+def test_multiple_experiments(capsys):
+    assert main(["fig5", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("== fig5 ==") == 2
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_no_arguments_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_all_expands_to_every_experiment():
+    assert set(EXPERIMENTS) >= {
+        "table1", "table2", "table3", "table4",
+        "fig2", "fig4", "fig5", "coverage", "ablation",
+        "partial", "variation",
+    }
+
+
+def test_quick_subset_runs(capsys):
+    # The quick bundle must at least include the fast protocol check.
+    assert "fig5" in QUICK
+    QUICK["fig5"]()
+    assert "Figure 5(b)" in capsys.readouterr().out

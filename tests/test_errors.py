@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AtpgError,
+    DftError,
+    LibraryError,
+    MappingError,
+    NetlistError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TimingError,
+)
+
+ALL = [
+    AtpgError, DftError, LibraryError, MappingError,
+    NetlistError, ParseError, SimulationError, TimingError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_parse_error_line_number():
+    err = ParseError("bad token", line_number=42)
+    assert "line 42" in str(err)
+    assert err.line_number == 42
+
+
+def test_parse_error_without_line():
+    err = ParseError("bad token")
+    assert str(err) == "bad token"
+    assert err.line_number is None

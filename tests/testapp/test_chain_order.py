@@ -1,0 +1,71 @@
+"""Tests for shift-power-aware scan-chain ordering."""
+
+import random
+
+import pytest
+
+from repro.errors import DftError
+from repro.testapp import (
+    ScanChainSimulator,
+    order_chain_for_shift_power,
+    reorder_design,
+    state_difference_matrix,
+)
+
+
+class TestDifferenceMatrix:
+    def test_probabilities_bounded(self, s298_mapped):
+        matrix = state_difference_matrix(s298_mapped, n_vectors=40)
+        assert all(0.0 <= p <= 1.0 for p in matrix.values())
+
+    def test_deterministic(self, s298_mapped):
+        a = state_difference_matrix(s298_mapped, n_vectors=30, seed=1)
+        b = state_difference_matrix(s298_mapped, n_vectors=30, seed=1)
+        assert a == b
+
+
+class TestOrdering:
+    def test_order_is_permutation(self, s298_designs):
+        order = order_chain_for_shift_power(
+            s298_designs["scan"], n_vectors=40
+        )
+        assert sorted(order) == sorted(s298_designs["scan"].scan_chain)
+
+    def test_reorder_design_keeps_netlist(self, s298_designs):
+        reordered = reorder_design(s298_designs["scan"], n_vectors=40)
+        assert reordered.style == "scan"
+        assert sorted(reordered.scan_chain) == sorted(
+            s298_designs["scan"].scan_chain
+        )
+        assert len(reordered.netlist) == len(s298_designs["scan"].netlist)
+
+    def test_requires_plain_scan(self, s298_designs):
+        with pytest.raises(DftError):
+            reorder_design(s298_designs["flh"])
+
+    def test_reduces_chain_toggles_on_functional_states(self, s298_designs):
+        """Shifting functional (correlated) states through the reordered
+        chain must toggle the chain no more than the original order."""
+        scan = s298_designs["scan"]
+        reordered = reorder_design(scan, n_vectors=60, seed=5)
+
+        from repro.power import LogicSimulator
+
+        logic = LogicSimulator(scan.netlist)
+        frames = logic.run_sequential(logic.random_vectors(25, seed=77))
+        states = [
+            {ff: frame[ff] for ff in scan.scan_chain}
+            for frame in frames[5:]
+        ]
+
+        def total_toggles(design):
+            sim = ScanChainSimulator(design)
+            toggles = 0
+            current = {ff: 0 for ff in design.scan_chain}
+            for state in states:
+                trace = sim.shift_in(state, initial_state=current)
+                toggles += trace.chain_toggles
+                current = trace.final_state
+            return toggles
+
+        assert total_toggles(reordered) <= total_toggles(scan) * 1.05

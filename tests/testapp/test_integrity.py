@@ -1,0 +1,59 @@
+"""Tests for flush testing and test-time accounting."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.testapp import (
+    flush_test,
+    partition_chains,
+    tester_time,
+)
+
+
+class TestFlush:
+    def test_single_chain(self, s298_designs):
+        assert flush_test(s298_designs["scan"])
+
+    def test_multi_chain(self, s298_designs):
+        design = s298_designs["flh"]
+        chains = partition_chains(design.scan_chain, 3)
+        assert flush_test(design, chains=chains)
+
+    def test_all_styles(self, s27_designs):
+        for design in s27_designs.values():
+            assert flush_test(design)
+
+
+class TestTestTime:
+    def test_two_pattern_styles_double_shift(self, s298_designs):
+        plain = tester_time(s298_designs["scan"], n_tests=10)
+        flh = tester_time(s298_designs["flh"], n_tests=10)
+        assert plain.scan_ins_per_test == 1
+        assert flh.scan_ins_per_test == 2
+        assert flh.shift_cycles == 2 * plain.shift_cycles
+
+    def test_multi_chain_divides_time(self, s298_designs):
+        one = tester_time(s298_designs["flh"], n_tests=10)
+        four = tester_time(
+            s298_designs["flh"], n_tests=10, n_chains=4
+        )
+        assert four.shift_cycles < one.shift_cycles
+        assert four.shift_cycles == 2 * 10 * 4  # ceil(14/4) = 4
+
+    def test_seconds_scale_with_frequency(self, s27_designs):
+        report = tester_time(s27_designs["flh"], n_tests=5)
+        slow = report.seconds(scan_frequency=100e6)
+        fast = report.seconds(scan_frequency=1e9)
+        assert slow == pytest.approx(10 * fast)
+
+    def test_total_cycles(self, s27_designs):
+        report = tester_time(s27_designs["scan"], n_tests=4)
+        assert report.total_cycles == report.shift_cycles + report.apply_cycles
+        # 4 tests x 1 scan-in x 3 cells + (4 x 2 + 3) apply/flush cycles.
+        assert report.shift_cycles == 12
+        assert report.apply_cycles == 11
+
+    def test_negative_tests_rejected(self, s27_designs):
+        with pytest.raises(SimulationError):
+            tester_time(s27_designs["scan"], n_tests=-1)

@@ -1,0 +1,125 @@
+"""Tests for two-pattern test application protocols."""
+
+import random
+
+import pytest
+
+from repro.errors import DftError
+from repro.power import LogicSimulator
+from repro.testapp import (
+    FIG5B_SEQUENCE,
+    apply_broadside,
+    apply_skewed_load,
+    apply_two_pattern,
+)
+
+
+def random_pair(design, seed):
+    rng = random.Random(seed)
+    nets = list(design.netlist.inputs) + list(design.netlist.state_inputs)
+    v1 = {net: rng.randint(0, 1) for net in nets}
+    v2 = {net: rng.randint(0, 1) for net in nets}
+    return v1, v2
+
+
+class TestArbitraryProtocol:
+    def test_fig5b_sequence(self, s27_designs):
+        v1, v2 = random_pair(s27_designs["flh"], 1)
+        trace = apply_two_pattern(s27_designs["flh"], v1, v2)
+        assert tuple(trace.event_messages()) == FIG5B_SEQUENCE
+
+    def test_capture_matches_logic_sim(self, s27_designs):
+        design = s27_designs["flh"]
+        v1, v2 = random_pair(design, 2)
+        trace = apply_two_pattern(design, v1, v2)
+        sim = LogicSimulator(design.netlist)
+        values = dict(v2)
+        sim.eval_combinational(values, 1)
+        for ff, data in zip(sim.dff_names, sim.dff_data):
+            assert trace.captured_state[ff] == values[data]
+        for po in design.netlist.outputs:
+            assert trace.observed_outputs[po] == values[po]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_enhanced_and_flh_identical(self, s298_designs, seed):
+        """Section IV: coverage identical for a given test set."""
+        v1, v2 = random_pair(s298_designs["flh"], seed)
+        te = apply_two_pattern(s298_designs["enhanced"], v1, v2)
+        tf = apply_two_pattern(s298_designs["flh"], v1, v2)
+        assert te.captured_state == tf.captured_state
+        assert te.observed_outputs == tf.observed_outputs
+
+    def test_no_comb_switching_during_scan(self, s298_designs):
+        v1, v2 = random_pair(s298_designs["flh"], 3)
+        trace = apply_two_pattern(s298_designs["flh"], v1, v2)
+        assert trace.shift_comb_toggles == 0
+
+    def test_plain_scan_rejected(self, s27_designs):
+        v1, v2 = random_pair(s27_designs["scan"], 4)
+        with pytest.raises(DftError):
+            apply_two_pattern(s27_designs["scan"], v1, v2)
+
+    def test_cycle_count(self, s27_designs):
+        v1, v2 = random_pair(s27_designs["flh"], 5)
+        trace = apply_two_pattern(s27_designs["flh"], v1, v2)
+        # Two scans of 3 cycles each + apply + capture.
+        assert trace.cycles == 3 + 1 + 3 + 1
+
+
+class TestBroadside:
+    def test_v2_state_is_functional_response(self, s27_designs):
+        design = s27_designs["scan"]
+        v1, _ = random_pair(design, 6)
+        trace = apply_broadside(design, v1)
+        sim = LogicSimulator(design.netlist)
+        values = dict(v1)
+        sim.eval_combinational(values, 1)
+        state2 = {
+            ff: values[data] & 1
+            for ff, data in zip(sim.dff_names, sim.dff_data)
+        }
+        # The captured state is the response to V2 = (PI1, state2).
+        v2 = dict(state2)
+        for net in design.netlist.inputs:
+            v2[net] = v1[net]
+        values2 = dict(v2)
+        sim.eval_combinational(values2, 1)
+        for ff, data in zip(sim.dff_names, sim.dff_data):
+            assert trace.captured_state[ff] == values2[data]
+
+    def test_pi2_override(self, s27_designs):
+        design = s27_designs["scan"]
+        v1, _ = random_pair(design, 7)
+        pi2 = {net: 1 for net in design.netlist.inputs}
+        trace = apply_broadside(design, v1, pi2=pi2)
+        assert trace.captured_state is not None
+
+    def test_style_label(self, s27_designs):
+        v1, _ = random_pair(s27_designs["scan"], 8)
+        trace = apply_broadside(s27_designs["scan"], v1)
+        assert "broadside" in trace.style
+
+
+class TestSkewedLoad:
+    def test_state_shifted_by_one(self, s27_designs):
+        design = s27_designs["scan"]
+        v1, _ = random_pair(design, 9)
+        trace = apply_skewed_load(design, v1, scan_in_bit=1)
+        # Verify against an explicit shift + evaluate.
+        chain = design.scan_chain
+        state2 = {chain[0]: 1}
+        for i in range(1, len(chain)):
+            state2[chain[i]] = v1[chain[i - 1]]
+        sim = LogicSimulator(design.netlist)
+        v2 = dict(state2)
+        for net in design.netlist.inputs:
+            v2[net] = v1[net]
+        values = dict(v2)
+        sim.eval_combinational(values, 1)
+        for ff, data in zip(sim.dff_names, sim.dff_data):
+            assert trace.captured_state[ff] == values[data]
+
+    def test_works_on_holding_styles_too(self, s27_designs):
+        v1, _ = random_pair(s27_designs["enhanced"], 10)
+        trace = apply_skewed_load(s27_designs["enhanced"], v1)
+        assert trace.captured_state

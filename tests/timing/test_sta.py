@@ -1,0 +1,103 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro import units
+from repro.netlist import Netlist
+from repro.synth import map_netlist
+from repro.timing import (
+    CLK_TO_Q,
+    SETUP_TIME,
+    DelayOverlay,
+    analyze,
+    critical_delay,
+    net_slacks,
+    required_times,
+)
+
+
+@pytest.fixture
+def mapped_s27(s27_mapped):
+    return s27_mapped
+
+
+class TestAnalyze:
+    def test_critical_delay_positive(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        assert report.critical_delay > CLK_TO_Q
+
+    def test_arrival_monotone_along_path(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        path = report.critical_path
+        arrivals = [report.arrival[net] for net in path]
+        assert arrivals == sorted(arrivals)
+
+    def test_critical_path_ends_at_capture_point(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        end = report.critical_path[-1]
+        assert end in set(mapped_s27.outputs) | set(mapped_s27.state_outputs)
+
+    def test_critical_path_starts_at_launch_point(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        start = report.critical_path[0]
+        launch = set(mapped_s27.inputs) | set(mapped_s27.state_inputs)
+        assert start in launch
+
+    def test_levels_counted(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        assert 1 <= report.critical_levels <= 6
+
+    def test_deeper_chain_is_slower(self, library):
+        def chain(depth):
+            n = Netlist(f"chain{depth}")
+            n.add_input("a")
+            prev = "a"
+            for k in range(depth):
+                n.add(f"g{k}", "NOT", (prev,))
+                prev = f"g{k}"
+            n.add_output(prev)
+            return map_netlist(n, library)
+
+        assert critical_delay(chain(8), library) > critical_delay(
+            chain(3), library
+        )
+
+    def test_overlay_slows_critical_path(self, mapped_s27, library):
+        base = analyze(mapped_s27, library)
+        first_gate = next(
+            net for net in base.critical_path
+            if mapped_s27.gate(net).is_combinational
+        )
+        overlay = DelayOverlay(extra_resistance={first_gate: 50e3})
+        slowed = analyze(mapped_s27, library, overlay)
+        assert slowed.critical_delay > base.critical_delay
+
+    def test_slack_at_critical_delay(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        assert report.slack(report.critical_delay) == pytest.approx(0.0)
+
+
+class TestRequiredAndSlack:
+    def test_critical_nets_have_zero_slack(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        slacks = net_slacks(mapped_s27, report.critical_delay, library)
+        for net in report.critical_path:
+            assert slacks[net] == pytest.approx(0.0, abs=1e-15)
+
+    def test_all_slacks_nonnegative_at_critical(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        slacks = net_slacks(mapped_s27, report.critical_delay, library)
+        assert min(slacks.values()) >= -1e-15
+
+    def test_slack_scales_with_period(self, mapped_s27, library):
+        report = analyze(mapped_s27, library)
+        loose = net_slacks(
+            mapped_s27, report.critical_delay + 100 * units.PS, library
+        )
+        assert min(loose.values()) >= 100 * units.PS - 1e-15
+
+    def test_required_time_of_state_output_has_setup(self, mapped_s27, library):
+        period = 1e-9
+        required = required_times(mapped_s27, period, library)
+        for net in mapped_s27.state_outputs:
+            assert required[net] <= period - SETUP_TIME + 1e-18

@@ -1,0 +1,73 @@
+"""Tests for Monte-Carlo timing variation."""
+
+import pytest
+
+from repro.timing import analyze, monte_carlo_delay
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    import repro.bench
+    from repro.synth import map_netlist
+
+    mapped = map_netlist(repro.bench.load_circuit("s298"))
+    return mapped, monte_carlo_delay(mapped, n_samples=120, seed=3)
+
+
+class TestMonteCarlo:
+    def test_mean_near_nominal(self, report):
+        _, var = report
+        assert var.mean == pytest.approx(var.nominal_delay, rel=0.15)
+
+    def test_spread_positive(self, report):
+        _, var = report
+        assert var.std > 0.0
+        assert var.worst > var.mean
+
+    def test_deterministic(self, report):
+        mapped, var = report
+        again = monte_carlo_delay(mapped, n_samples=120, seed=3)
+        assert again.samples == var.samples
+
+    def test_seed_changes_samples(self, report):
+        mapped, var = report
+        other = monte_carlo_delay(mapped, n_samples=120, seed=4)
+        assert other.samples != var.samples
+
+    def test_failure_probability_monotone(self, report):
+        """Tighter clocks fail more often -- the paper's motivation."""
+        _, var = report
+        tight = var.failure_probability(var.nominal_delay)
+        relaxed = var.failure_probability(var.worst + 1e-12)
+        assert 0.0 < tight <= 1.0
+        assert relaxed == 0.0
+        mid = var.failure_probability(var.mean)
+        assert relaxed <= mid <= tight
+
+    def test_sigma_zero_degenerates_to_nominal(self, report):
+        mapped, _ = report
+        frozen = monte_carlo_delay(mapped, n_samples=10, sigma=1e-12)
+        nominal = analyze(mapped).critical_delay
+        for sample in frozen.samples:
+            assert sample == pytest.approx(nominal, rel=1e-6)
+
+    def test_more_sigma_more_spread(self, report):
+        mapped, _ = report
+        small = monte_carlo_delay(mapped, n_samples=80, sigma=0.03, seed=9)
+        big = monte_carlo_delay(mapped, n_samples=80, sigma=0.15, seed=9)
+        assert big.std > small.std
+
+    def test_flh_overlay_shifts_distribution(self, report):
+        """FLH gating slows the sampled distribution like it slows STA."""
+        from repro.dft import flh_delay_overlay, insert_scan, insert_flh
+
+        mapped, _ = report
+        scan = insert_scan(mapped)
+        flh = insert_flh(scan)
+        overlay = flh_delay_overlay(flh)
+        base = monte_carlo_delay(scan.netlist, n_samples=120, seed=3)
+        slowed = monte_carlo_delay(
+            flh.netlist, overlay=overlay, n_samples=120, seed=3
+        )
+        assert slowed.nominal_delay > base.nominal_delay
+        assert slowed.mean > base.mean
