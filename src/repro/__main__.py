@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: experiments plus the netlist/DFT linter.
 
 Usage::
 
@@ -11,6 +11,14 @@ Usage::
     python -m repro ablation          # gating-size ablation
     python -m repro all               # everything above
     python -m repro quick             # fast subset (small circuits)
+
+    python -m repro lint s298                 # lint a catalog circuit
+    python -m repro lint design.bench --format sarif
+    python -m repro lint --all                # every catalog circuit
+    python -m repro lint s838 --style flh     # DFT rule pack too
+
+See ``python -m repro lint --help`` (and ``docs/lint.md``) for rule
+selection, baselines and output formats.
 """
 
 from __future__ import annotations
@@ -71,7 +79,14 @@ QUICK: Dict[str, Callable[[], None]] = {
 
 
 def main(argv: List[str] | None = None) -> int:
-    """Parse arguments and run the requested experiments."""
+    """Parse arguments and run the requested experiments (or the linter)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from .lint import lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

@@ -11,12 +11,20 @@ The format is line oriented::
 Function names are case-insensitive; ``NOT``/``INV`` and ``BUF``/``BUFF``
 are accepted as synonyms.  Forward references are allowed (a gate may use
 a net defined later in the file), as in the published benchmarks.
+
+Parsing is two-staged: :func:`scan_bench` tokenizes the text into
+:class:`BenchRecord` entries (keeping duplicates, so the lint rules can
+report duplicate definitions and multiply-driven nets with their source
+lines), and :func:`parse_bench` builds a validated
+:class:`~repro.netlist.Netlist` from those records, recording each
+definition's source line on the netlist so downstream diagnostics can
+cite ``file:line``.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterable
+from typing import Iterable, List, NamedTuple, Optional, Tuple
 
 from ..errors import ParseError
 from ..netlist import Netlist, validate
@@ -43,8 +51,92 @@ _FUNC_SYNONYMS = {
 }
 
 
-def parse_bench(text: str, name: str = "bench",
-                check: bool = True) -> Netlist:
+class BenchRecord(NamedTuple):
+    """One parsed ``.bench`` source statement.
+
+    ``kind`` is ``"input"``, ``"output"`` or ``"gate"``; for gates,
+    ``func`` is the canonical function name and ``fanin`` the pin nets.
+    ``line`` is the 1-based source line of the statement.
+    """
+
+    kind: str
+    name: str
+    line: int
+    func: Optional[str] = None
+    fanin: Tuple[str, ...] = ()
+
+
+def _located(message: str, line: int, path: Optional[str]) -> ParseError:
+    if path:
+        message = f"{path}: {message}"
+    return ParseError(message, line)
+
+
+def scan_bench(text: str, path: Optional[str] = None) -> List[BenchRecord]:
+    """Tokenize ``.bench`` text into source records, duplicates and all.
+
+    Raises
+    ------
+    ParseError
+        On malformed lines or unknown gate functions; duplicate or
+        conflicting definitions are *not* errors at this stage -- they
+        come back as records for the lint rules to judge.
+    """
+    records: List[BenchRecord] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).lower(), decl.group(2)
+            records.append(BenchRecord(kind, net, line_number))
+            continue
+
+        assign = _GATE_RE.match(line)
+        if assign:
+            out, func_raw, args_raw = assign.groups()
+            func = _FUNC_SYNONYMS.get(func_raw.upper())
+            if func is None:
+                raise _located(
+                    f"unknown gate function {func_raw!r}", line_number, path
+                )
+            fanin = tuple(
+                arg.strip() for arg in args_raw.split(",") if arg.strip()
+            )
+            records.append(
+                BenchRecord("gate", out, line_number, func, fanin)
+            )
+            continue
+
+        raise _located(f"unparseable line {line!r}", line_number, path)
+    return records
+
+
+def _build_netlist(records: Iterable[BenchRecord], name: str,
+                   path: Optional[str], skip_duplicates: bool) -> Netlist:
+    netlist = Netlist(name)
+    netlist.source_file = path
+    for record in records:
+        try:
+            if record.kind == "input":
+                netlist.add_input(record.name)
+            elif record.kind == "output":
+                netlist.add_output(record.name)
+            else:
+                netlist.add(record.name, record.func, record.fanin)
+        except Exception as exc:
+            if skip_duplicates:
+                continue
+            raise _located(str(exc), record.line, path) from exc
+        if record.kind != "output":
+            netlist.source_lines[record.name] = record.line
+    return netlist
+
+
+def parse_bench(text: str, name: str = "bench", check: bool = True,
+                path: Optional[str] = None) -> Netlist:
     """Parse ``.bench`` source text into a :class:`~repro.netlist.Netlist`.
 
     Parameters
@@ -55,54 +147,37 @@ def parse_bench(text: str, name: str = "bench",
         Name given to the resulting netlist.
     check:
         Run structural validation after parsing (default).
+    path:
+        Source path recorded on the netlist and cited in parse errors.
 
     Raises
     ------
     ParseError
-        On any malformed line.
+        On any malformed line (with its source line, and the path when
+        given).
     NetlistError
         If ``check`` is set and the parsed design is structurally broken.
     """
-    netlist = Netlist(name)
-    for line_number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-
-        decl = _DECL_RE.match(line)
-        if decl:
-            kind, net = decl.group(1).upper(), decl.group(2)
-            try:
-                if kind == "INPUT":
-                    netlist.add_input(net)
-                else:
-                    netlist.add_output(net)
-            except Exception as exc:
-                raise ParseError(str(exc), line_number) from exc
-            continue
-
-        assign = _GATE_RE.match(line)
-        if assign:
-            out, func_raw, args_raw = assign.groups()
-            func = _FUNC_SYNONYMS.get(func_raw.upper())
-            if func is None:
-                raise ParseError(
-                    f"unknown gate function {func_raw!r}", line_number
-                )
-            fanin = tuple(
-                arg.strip() for arg in args_raw.split(",") if arg.strip()
-            )
-            try:
-                netlist.add(out, func, fanin)
-            except Exception as exc:
-                raise ParseError(str(exc), line_number) from exc
-            continue
-
-        raise ParseError(f"unparseable line {line!r}", line_number)
-
+    records = scan_bench(text, path=path)
+    netlist = _build_netlist(records, name, path, skip_duplicates=False)
     if check:
         validate(netlist)
     return netlist
+
+
+def parse_bench_lenient(text: str, name: str = "bench",
+                        path: Optional[str] = None,
+                        ) -> Tuple[Netlist, List[BenchRecord]]:
+    """Parse for linting: tolerate duplicate/conflicting definitions.
+
+    The first definition of each net wins (later collisions are dropped
+    from the netlist but stay in the returned records), and no
+    structural validation runs -- the lint rules do that, reporting
+    every problem instead of raising on the first.
+    """
+    records = scan_bench(text, path=path)
+    netlist = _build_netlist(records, name, path, skip_duplicates=True)
+    return netlist, records
 
 
 def parse_bench_lines(lines: Iterable[str], name: str = "bench",
@@ -120,4 +195,4 @@ def load_bench(path: str, name: str | None = None,
         name = path.rsplit("/", 1)[-1]
         if name.endswith(".bench"):
             name = name[: -len(".bench")]
-    return parse_bench(text, name=name, check=check)
+    return parse_bench(text, name=name, check=check, path=path)

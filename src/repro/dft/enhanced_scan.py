@@ -57,7 +57,7 @@ def insert_enhanced_scan(design: DftDesign,
         # A flip-flop output that is also a primary output keeps its
         # direct connection; the latch only guards the logic inputs.
         hold_elements.append(hold_net)
-    return DftDesign(
+    enhanced = DftDesign(
         netlist=netlist,
         style="enhanced",
         library=library,
@@ -65,3 +65,8 @@ def insert_enhanced_scan(design: DftDesign,
         hold_elements=tuple(hold_elements),
         held_flip_flops=design.scan_chain,
     )
+    # Post-transform self-check: every flip-flop must be isolated
+    # behind its hold latch and the chain must stay intact.
+    from ..lint import self_check
+    self_check(enhanced)
+    return enhanced

@@ -126,13 +126,19 @@ def insert_flh(design: DftDesign,
                 break
         gating[name] = FlhGating(name, chosen, critical)
 
-    return DftDesign(
+    flh = DftDesign(
         netlist=netlist,
         style="flh",
         library=library,
         scan_chain=design.scan_chain,
         flh_gating=gating,
     )
+    # Post-transform self-check: the DFT lint pack must certify the
+    # invariants FLH relies on (every first-level gate gated, keeper
+    # everywhere, nothing deeper gated, chain coverage intact).
+    from ..lint import self_check
+    self_check(flh)
+    return flh
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,7 @@ def insert_mux_hold(design: DftDesign, drive: float = 2.0) -> DftDesign:
         netlist.add(mux_net, "BUF", (ff,), cell=cell.name)
         netlist.redirect_fanout(ff, mux_net, only=sinks)
         hold_elements.append(mux_net)
-    return DftDesign(
+    held = DftDesign(
         netlist=netlist,
         style="mux",
         library=library,
@@ -48,3 +48,7 @@ def insert_mux_hold(design: DftDesign, drive: float = 2.0) -> DftDesign:
         hold_elements=tuple(hold_elements),
         held_flip_flops=design.scan_chain,
     )
+    # Post-transform self-check, as in the enhanced-scan transform.
+    from ..lint import self_check
+    self_check(held)
+    return held

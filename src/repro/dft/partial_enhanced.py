@@ -87,7 +87,7 @@ def insert_partial_enhanced(design: DftDesign, fraction: float = 0.5,
         netlist.redirect_fanout(ff, hold_net, only=sinks)
         hold_elements.append(hold_net)
         held_in_order.append(ff)
-    return DftDesign(
+    partial = DftDesign(
         netlist=netlist,
         style="enhanced",
         library=library,
@@ -95,3 +95,8 @@ def insert_partial_enhanced(design: DftDesign, fraction: float = 0.5,
         hold_elements=tuple(hold_elements),
         held_flip_flops=tuple(held_in_order),
     )
+    # Post-transform self-check: held subset consistent with the chain,
+    # each held flip-flop isolated behind its latch.
+    from ..lint import self_check
+    self_check(partial)
+    return partial

@@ -41,12 +41,15 @@ class FlhGating:
     ``width_factor`` sizes the header/footer pair in multiples of the
     minimum width; critical-path gates get a larger factor (paper,
     Section III: sizing "optimized for delay under the given area
-    constraint").
+    constraint").  ``keeper`` records whether the minimum-sized keeper
+    (Fig. 3) backs the gated output -- the transform always adds one,
+    but the flag keeps the invariant checkable (lint rule ``FL002``).
     """
 
     gate: str
     width_factor: float
     critical: bool = False
+    keeper: bool = True
 
 
 @dataclass

@@ -48,3 +48,7 @@ class AtpgError(ReproError):
 
 class DftError(ReproError):
     """A design-for-test transform was applied to an unsuitable netlist."""
+
+
+class LintError(ReproError):
+    """Static-analysis engine misuse (unknown rule, bad baseline file)."""

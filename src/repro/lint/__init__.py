@@ -1,0 +1,73 @@
+"""Static-analysis framework over netlists and DFT designs.
+
+Public surface::
+
+    from repro.lint import LintEngine, LintContext, lint_netlist, lint_design
+    from repro.lint import Diagnostic, Severity, Rule, all_rules
+    from repro.lint import Baseline, render_text, report_to_json
+    from repro.lint import report_to_sarif, self_check
+
+Two rule packs ship by default: **structural** (``NL0xx`` -- undriven
+and multiply-driven nets, duplicate definitions, dangling and
+unreachable gates, combinational loops, fanout limits) and **dft**
+(``DF0xx``/``FL0xx`` -- scan-chain coverage/order and the FLH /
+enhanced-scan holding invariants the paper's transforms must establish).
+The ``python -m repro lint`` subcommand fronts the engine with text,
+JSON and SARIF output.
+"""
+
+from .baseline import Baseline
+from .diagnostics import Diagnostic, Location, Severity
+from .engine import (
+    LintEngine,
+    LintReport,
+    lint_design,
+    lint_netlist,
+    self_check,
+)
+from .formats import (
+    diagnostics_from_sarif,
+    render_text,
+    report_from_json,
+    report_to_dict,
+    report_to_json,
+    report_to_sarif,
+)
+from .rules import (
+    DEFAULT_MAX_FANOUT,
+    REGISTRY,
+    LintContext,
+    Rule,
+    all_rules,
+    register,
+    resolve_rules,
+    rules_by_category,
+)
+from .cli import lint_main
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_MAX_FANOUT",
+    "Diagnostic",
+    "LintContext",
+    "LintEngine",
+    "LintReport",
+    "Location",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "diagnostics_from_sarif",
+    "lint_design",
+    "lint_main",
+    "lint_netlist",
+    "register",
+    "render_text",
+    "report_from_json",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_sarif",
+    "resolve_rules",
+    "rules_by_category",
+    "self_check",
+]

@@ -1,0 +1,92 @@
+"""Baseline suppression for lint findings.
+
+A baseline file records the fingerprints of currently-known findings so
+a rule pack can be turned on for a legacy design without failing CI on
+day one: baselined findings are suppressed (and counted), new findings
+still fail.  The format is deliberately tiny JSON so baselines diff
+cleanly in review::
+
+    {
+      "version": 1,
+      "suppress": {
+        "<fingerprint>": "NL008 [s838] (G45): net 'G45' drives 40 sinks..."
+      }
+    }
+
+The message text next to each fingerprint is a human aid only; matching
+uses the fingerprint (rule + design + anchor), so rewording a rule's
+message does not invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import LintError
+from .diagnostics import Diagnostic
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed finding fingerprints."""
+
+    suppress: Dict[str, str] = field(default_factory=dict)
+
+    def __contains__(self, diag: Diagnostic) -> bool:
+        return diag.fingerprint in self.suppress
+
+    def __len__(self) -> int:
+        return len(self.suppress)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        """Baseline suppressing exactly the given findings."""
+        return cls(
+            suppress={d.fingerprint: d.render() for d in diagnostics}
+        )
+
+    def apply(self, diagnostics: Iterable[Diagnostic],
+              ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split ``diagnostics`` into (kept, suppressed)."""
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        for diag in diagnostics:
+            (suppressed if diag in self else kept).append(diag)
+        return kept, suppressed
+
+    # -- persistence -------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"version": FORMAT_VERSION, "suppress": dict(sorted(
+                self.suppress.items()))},
+            indent=2,
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline file is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != FORMAT_VERSION:
+            raise LintError(
+                "baseline file must be a JSON object with "
+                f"\"version\": {FORMAT_VERSION}"
+            )
+        suppress = data.get("suppress", {})
+        if not isinstance(suppress, dict):
+            raise LintError("baseline \"suppress\" must be an object")
+        return cls(suppress={str(k): str(v) for k, v in suppress.items()})
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,213 @@
+"""``python -m repro lint`` -- the command-line lint front end.
+
+Targets are catalog circuit names (``s298``), ``.bench`` files, or
+``--all`` for every catalog circuit.  ``--style`` additionally maps the
+circuit, inserts scan plus the requested holding scheme, and runs the
+DFT rule pack over the result.  Exit status is 0 when no error-severity
+finding survives baseline suppression, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from .baseline import Baseline
+from .engine import LintEngine, LintReport
+from .formats import render_text, report_to_json, report_to_sarif
+from .rules import DEFAULT_MAX_FANOUT, LintContext, all_rules
+
+#: Holding styles ``--style`` can build on top of scan insertion.
+_STYLE_CHOICES = ("scan", "enhanced", "mux", "flh", "partial")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static analysis over netlists and DFT designs: structural "
+            "rules (NL*) and scan/FLH rules (DF*/FL*)."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*", metavar="CIRCUIT|FILE.bench",
+        help="catalog circuit names and/or .bench files to lint",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="lint every circuit in the ISCAS89 catalog",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="run only these rule IDs or categories "
+             "(e.g. NL001,dft); default: all rules",
+    )
+    parser.add_argument(
+        "--disable", metavar="ID[,ID...]", default=None,
+        help="drop these rule IDs or categories from the run",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--style", choices=_STYLE_CHOICES, default=None,
+        help="also build this DFT style (mapping + scan insertion) and "
+             "run the DFT rule pack over the result",
+    )
+    parser.add_argument(
+        "--max-fanout", type=int, default=DEFAULT_MAX_FANOUT,
+        metavar="N", help="fanout-limit threshold for NL008 "
+        f"(default {DEFAULT_MAX_FANOUT}; 0 disables)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write all current findings to FILE as a new baseline "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.rule_id}  {rule.severity.value:<7} "
+            f"{rule.category:<10} {rule.title}"
+        )
+    return "\n".join(lines)
+
+
+def _load_target(target: str):
+    """Resolve a CLI target to (netlist, records) -- records only for files."""
+    from ..bench import available_circuits, load_circuit
+    from ..bench.parser import parse_bench_lenient
+
+    if os.path.exists(target) or target.endswith(".bench"):
+        with open(target, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        name = os.path.basename(target)
+        if name.endswith(".bench"):
+            name = name[: -len(".bench")]
+        return parse_bench_lenient(text, name=name, path=target)
+    if target in available_circuits():
+        return load_circuit(target), None
+    raise ReproError(
+        f"unknown lint target {target!r}: not a file and not one of "
+        f"{', '.join(available_circuits())}"
+    )
+
+
+def _build_design(netlist, style: str):
+    """Map the netlist and apply scan plus the requested holding style."""
+    from ..dft import (
+        insert_enhanced_scan,
+        insert_flh,
+        insert_mux_hold,
+        insert_partial_enhanced,
+        insert_scan,
+    )
+    from ..synth import map_netlist
+
+    mapped = map_netlist(netlist)
+    design = insert_scan(mapped)
+    if style == "scan":
+        return design
+    if style == "enhanced":
+        return insert_enhanced_scan(design)
+    if style == "mux":
+        return insert_mux_hold(design)
+    if style == "partial":
+        return insert_partial_enhanced(design)
+    return insert_flh(design)
+
+
+def _emit(report: LintReport, fmt: str) -> str:
+    if fmt == "json":
+        return report_to_json(report)
+    if fmt == "sarif":
+        return report_to_sarif(report)
+    return render_text(report)
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro lint``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    targets = list(args.targets)
+    if args.all:
+        from ..bench import available_circuits
+
+        targets.extend(
+            name for name in available_circuits() if name not in targets
+        )
+    if not targets:
+        parser.error("no targets given (name circuits/files or pass --all)")
+
+    enable = args.rules.split(",") if args.rules else None
+    disable = args.disable.split(",") if args.disable else None
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        engine = LintEngine(enable=enable, disable=disable)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    reports: List[LintReport] = []
+    for target in targets:
+        try:
+            netlist, records = _load_target(target)
+            design = None
+            if args.style:
+                design = _build_design(netlist, args.style)
+                netlist = design.netlist
+            ctx = LintContext(
+                netlist=netlist,
+                design=design,
+                records=records,
+                max_fanout=args.max_fanout,
+            )
+            reports.append(engine.run(ctx, baseline=baseline))
+        except ReproError as exc:
+            print(f"error: {target}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        merged = Baseline.from_diagnostics(
+            diag for report in reports for diag in report.diagnostics
+        )
+        merged.save(args.write_baseline)
+        total = sum(len(report.diagnostics) for report in reports)
+        print(
+            f"baseline written to {args.write_baseline} "
+            f"({total} findings suppressed)"
+        )
+        return 0
+
+    for report in reports:
+        print(_emit(report, args.format))
+
+    n_errors = sum(len(report.errors) for report in reports)
+    if args.format == "text" and len(reports) > 1:
+        n_findings = sum(len(r.diagnostics) for r in reports)
+        print(
+            f"linted {len(reports)} designs: {n_findings} findings, "
+            f"{n_errors} errors"
+        )
+    return 1 if n_errors else 0

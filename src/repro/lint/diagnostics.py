@@ -1,0 +1,158 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` is one finding of one rule: the rule that fired,
+its severity, a human-readable message, the gate/net it anchors to, and
+(when the netlist came from a ``.bench`` file parsed with line tracking)
+the ``file:line`` of the offending definition.  Diagnostics serialize to
+plain dicts so the JSON and SARIF emitters, the baseline-suppression
+machinery, and the test suite all share one stable representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class Severity(str, Enum):
+    """Severity of a lint finding.
+
+    ``ERROR`` findings fail CI (non-zero exit, :func:`~repro.netlist.validate`
+    raises); ``WARNING`` and ``INFO`` are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic anchors: a gate/net plus optional source line."""
+
+    gate: Optional[str] = None
+    net: Optional[str] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def describe(self) -> str:
+        """Short human-readable location, e.g. ``s27.bench:7 (G5)``."""
+        parts = []
+        if self.file:
+            parts.append(f"{self.file}:{self.line}" if self.line else self.file)
+        elif self.line:
+            parts.append(f"line {self.line}")
+        anchor = self.gate or self.net
+        if anchor:
+            parts.append(f"({anchor})" if parts else anchor)
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            key: value
+            for key, value in (
+                ("gate", self.gate),
+                ("net", self.net),
+                ("file", self.file),
+                ("line", self.line),
+            )
+            if value is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Location":
+        return cls(
+            gate=data.get("gate"),
+            net=data.get("net"),
+            file=data.get("file"),
+            line=data.get("line"),
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    #: Short actionable suggestion ("re-run scan insertion", "add the
+    #: net to the chain order"), shown in text output and carried into
+    #: JSON/SARIF as a property.
+    hint: Optional[str] = None
+    #: Design the finding belongs to (netlist name).
+    design: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by baseline suppression.
+
+        Deliberately excludes the message text so rewording a rule does
+        not invalidate existing baselines; includes rule, design and
+        anchor object.
+        """
+        key = "|".join(
+            (
+                self.rule_id,
+                self.design or "",
+                self.location.gate or "",
+                self.location.net or "",
+            )
+        )
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line text form: ``error NL001 [s27] (G5): message``."""
+        where = self.location.describe()
+        prefix = f"{self.severity.value} {self.rule_id}"
+        if self.design:
+            prefix += f" [{self.design}]"
+        if where:
+            prefix += f" {where}"
+        text = f"{prefix}: {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location.to_dict(),
+            "fingerprint": self.fingerprint,
+        }
+        if self.hint is not None:
+            data["hint"] = self.hint
+        if self.design is not None:
+            data["design"] = self.design
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        return cls(
+            rule_id=str(data["rule"]),
+            severity=Severity(data["severity"]),
+            message=str(data["message"]),
+            location=Location.from_dict(data.get("location", {})),
+            hint=data.get("hint"),
+            design=data.get("design"),
+        )
+
+
+def sort_key(diag: Diagnostic):
+    """Deterministic report order: severity, rule, anchor, message."""
+    return (
+        diag.severity.rank,
+        diag.rule_id,
+        diag.location.gate or diag.location.net or "",
+        diag.message,
+    )

@@ -1,0 +1,175 @@
+"""The lint engine: rule selection, execution, reporting.
+
+:class:`LintEngine` binds a rule selection (defaulting to every
+registered rule) and runs it over a :class:`~repro.lint.rules.LintContext`,
+producing a :class:`LintReport` -- the sorted diagnostics plus severity
+counts and the baseline-suppression tally.  The convenience entry points
+:func:`lint_netlist` and :func:`lint_design` cover the two common calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from .baseline import Baseline
+from .diagnostics import Diagnostic, Severity, sort_key
+from .rules import (
+    DEFAULT_MAX_FANOUT,
+    LintContext,
+    Rule,
+    all_rules,
+    resolve_rules,
+)
+
+# Importing the packs registers their rules.
+from . import structural as _structural  # noqa: F401
+from . import dft_rules as _dft_rules    # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dft.styles import DftDesign
+    from ..netlist import Netlist
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    design: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
+    #: IDs of the rules that actually ran (after enable/disable).
+    rules_run: List[str] = field(default_factory=list)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Finding counts keyed by severity value."""
+        counts = {s.value: 0 for s in Severity}
+        for diag in self.diagnostics:
+            counts[diag.severity.value] += 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line tally, e.g. ``2 errors, 1 warning (3 suppressed)``."""
+        counts = self.counts
+        parts = []
+        for severity in Severity:
+            n = counts[severity.value]
+            if n:
+                plural = "" if n == 1 else "s"
+                parts.append(f"{n} {severity.value}{plural}")
+        text = ", ".join(parts) if parts else "clean"
+        if self.suppressed:
+            text += f" ({len(self.suppressed)} suppressed by baseline)"
+        return text
+
+
+class LintEngine:
+    """Run a selection of lint rules over netlists and DFT designs.
+
+    Parameters
+    ----------
+    rules:
+        Explicit rule objects to run; defaults to every registered rule.
+    enable:
+        Rule IDs or category names to restrict the run to.
+    disable:
+        Rule IDs or category names to drop from the selection.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 enable: Optional[Iterable[str]] = None,
+                 disable: Optional[Iterable[str]] = None):
+        selected: List[Rule] = list(rules) if rules is not None else all_rules()
+        if enable:
+            wanted = {r.rule_id for r in resolve_rules(enable)}
+            selected = [r for r in selected if r.rule_id in wanted]
+        if disable:
+            dropped = {r.rule_id for r in resolve_rules(disable)}
+            selected = [r for r in selected if r.rule_id not in dropped]
+        self.rules: List[Rule] = selected
+
+    def run(self, ctx: LintContext,
+            baseline: Optional[Baseline] = None) -> LintReport:
+        """Execute every selected rule over ``ctx``."""
+        findings: List[Diagnostic] = []
+        for rule in self.rules:
+            findings.extend(rule.check(ctx))
+        findings.sort(key=sort_key)
+        suppressed: List[Diagnostic] = []
+        if baseline is not None:
+            findings, suppressed = baseline.apply(findings)
+        return LintReport(
+            design=ctx.netlist.name,
+            diagnostics=findings,
+            suppressed=suppressed,
+            rules_run=[rule.rule_id for rule in self.rules],
+        )
+
+
+def lint_netlist(netlist: "Netlist", *,
+                 enable: Optional[Iterable[str]] = None,
+                 disable: Optional[Iterable[str]] = None,
+                 max_fanout: int = DEFAULT_MAX_FANOUT,
+                 baseline: Optional[Baseline] = None) -> LintReport:
+    """Run the rule packs over a bare netlist."""
+    engine = LintEngine(enable=enable, disable=disable)
+    ctx = LintContext(netlist=netlist, max_fanout=max_fanout)
+    return engine.run(ctx, baseline=baseline)
+
+
+def lint_design(design: "DftDesign", *,
+                expected_chain: Optional[Sequence[str]] = None,
+                enable: Optional[Iterable[str]] = None,
+                disable: Optional[Iterable[str]] = None,
+                max_fanout: int = DEFAULT_MAX_FANOUT,
+                baseline: Optional[Baseline] = None) -> LintReport:
+    """Run the rule packs over a DFT design (netlist + bookkeeping)."""
+    engine = LintEngine(enable=enable, disable=disable)
+    ctx = LintContext(
+        netlist=design.netlist,
+        design=design,
+        expected_chain=tuple(expected_chain) if expected_chain else None,
+        max_fanout=max_fanout,
+    )
+    return engine.run(ctx, baseline=baseline)
+
+
+def self_check(design: "DftDesign",
+               expected_chain: Optional[Sequence[str]] = None) -> None:
+    """Post-transform invariant check used by the DFT transforms.
+
+    Runs the DFT rule pack over ``design`` and raises
+    :class:`~repro.errors.DftError` on any error-severity finding --
+    a transform that produced a design violating its own invariants is
+    a bug, not a user input problem, so it must not return the design.
+    """
+    from ..errors import DftError
+
+    report = lint_design(
+        design, expected_chain=expected_chain, enable=["dft"]
+    )
+    if report.has_errors:
+        shown = "; ".join(d.render() for d in report.errors[:5])
+        more = len(report.errors) - 5
+        if more > 0:
+            shown += f" (+{more} more)"
+        raise DftError(
+            f"{design.name}: transform produced an inconsistent "
+            f"{design.style!r} design: {shown}"
+        )

@@ -1,0 +1,192 @@
+"""Report emitters: text, JSON, SARIF 2.1.0.
+
+The JSON form round-trips losslessly (:func:`report_to_json` /
+:func:`report_from_json`).  The SARIF form targets the subset of SARIF
+2.1.0 that code-scanning UIs consume (rule metadata, level, message,
+physical + logical locations) and also round-trips the diagnostics via
+:func:`diagnostics_from_sarif` -- properties carry whatever SARIF has no
+native field for (hint, design, fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import LintError
+from .diagnostics import Diagnostic, Location, Severity
+from .engine import LintReport
+from .rules import REGISTRY
+
+JSON_FORMAT_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+#: SARIF ``level`` values per severity (identical strings for these
+#: three, but mapped explicitly so INFO -> "note" stays correct).
+_SEVERITY_TO_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_LEVEL_TO_SEVERITY = {level: sev for sev, level in _SEVERITY_TO_LEVEL.items()}
+
+
+# ---------------------------------------------------------------------------
+# text
+# ---------------------------------------------------------------------------
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding plus a tally."""
+    lines = [diag.render() for diag in report.diagnostics]
+    lines.append(f"{report.design}: {report.summary()}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+def report_to_dict(report: LintReport) -> Dict[str, object]:
+    """Stable dict form of a report."""
+    return {
+        "format": JSON_FORMAT_VERSION,
+        "tool": TOOL_NAME,
+        "design": report.design,
+        "rules_run": list(report.rules_run),
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "suppressed": [d.to_dict() for d in report.suppressed],
+        "summary": report.counts,
+    }
+
+
+def report_to_json(report: LintReport, indent: int = 2) -> str:
+    """JSON text form of a report."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def report_from_json(text: str) -> LintReport:
+    """Rebuild a report from :func:`report_to_json` output."""
+    data = json.loads(text)
+    if data.get("format") != JSON_FORMAT_VERSION:
+        raise LintError(
+            f"unsupported lint report format {data.get('format')!r}"
+        )
+    return LintReport(
+        design=str(data["design"]),
+        diagnostics=[Diagnostic.from_dict(d) for d in data["diagnostics"]],
+        suppressed=[Diagnostic.from_dict(d) for d in data.get(
+            "suppressed", [])],
+        rules_run=[str(r) for r in data.get("rules_run", [])],
+    )
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+def _sarif_rule(rule_id: str) -> Dict[str, object]:
+    rule = REGISTRY.get(rule_id)
+    record: Dict[str, object] = {"id": rule_id}
+    if rule is not None:
+        record["shortDescription"] = {"text": rule.title}
+        record["properties"] = {"category": rule.category}
+        record["defaultConfiguration"] = {
+            "level": _SEVERITY_TO_LEVEL[rule.severity]
+        }
+    return record
+
+
+def _sarif_result(diag: Diagnostic) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": diag.rule_id,
+        "level": _SEVERITY_TO_LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "partialFingerprints": {"reproLint/v1": diag.fingerprint},
+    }
+    location: Dict[str, object] = {}
+    if diag.location.file or diag.location.line:
+        physical: Dict[str, object] = {
+            "artifactLocation": {"uri": diag.location.file or "<memory>"},
+        }
+        if diag.location.line:
+            physical["region"] = {"startLine": diag.location.line}
+        location["physicalLocation"] = physical
+    anchor = diag.location.gate or diag.location.net
+    if anchor:
+        kind = "gate" if diag.location.gate else "net"
+        location["logicalLocations"] = [{"name": anchor, "kind": kind}]
+    if location:
+        result["locations"] = [location]
+    properties: Dict[str, object] = {}
+    if diag.hint:
+        properties["hint"] = diag.hint
+    if diag.design:
+        properties["design"] = diag.design
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def report_to_sarif(report: LintReport, indent: int = 2) -> str:
+    """SARIF 2.1.0 text form of a report."""
+    rule_ids = sorted({d.rule_id for d in report.diagnostics}
+                      | set(report.rules_run))
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri":
+                            "https://example.invalid/repro-flh",
+                        "rules": [_sarif_rule(rid) for rid in rule_ids],
+                    }
+                },
+                "results": [
+                    _sarif_result(d) for d in report.diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def diagnostics_from_sarif(text: str) -> List[Diagnostic]:
+    """Extract the diagnostics back out of a SARIF document."""
+    data = json.loads(text)
+    if data.get("version") != SARIF_VERSION:
+        raise LintError(f"unsupported SARIF version {data.get('version')!r}")
+    diagnostics: List[Diagnostic] = []
+    for run in data.get("runs", []):
+        for result in run.get("results", []):
+            gate = net = file = line = None
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                artifact = physical.get("artifactLocation", {})
+                uri = artifact.get("uri")
+                if uri and uri != "<memory>":
+                    file = uri
+                region = physical.get("region", {})
+                line = region.get("startLine", line)
+                for logical in location.get("logicalLocations", []):
+                    if logical.get("kind") == "net":
+                        net = logical.get("name")
+                    else:
+                        gate = logical.get("name")
+            properties = result.get("properties", {})
+            diagnostics.append(
+                Diagnostic(
+                    rule_id=str(result["ruleId"]),
+                    severity=_LEVEL_TO_SEVERITY[result.get("level", "error")],
+                    message=str(result["message"]["text"]),
+                    location=Location(
+                        gate=gate, net=net, file=file, line=line),
+                    hint=properties.get("hint"),
+                    design=properties.get("design"),
+                )
+            )
+    return diagnostics

@@ -1,0 +1,162 @@
+"""Rule base class, rule registry, and the lint context.
+
+A rule is a small class with a stable ID (``NL001``, ``FL002``, ...), a
+default severity, a category tag, and a ``check`` generator that yields
+:class:`~repro.lint.diagnostics.Diagnostic` records for one
+:class:`LintContext`.  Rules register themselves into a module-level
+registry at import time, so rule packs are just modules of decorated
+classes and the engine selects by ID or category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from ..errors import LintError
+from ..netlist import Netlist
+from .diagnostics import Diagnostic, Location, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..bench.parser import BenchRecord
+    from ..dft.styles import DftDesign
+
+
+#: Default fanout-count threshold for the fanout-limit rule.  Mapped
+#: standard cells rarely drive more than a few dozen sinks without a
+#: buffer tree; anything above this is flagged (warning severity).
+DEFAULT_MAX_FANOUT = 32
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect for one lint run.
+
+    Only ``netlist`` is mandatory.  Rules must tolerate every optional
+    field being ``None`` -- a rule whose subject is absent simply yields
+    nothing (e.g. the DFT rules on a bare netlist).
+    """
+
+    netlist: Netlist
+    #: DFT design under check (scan chain + holding bookkeeping).
+    design: Optional["DftDesign"] = None
+    #: Externally declared scan-chain order the design must match.
+    expected_chain: Optional[Tuple[str, ...]] = None
+    #: Raw ``.bench`` source records (with duplicates preserved), for
+    #: source-level rules the single-driver :class:`Netlist` cannot host.
+    records: Optional[Sequence["BenchRecord"]] = None
+    #: Threshold for the fanout-limit rule.
+    max_fanout: int = DEFAULT_MAX_FANOUT
+    #: Source file the netlist came from, for ``file:line`` locations.
+    source_file: Optional[str] = None
+
+    def location(self, gate: Optional[str] = None,
+                 net: Optional[str] = None,
+                 line: Optional[int] = None) -> Location:
+        """Location for ``gate``/``net``, resolving source lines if known."""
+        anchor = gate or net
+        if line is None and anchor is not None:
+            line = self.netlist.source_lines.get(anchor)
+        file = self.source_file or self.netlist.source_file
+        if line is None:
+            file_out = file if anchor is None else None
+        else:
+            file_out = file
+        return Location(gate=gate, net=net, file=file_out, line=line)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Rules are stateless; one shared instance serves every run.
+    """
+
+    #: Stable identifier, e.g. ``"NL001"``.
+    rule_id: str = ""
+    #: One-line summary shown by ``--list-rules`` and in SARIF metadata.
+    title: str = ""
+    #: Default severity of findings.
+    severity: Severity = Severity.ERROR
+    #: Pack tag: ``"structural"`` or ``"dft"``.
+    category: str = "structural"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``ctx``.  Must not mutate the context."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- helpers -----------------------------------------------------------
+    def diag(self, ctx: LintContext, message: str,
+             gate: Optional[str] = None, net: Optional[str] = None,
+             line: Optional[int] = None, hint: Optional[str] = None,
+             severity: Optional[Severity] = None) -> Diagnostic:
+        """Build a diagnostic attributed to this rule."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            location=ctx.location(gate=gate, net=net, line=line),
+            hint=hint,
+            design=ctx.netlist.name,
+        )
+
+
+#: All registered rules keyed by ID, in registration order.
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = cls()
+    if not rule.rule_id:
+        raise LintError(f"rule {cls.__name__} has no rule_id")
+    if rule.rule_id in REGISTRY:
+        raise LintError(f"duplicate rule id {rule.rule_id!r}")
+    REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in registration order."""
+    return list(REGISTRY.values())
+
+
+def rules_by_category(category: str) -> List[Rule]:
+    """Registered rules carrying the given category tag."""
+    return [rule for rule in REGISTRY.values() if rule.category == category]
+
+
+def resolve_rules(selectors: Iterable[str]) -> List[Rule]:
+    """Resolve a mix of rule IDs and category names to rule objects.
+
+    Raises
+    ------
+    LintError
+        If a selector matches neither a rule ID nor a category.
+    """
+    chosen: Dict[str, Rule] = {}
+    categories = {rule.category for rule in REGISTRY.values()}
+    for selector in selectors:
+        if selector in REGISTRY:
+            chosen[selector] = REGISTRY[selector]
+        elif selector in categories:
+            for rule in rules_by_category(selector):
+                chosen[rule.rule_id] = rule
+        else:
+            known = sorted(REGISTRY) + sorted(categories)
+            raise LintError(
+                f"unknown rule or category {selector!r} "
+                f"(known: {', '.join(known)})"
+            )
+    return list(chosen.values())

@@ -43,6 +43,11 @@ class Netlist:
         self._inputs: List[str] = []
         self._outputs: List[str] = []
         self._fanout: Dict[str, Set[str]] = {}
+        #: Source provenance, filled in by parsers that track it: the
+        #: file the netlist was read from and the 1-based source line of
+        #: each gate/input definition.  Lint diagnostics cite these.
+        self.source_file: Optional[str] = None
+        self.source_lines: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -246,6 +251,8 @@ class Netlist:
         other._outputs = list(self._outputs)
         other._gates = dict(self._gates)
         other._fanout = {net: set(sinks) for net, sinks in self._fanout.items()}
+        other.source_file = self.source_file
+        other.source_lines = dict(self.source_lines)
         return other
 
     def __len__(self) -> int:

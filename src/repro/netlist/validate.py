@@ -1,8 +1,15 @@
 """Structural validation of netlists.
 
-:func:`validate` collects every problem it can find instead of stopping at
-the first, because DFT transforms are easiest to debug with the complete
-list of dangling nets / floating gates in one shot.
+Since the lint framework landed this module is a thin compatibility
+wrapper: the checks themselves live in the ``NL0xx`` structural rule
+pack (:mod:`repro.lint.structural`) so that ad-hoc validation, the
+``python -m repro lint`` CLI, and CI all agree on one implementation.
+
+:func:`validation_issues` still returns plain strings (every
+error-severity finding, complete rather than fail-fast, because DFT
+transforms are easiest to debug with the full list of dangling nets /
+floating gates in one shot); use :func:`repro.lint.lint_netlist` when
+you want the structured diagnostics instead.
 """
 
 from __future__ import annotations
@@ -10,47 +17,21 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import NetlistError
-from .graph import is_acyclic
 from .netlist import Netlist
 
 
 def validation_issues(netlist: Netlist) -> List[str]:
-    """Return a list of human-readable structural problems (empty = OK)."""
-    issues: List[str] = []
+    """Return a list of human-readable structural problems (empty = OK).
 
-    driven = set(netlist.gate_names())
-    for gate in netlist.gates():
-        for net in gate.fanin:
-            if net not in driven:
-                issues.append(
-                    f"gate {gate.name!r} references undriven net {net!r}"
-                )
+    Runs the structural lint pack and renders the error-severity
+    findings as bare messages.  Warnings (fanout limits, unreachable
+    logic) are advisory and not included -- :func:`validate` must stay
+    permissive on designs that are merely suspicious.
+    """
+    from ..lint import lint_netlist
 
-    for net in netlist.outputs:
-        if net not in driven:
-            issues.append(f"primary output {net!r} is undriven")
-
-    for net in netlist.inputs:
-        gate = netlist.gate(net)
-        if not gate.is_input:
-            issues.append(f"primary input {net!r} is driven by a {gate.func}")
-
-    pos = set(netlist.outputs)
-    state_outs = set(netlist.state_outputs)
-    for gate in netlist.gates():
-        if gate.is_input or gate.is_dff:
-            continue
-        if (
-            not netlist.fanout(gate.name)
-            and gate.name not in pos
-            and gate.name not in state_outs
-        ):
-            issues.append(f"gate {gate.name!r} drives nothing")
-
-    if not is_acyclic(netlist):
-        issues.append("combinational core contains a cycle")
-
-    return issues
+    report = lint_netlist(netlist, enable=["structural"])
+    return [diag.message for diag in report.errors]
 
 
 def validate(netlist: Netlist) -> None:

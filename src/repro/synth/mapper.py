@@ -57,6 +57,12 @@ def match_complex_gates(netlist: Netlist) -> int:
     for gate in list(netlist.gates()):
         if gate.func not in ("NOR", "NAND") or gate.n_inputs != 2:
             continue
+        if gate.fanin[0] == gate.fanin[1]:
+            # NOR2(x, x) is a degenerate inverter, not an AOI/OAI pattern;
+            # absorbing the shared driver would leave the fused gate still
+            # referencing it (fanout sinks are a set, so it looks
+            # single-fanout).
+            continue
         inner_func = "AND" if gate.func == "NOR" else "OR"
         left = _absorbable(netlist, gate.fanin[0], inner_func)
         right = _absorbable(netlist, gate.fanin[1], inner_func)

@@ -15,6 +15,7 @@ from .chain_order import (
 from .integrity import (
     FLUSH_PATTERN,
     TestTimeReport,
+    chain_integrity_issues,
     flush_test,
     tester_time,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "FLUSH_PATTERN",
     "ISOLATING_STYLES",
     "TestTimeReport",
+    "chain_integrity_issues",
     "flush_test",
     "tester_time",
     "ProtocolTrace",

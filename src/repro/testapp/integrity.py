@@ -1,21 +1,28 @@
 """Scan-chain integrity (flush) testing and test-time accounting.
 
 Before any pattern is trusted, production flows flush a known sequence
-through the chain to verify its connectivity (``flush_test``).  And when
-comparing DFT schemes, tester seconds matter: a two-pattern scheme scans
-*two* patterns per test, so its time per test doubles --
-``tester_time`` makes the trade-off explicit across styles.
+through the chain to verify its connectivity (``flush_test``).  The
+*static* chain invariants (every flip-flop on the chain exactly once,
+chain entries real flip-flops, declared order respected) are checked by
+the DFT lint pack -- :func:`chain_integrity_issues` fronts it with
+structured diagnostics.  And when comparing DFT schemes, tester seconds
+matter: a two-pattern scheme scans *two* patterns per test, so its time
+per test doubles -- ``tester_time`` makes the trade-off explicit across
+styles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from .. import units
 from ..dft.styles import DftDesign
 from ..errors import SimulationError
 from .scan_chain import ScanChainSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a lint<->testapp cycle
+    from ..lint import Diagnostic
 
 #: The classic flush sequence: exercises both transitions everywhere.
 FLUSH_PATTERN = (0, 0, 1, 1)
@@ -45,6 +52,28 @@ def flush_test(design: DftDesign,
             if trace.final_state[ff] != pattern[ff]:
                 return False
     return True
+
+
+def chain_integrity_issues(design: DftDesign,
+                           expected_chain: Optional[Sequence[str]] = None,
+                           ) -> List["Diagnostic"]:
+    """Static scan-chain checks as structured lint diagnostics.
+
+    Thin wrapper over the ``DF0xx`` rules of the DFT lint pack: missing
+    flip-flops (``DF001``), chain entries that are not flip-flops
+    (``DF002``), duplicated cells (``DF003``) and -- when
+    ``expected_chain`` is given -- order mismatches (``DF004``).
+    Returns the list of :class:`~repro.lint.Diagnostic` findings
+    (empty = chain consistent).
+    """
+    from ..lint import lint_design
+
+    report = lint_design(
+        design,
+        expected_chain=expected_chain,
+        enable=["DF001", "DF002", "DF003", "DF004"],
+    )
+    return list(report.diagnostics)
 
 
 @dataclass(frozen=True)

@@ -111,3 +111,60 @@ def test_load_bench_from_disk(tmp_path):
     n = load_bench(str(path))
     assert n.name == "mini"
     assert n.gate("y").func == "NOT"
+
+
+def test_source_lines_recorded():
+    n = parse_bench(
+        "# header\nINPUT(a)\n\nOUTPUT(y)\nq = DFF(y)\ny = NAND(a, q)\n"
+    )
+    assert n.source_lines["a"] == 2
+    assert n.source_lines["q"] == 5
+    assert n.source_lines["y"] == 6
+    assert n.source_file is None
+
+
+def test_source_file_recorded_by_load_bench(tmp_path):
+    from repro.bench import load_bench
+
+    path = tmp_path / "mini.bench"
+    path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    n = load_bench(str(path))
+    assert n.source_file == str(path)
+    assert n.source_lines["y"] == 3
+
+
+def test_source_lines_survive_copy():
+    n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    copy = n.copy("renamed")
+    assert copy.source_lines == n.source_lines
+
+
+def test_parse_error_cites_path(tmp_path):
+    from repro.bench import load_bench
+
+    path = tmp_path / "broken.bench"
+    path.write_text("INPUT(a)\nnot a bench line\n")
+    with pytest.raises(ParseError) as err:
+        load_bench(str(path))
+    assert str(path) in str(err.value)
+    assert "line 2" in str(err.value)
+
+
+def test_scan_bench_keeps_duplicates():
+    from repro.bench.parser import scan_bench
+
+    records = scan_bench("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n")
+    names = [(r.kind, r.name, r.line) for r in records]
+    assert names == [("input", "a", 1), ("gate", "y", 2), ("gate", "y", 3)]
+    assert records[1].func == "NOT"
+    assert records[2].fanin == ("a",)
+
+
+def test_parse_bench_lenient_first_definition_wins():
+    from repro.bench.parser import parse_bench_lenient
+
+    netlist, records = parse_bench_lenient(
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"
+    )
+    assert netlist.gate("y").func == "NOT"
+    assert len(records) == 4

@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint import diagnostics_from_sarif, report_from_json
+
+BAD_BENCH = """\
+INPUT(a)
+INPUT(b)
+OUTPUT(g2)
+g1 = AND(a, b)
+g1 = OR(a, b)
+a = NOT(b)
+g2 = NAND(g1, ghost)
+"""
+
+
+@pytest.fixture()
+def bad_bench(tmp_path):
+    path = tmp_path / "bad.bench"
+    path.write_text(BAD_BENCH)
+    return str(path)
+
+
+def test_clean_circuit_exits_zero(capsys):
+    assert main(["lint", "s27"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_dispatch_from_module_main(capsys):
+    # `lint` must route to the lint CLI, not the experiment runner.
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "NL001" in out
+    assert "FL002" in out
+
+
+def test_broken_file_exits_nonzero(bad_bench, capsys):
+    assert main(["lint", bad_bench]) == 1
+    out = capsys.readouterr().out
+    assert "NL001" in out
+    assert "NL006" in out
+    assert "NL007" in out
+    assert f"{bad_bench}:5" in out  # duplicate definition cites its line
+
+
+def test_unknown_target_exits_two(capsys):
+    assert main(["lint", "nonesuch"]) == 2
+    assert "unknown lint target" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert main(["lint", "s27", "--rules", "XX123"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_rule_selection(bad_bench, capsys):
+    assert main(["lint", bad_bench, "--rules", "NL006"]) == 1
+    out = capsys.readouterr().out
+    assert "NL006" in out
+    assert "NL001" not in out
+    assert main(["lint", bad_bench, "--disable", "structural"]) == 0
+
+
+def test_json_output_parses(bad_bench, capsys):
+    assert main(["lint", bad_bench, "--format", "json"]) == 1
+    report = report_from_json(capsys.readouterr().out)
+    assert report.design == "bad"
+    assert report.has_errors
+
+
+def test_sarif_output_parses(bad_bench, capsys):
+    assert main(["lint", bad_bench, "--format", "sarif"]) == 1
+    diagnostics = diagnostics_from_sarif(capsys.readouterr().out)
+    assert any(d.rule_id == "NL001" for d in diagnostics)
+
+
+def test_baseline_workflow(bad_bench, tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", bad_bench, "--write-baseline", baseline]) == 0
+    capsys.readouterr()
+    with open(baseline) as handle:
+        assert json.load(handle)["version"] == 1
+    # With the baseline applied the same findings are suppressed.
+    assert main(["lint", bad_bench, "--baseline", baseline]) == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_style_runs_dft_pack(capsys):
+    assert main(["lint", "s27", "--style", "flh"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_multiple_targets_summarized(bad_bench, capsys):
+    assert main(["lint", "s27", bad_bench]) == 1
+    out = capsys.readouterr().out
+    assert "linted 2 designs" in out
+
+
+def test_no_targets_errors():
+    with pytest.raises(SystemExit):
+        main(["lint"])
+
+
+def test_max_fanout_flag(capsys):
+    # s838 has hub flip-flops; a tiny limit must produce NL008 warnings
+    # but still exit 0 (warnings are advisory).
+    assert main(["lint", "s27", "--max-fanout", "1"]) == 0
+    assert "NL008" in capsys.readouterr().out
+
+
+def test_experiments_cli_still_works(capsys):
+    assert main(["fig5"]) == 0
+    assert "Figure 5(b)" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Engine behaviour: rule selection, baselines, report accounting."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Baseline,
+    LintContext,
+    LintEngine,
+    all_rules,
+    lint_netlist,
+    resolve_rules,
+)
+from repro.netlist import Netlist
+
+
+def broken_netlist():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add("g", "AND", ("a", "ghost"))
+    n.add("dangle", "NOT", ("a",))
+    n.add_output("g")
+    return n
+
+
+def test_default_engine_runs_every_registered_rule():
+    engine = LintEngine()
+    assert {r.rule_id for r in engine.rules} == \
+        {r.rule_id for r in all_rules()}
+
+
+def test_enable_restricts_to_listed_rules():
+    engine = LintEngine(enable=["NL001"])
+    report = engine.run(LintContext(netlist=broken_netlist()))
+    assert {d.rule_id for d in report.diagnostics} == {"NL001"}
+    assert report.rules_run == ["NL001"]
+
+
+def test_enable_accepts_categories():
+    engine = LintEngine(enable=["dft"])
+    assert all(r.category == "dft" for r in engine.rules)
+    assert engine.rules  # non-empty
+
+
+def test_disable_drops_rules():
+    engine = LintEngine(disable=["NL004"])
+    report = engine.run(LintContext(netlist=broken_netlist()))
+    ids = {d.rule_id for d in report.diagnostics}
+    assert "NL001" in ids
+    assert "NL004" not in ids
+
+
+def test_unknown_selector_rejected():
+    with pytest.raises(LintError):
+        LintEngine(enable=["NL999"])
+    with pytest.raises(LintError):
+        resolve_rules(["no-such-category"])
+
+
+def test_report_counts_and_summary():
+    report = lint_netlist(broken_netlist())
+    counts = report.counts
+    assert counts["error"] == len(report.errors) > 0
+    assert "error" in report.summary()
+
+
+def test_diagnostics_sorted_errors_first():
+    n = broken_netlist()
+    report = lint_netlist(n, max_fanout=1)
+    severities = [d.severity.rank for d in report.diagnostics]
+    assert severities == sorted(severities)
+
+
+def test_baseline_suppression_round_trip(tmp_path):
+    n = broken_netlist()
+    dirty = lint_netlist(n)
+    assert dirty.has_errors
+
+    baseline = Baseline.from_diagnostics(dirty.diagnostics)
+    path = tmp_path / "baseline.json"
+    baseline.save(str(path))
+    reloaded = Baseline.load(str(path))
+
+    clean = lint_netlist(n, baseline=reloaded)
+    assert clean.diagnostics == []
+    assert len(clean.suppressed) == len(dirty.diagnostics)
+    assert "suppressed" in clean.summary()
+
+
+def test_baseline_does_not_hide_new_findings():
+    n = broken_netlist()
+    baseline = Baseline.from_diagnostics(lint_netlist(n).diagnostics)
+    n.add("fresh", "NOT", ("ghost2",))
+    n.add_output("fresh")
+    report = lint_netlist(n, baseline=baseline)
+    assert any("ghost2" in d.message for d in report.errors)
+
+
+def test_baseline_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    with pytest.raises(LintError):
+        Baseline.load(str(path))
+    path.write_text('{"version": 99}')
+    with pytest.raises(LintError):
+        Baseline.load(str(path))
+
+
+def test_fingerprint_stable_under_message_rewording():
+    report = lint_netlist(broken_netlist())
+    diag = report.errors[0]
+    from dataclasses import replace
+
+    reworded = replace(diag, message="completely different text")
+    assert reworded.fingerprint == diag.fingerprint

@@ -1,0 +1,91 @@
+"""Output formats: text rendering, JSON and SARIF round-trips."""
+
+import json
+
+from repro.lint import (
+    diagnostics_from_sarif,
+    lint_netlist,
+    render_text,
+    report_from_json,
+    report_to_json,
+    report_to_sarif,
+)
+from repro.netlist import Netlist
+
+
+def broken_netlist():
+    n = Netlist("bad")
+    n.add_input("a")
+    n.add("g", "AND", ("a", "ghost"))
+    n.add("dangle", "NOT", ("a",))
+    n.add_output("g")
+    n.source_file = "bad.bench"
+    n.source_lines = {"g": 4, "dangle": 5}
+    return n
+
+
+def test_text_rendering_has_ids_and_summary():
+    report = lint_netlist(broken_netlist())
+    text = render_text(report)
+    assert "NL001" in text
+    assert "ghost" in text
+    assert "bad.bench:4" in text
+    assert report.summary() in text
+
+
+def test_json_round_trip():
+    report = lint_netlist(broken_netlist())
+    text = report_to_json(report)
+    data = json.loads(text)  # must parse
+    assert data["design"] == "bad"
+    rebuilt = report_from_json(text)
+    assert rebuilt.design == report.design
+    assert rebuilt.diagnostics == report.diagnostics
+    assert rebuilt.rules_run == report.rules_run
+    assert rebuilt.counts == report.counts
+
+
+def test_sarif_parses_and_round_trips():
+    report = lint_netlist(broken_netlist())
+    text = report_to_sarif(report)
+    data = json.loads(text)
+    assert data["version"] == "2.1.0"
+    run = data["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= \
+        {d.rule_id for d in report.diagnostics}
+
+    rebuilt = diagnostics_from_sarif(text)
+    assert rebuilt == report.diagnostics
+
+
+def test_sarif_levels_map_severities():
+    report = lint_netlist(broken_netlist(), max_fanout=1)
+    data = json.loads(report_to_sarif(report))
+    levels = {r["level"] for r in data["runs"][0]["results"]}
+    assert "error" in levels
+    assert "warning" in levels
+
+
+def test_sarif_carries_location_and_hint():
+    report = lint_netlist(broken_netlist())
+    data = json.loads(report_to_sarif(report))
+    result = next(
+        r for r in data["runs"][0]["results"] if r["ruleId"] == "NL001"
+    )
+    location = result["locations"][0]
+    assert location["physicalLocation"]["artifactLocation"]["uri"] == \
+        "bad.bench"
+    assert location["physicalLocation"]["region"]["startLine"] == 4
+    assert location["logicalLocations"][0]["name"] == "g"
+    assert "hint" in result["properties"]
+
+
+def test_clean_report_serializes_empty():
+    n = Netlist("ok")
+    n.add_input("a")
+    n.add("y", "NOT", ("a",))
+    n.add_output("y")
+    report = lint_netlist(n)
+    assert report_from_json(report_to_json(report)).diagnostics == []
+    assert diagnostics_from_sarif(report_to_sarif(report)) == []

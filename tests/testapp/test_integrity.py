@@ -1,10 +1,14 @@
-"""Tests for flush testing and test-time accounting."""
+"""Tests for flush testing, chain integrity checks, and test-time
+accounting."""
+
+from dataclasses import replace
 
 import pytest
 
 from repro import units
 from repro.errors import SimulationError
 from repro.testapp import (
+    chain_integrity_issues,
     flush_test,
     partition_chains,
     tester_time,
@@ -23,6 +27,43 @@ class TestFlush:
     def test_all_styles(self, s27_designs):
         for design in s27_designs.values():
             assert flush_test(design)
+
+
+class TestChainIntegrity:
+    """Static chain checks surface the exact DFT lint rule IDs."""
+
+    def test_intact_chain_is_clean(self, s298_designs):
+        assert chain_integrity_issues(s298_designs["scan"]) == []
+
+    def test_broken_chain_fires_df001(self, s298_designs):
+        design = s298_designs["scan"]
+        broken = replace(design, scan_chain=design.scan_chain[:-1])
+        ids = {d.rule_id for d in chain_integrity_issues(broken)}
+        assert ids == {"DF001"}
+
+    def test_duplicated_ff_fires_df003(self, s298_designs):
+        design = s298_designs["scan"]
+        chain = design.scan_chain + (design.scan_chain[0],)
+        broken = replace(design, scan_chain=chain)
+        ids = {d.rule_id for d in chain_integrity_issues(broken)}
+        assert ids == {"DF003"}
+
+    def test_out_of_order_chain_fires_df004(self, s298_designs):
+        design = s298_designs["scan"]
+        shuffled = replace(
+            design, scan_chain=tuple(reversed(design.scan_chain))
+        )
+        issues = chain_integrity_issues(
+            shuffled, expected_chain=design.scan_chain
+        )
+        ids = {d.rule_id for d in issues}
+        assert ids == {"DF004"}
+
+    def test_matching_declared_order_is_clean(self, s298_designs):
+        design = s298_designs["scan"]
+        assert chain_integrity_issues(
+            design, expected_chain=design.scan_chain
+        ) == []
 
 
 class TestTestTime:
