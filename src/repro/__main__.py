@@ -17,15 +17,21 @@ Usage::
     python -m repro lint --all                # every catalog circuit
     python -m repro lint s838 --style flh     # DFT rule pack too
 
+    python -m repro bench --quick             # time the tier-1 kernels
+    python -m repro bench --quick --check-baseline   # CI smoke check
+
+    python -m repro table1 --processes 4      # fan circuits across workers
+
 See ``python -m repro lint --help`` (and ``docs/lint.md``) for rule
-selection, baselines and output formats.
+selection, baselines and output formats; ``python -m repro bench
+--help`` (and ``docs/performance.md``) for the benchmark harness.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .experiments import (
     ablation_sizing,
@@ -44,34 +50,47 @@ from .experiments import (
 QUICK_CIRCUITS = ("s298", "s344", "s382")
 
 
-def _run_table4_quick() -> None:
+def _run_table4_quick(p: int, t: Optional[float]) -> None:
     print(table4_fanout.run(circuits=("s838",), n_vectors=20,
                             max_candidates=10).render())
 
 
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
-    "table1": lambda: print(table1_area.run().render()),
-    "table2": lambda: print(table2_delay.run().render()),
-    "table3": lambda: print(table3_power.run().render()),
-    "table4": lambda: print(table4_fanout.run(max_candidates=120).render()),
-    "fig2": lambda: print(fig2_decay.run().render()),
-    "fig4": lambda: print(fig4_hold.run().render()),
-    "fig5": lambda: print(fig5_timing.run().render()),
-    "coverage": lambda: print(coverage_study.run().render()),
-    "ablation": lambda: print(ablation_sizing.run().render()),
-    "partial": lambda: print(partial_study.run().render()),
-    "variation": lambda: print(variation_quality.run().render()),
+# Each entry takes (processes, task_timeout); only the table 1-3
+# drivers fan out -- the rest ignore both knobs.
+EXPERIMENTS: Dict[str, Callable[[int, Optional[float]], None]] = {
+    "table1": lambda p, t: print(
+        table1_area.run(processes=p, task_timeout=t).render()
+    ),
+    "table2": lambda p, t: print(
+        table2_delay.run(processes=p, task_timeout=t).render()
+    ),
+    "table3": lambda p, t: print(
+        table3_power.run(processes=p, task_timeout=t).render()
+    ),
+    "table4": lambda p, t: print(
+        table4_fanout.run(max_candidates=120).render()
+    ),
+    "fig2": lambda p, t: print(fig2_decay.run().render()),
+    "fig4": lambda p, t: print(fig4_hold.run().render()),
+    "fig5": lambda p, t: print(fig5_timing.run().render()),
+    "coverage": lambda p, t: print(coverage_study.run().render()),
+    "ablation": lambda p, t: print(ablation_sizing.run().render()),
+    "partial": lambda p, t: print(partial_study.run().render()),
+    "variation": lambda p, t: print(variation_quality.run().render()),
 }
 
-QUICK: Dict[str, Callable[[], None]] = {
-    "table1": lambda: print(
-        table1_area.run(circuits=QUICK_CIRCUITS).render()
+QUICK: Dict[str, Callable[[int, Optional[float]], None]] = {
+    "table1": lambda p, t: print(
+        table1_area.run(circuits=QUICK_CIRCUITS,
+                        processes=p, task_timeout=t).render()
     ),
-    "table2": lambda: print(
-        table2_delay.run(circuits=QUICK_CIRCUITS).render()
+    "table2": lambda p, t: print(
+        table2_delay.run(circuits=QUICK_CIRCUITS,
+                         processes=p, task_timeout=t).render()
     ),
-    "table3": lambda: print(
-        table3_power.run(circuits=QUICK_CIRCUITS, n_vectors=40).render()
+    "table3": lambda p, t: print(
+        table3_power.run(circuits=QUICK_CIRCUITS, n_vectors=40,
+                         processes=p, task_timeout=t).render()
     ),
     "table4": _run_table4_quick,
     "fig5": EXPERIMENTS["fig5"],
@@ -86,6 +105,10 @@ def main(argv: List[str] | None = None) -> int:
         from .lint import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .perf import bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,6 +122,20 @@ def main(argv: List[str] | None = None) -> int:
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all", "quick"],
         help="experiments to run",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for the per-circuit experiments "
+             "(tables 1-3); 1 = run serially in-process",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-circuit timeout in seconds when --processes > 1 "
+             "(a timed-out circuit becomes an error row)",
     )
     args = parser.parse_args(argv)
 
@@ -115,11 +152,11 @@ def main(argv: List[str] | None = None) -> int:
         if name == "quick":
             for key in sorted(QUICK):
                 print(f"== {key} (quick) ==")
-                QUICK[key]()
+                QUICK[key](args.processes, args.task_timeout)
                 print()
             continue
         print(f"== {name} ==")
-        EXPERIMENTS[name]()
+        EXPERIMENTS[name](args.processes, args.task_timeout)
         print()
     return 0
 

@@ -62,6 +62,14 @@ class FlhConfig:
     #: for the primary inputs to provide a transition" (Section IV).
     gate_primary_input_fanout: bool = False
 
+    def __post_init__(self) -> None:
+        # Keep the config hashable even when a caller passes the width
+        # factors as a list -- configs key the experiment design cache.
+        if not isinstance(self.width_factors, tuple):
+            object.__setattr__(
+                self, "width_factors", tuple(self.width_factors)
+            )
+
 
 def gating_penalty(cell_resistance: float, output_cap: float,
                    load: float, keeper_cap: float,

@@ -14,6 +14,7 @@ from . import (
     fig2_decay,
     fig4_hold,
     fig5_timing,
+    parallel,
     partial_study,
     report,
     table1_area,
@@ -22,9 +23,12 @@ from . import (
     table4_fanout,
     variation_quality,
 )
+from .parallel import ParallelRunner, TaskOutcome, run_per_circuit
 from .report import format_table, summary_line
 
 __all__ = [
+    "ParallelRunner",
+    "TaskOutcome",
     "ablation_sizing",
     "common",
     "coverage_study",
@@ -32,8 +36,10 @@ __all__ = [
     "fig4_hold",
     "fig5_timing",
     "format_table",
+    "parallel",
     "partial_study",
     "report",
+    "run_per_circuit",
     "summary_line",
     "variation_quality",
     "table1_area",

@@ -13,14 +13,15 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..bench import TABLE13_CIRCUITS, TABLE4_CIRCUITS, load_circuit
 from ..cells import default_library
 from ..dft import DftDesign, FlhConfig, build_all_styles
-from ..netlist import Netlist, collect_stats
+from ..netlist import Netlist, clear_compile_cache, collect_stats
 
 #: Paper's random-vector count for power measurements.
 POWER_VECTORS = 100
 #: Deterministic seed used across all experiments.
 SEED = 2005
 
-_design_cache: Dict[Tuple[str, bool], Dict[str, DftDesign]] = {}
+_design_cache: Dict[Tuple[str, Optional[FlhConfig]],
+                    Dict[str, DftDesign]] = {}
 _netlist_cache: Dict[str, Netlist] = {}
 
 
@@ -34,22 +35,30 @@ def circuit(name: str) -> Netlist:
 def styled_designs(name: str,
                    flh_config: Optional[FlhConfig] = None,
                    ) -> Dict[str, DftDesign]:
-    """Cached scan/enhanced/mux/flh designs for a circuit."""
-    key = (name, flh_config is None)
-    if flh_config is not None or key not in _design_cache:
+    """Cached scan/enhanced/mux/flh designs for a circuit.
+
+    The cache is keyed on ``(name, flh_config)`` -- :class:`FlhConfig`
+    is a frozen, hashable dataclass -- so a Table IV or ablation sweep
+    that revisits the same non-default sizing config reuses the built
+    designs instead of re-running synthesis on every call (the old key
+    collapsed every custom config onto "not default" and never cached
+    any of them).
+    """
+    key = (name, flh_config)
+    designs = _design_cache.get(key)
+    if designs is None:
         designs = build_all_styles(
             circuit(name), default_library(), flh_config
         )
-        if flh_config is not None:
-            return designs
         _design_cache[key] = designs
-    return _design_cache[key]
+    return designs
 
 
 def clear_caches() -> None:
-    """Drop cached circuits/designs (frees memory between bench groups)."""
+    """Drop cached circuits/designs/compiled kernels between bench groups."""
     _design_cache.clear()
     _netlist_cache.clear()
+    clear_compile_cache()
 
 
 def default_circuits(table: int) -> Sequence[str]:

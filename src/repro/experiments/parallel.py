@@ -1,0 +1,185 @@
+"""Parallel experiment execution: fan work out across circuits.
+
+The table and coverage experiments are embarrassingly parallel over
+circuits, and each circuit is independent (its own synthesis, DFT
+transforms and simulations).  :class:`ParallelRunner` maps a function
+over a work list with:
+
+* ``processes=1`` (the default) running everything inline -- identical
+  results to a plain loop, no pickling requirements;
+* ``processes=N`` running each task in its *own* subprocess (fork where
+  available), so a crash -- even a hard interpreter abort -- in one
+  circuit cannot take down the run;
+* a per-task ``timeout`` (subprocess mode only) that terminates the
+  worker and reports the task as failed;
+* **deterministic result ordering**: outcomes always come back in work
+  list order, regardless of completion order.
+
+A failed task degrades to a :class:`TaskOutcome` with ``ok=False`` and
+an error string; the experiment drivers turn that into a reported error
+row instead of killing the whole table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one task: either a value or an error description."""
+
+    index: int              #: position in the submitted work list
+    item: Any               #: the submitted work item
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    duration: float = 0.0   #: wall-clock seconds spent on the task
+    timed_out: bool = False
+
+
+def _child_main(conn, fn: Callable[[Any], Any], item: Any) -> None:
+    """Subprocess entry: run one task and ship the outcome back."""
+    try:
+        value = fn(item)
+        conn.send((True, value, None))
+    except BaseException as exc:  # noqa: BLE001 -- isolation is the point
+        try:
+            conn.send((False, None, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ParallelRunner:
+    """Map a function over items, optionally across processes.
+
+    Parameters
+    ----------
+    processes:
+        Maximum concurrent worker processes.  ``1`` (default) runs
+        serially in-process -- same results, no subprocess overhead.
+    timeout:
+        Per-task wall-clock limit in seconds (subprocess mode only; a
+        serial run cannot preempt a task).  ``None`` disables it.
+    """
+
+    def __init__(self, processes: int = 1,
+                 timeout: Optional[float] = None):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> List[TaskOutcome]:
+        """Run ``fn`` over ``items``; outcomes in submission order."""
+        items = list(items)
+        if self.processes == 1 or len(items) <= 1:
+            return self._map_serial(fn, items)
+        return self._map_processes(fn, items)
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn, items) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for index, item in enumerate(items):
+            start = time.perf_counter()
+            try:
+                value = fn(item)
+            except Exception as exc:  # crash isolation, serial flavour
+                outcomes.append(TaskOutcome(
+                    index=index, item=item, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    duration=time.perf_counter() - start,
+                ))
+            else:
+                outcomes.append(TaskOutcome(
+                    index=index, item=item, ok=True, value=value,
+                    duration=time.perf_counter() - start,
+                ))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_processes(self, fn, items) -> List[TaskOutcome]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork: fn must pickle
+            ctx = multiprocessing.get_context()
+
+        results: Dict[int, TaskOutcome] = {}
+        pending = list(enumerate(items))
+        running: Dict[int, tuple] = {}  # index -> (proc, conn, start)
+
+        def finish(index: int, outcome: TaskOutcome) -> None:
+            proc, conn, _ = running.pop(index)
+            conn.close()
+            proc.join()
+            results[index] = outcome
+
+        while pending or running:
+            while pending and len(running) < self.processes:
+                index, item = pending.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(child_conn, fn, item)
+                )
+                proc.start()
+                child_conn.close()
+                running[index] = (proc, parent_conn, time.perf_counter())
+
+            progressed = False
+            for index in list(running):
+                proc, conn, start = running[index]
+                elapsed = time.perf_counter() - start
+                if conn.poll(0.0):
+                    try:
+                        ok, value, error = conn.recv()
+                    except EOFError:
+                        ok, value, error = (
+                            False, None,
+                            f"worker died (exit code {proc.exitcode})",
+                        )
+                    finish(index, TaskOutcome(
+                        index=index, item=items[index], ok=ok, value=value,
+                        error=error, duration=elapsed,
+                    ))
+                    progressed = True
+                elif self.timeout is not None and elapsed > self.timeout:
+                    proc.terminate()
+                    finish(index, TaskOutcome(
+                        index=index, item=items[index], ok=False,
+                        error=f"timed out after {self.timeout:.1f}s",
+                        duration=elapsed, timed_out=True,
+                    ))
+                    progressed = True
+                elif not proc.is_alive() and not conn.poll(0.0):
+                    finish(index, TaskOutcome(
+                        index=index, item=items[index], ok=False,
+                        error=f"worker died (exit code {proc.exitcode})",
+                        duration=elapsed,
+                    ))
+                    progressed = True
+            if not progressed and running:
+                time.sleep(0.005)
+
+        return [results[i] for i in range(len(items))]
+
+
+def run_per_circuit(row_fn: Callable[[str], Any],
+                    circuits: Sequence[str],
+                    processes: int = 1,
+                    timeout: Optional[float] = None) -> List[TaskOutcome]:
+    """Fan a per-circuit function out over a circuit list."""
+    return ParallelRunner(processes=processes, timeout=timeout).map(
+        row_fn, list(circuits)
+    )
+
+
+def error_row(outcome: TaskOutcome, key: str = "circuit") -> Dict[str, object]:
+    """Degraded table row for a failed per-circuit task."""
+    return {key: outcome.item, "error": outcome.error}

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..dft import OverheadComparison, compare_area
 from .common import default_circuits, structural_row, styled_designs
+from .parallel import error_row, run_per_circuit
 from .report import format_table, summary_line
 
 
@@ -60,20 +61,38 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def run(circuits: Optional[Sequence[str]] = None) -> Table1Result:
-    """Run the Table I experiment."""
+def _circuit_result(name: str):
+    """Row + comparison for one circuit (module-level: picklable)."""
+    designs = styled_designs(name)
+    comparison = compare_area(designs)
+    row = structural_row(name)
+    row.update(comparison.as_row())
+    row.pop("circuit", None)
+    row = {"circuit": name, **row}
+    return row, comparison
+
+
+def run(circuits: Optional[Sequence[str]] = None,
+        processes: int = 1,
+        task_timeout: Optional[float] = None) -> Table1Result:
+    """Run the Table I experiment.
+
+    ``processes > 1`` fans circuits out across worker processes; a
+    circuit that fails degrades to an error row instead of killing the
+    table.  Result ordering matches the circuit list either way.
+    """
     names = list(circuits or default_circuits(1))
     rows: List[Dict[str, object]] = []
     comparisons: List[OverheadComparison] = []
-    for name in names:
-        designs = styled_designs(name)
-        comparison = compare_area(designs)
-        comparisons.append(comparison)
-        row = structural_row(name)
-        row.update(comparison.as_row())
-        row.pop("circuit", None)
-        row = {"circuit": name, **row}
-        rows.append(row)
+    for outcome in run_per_circuit(_circuit_result, names,
+                                   processes=processes,
+                                   timeout=task_timeout):
+        if outcome.ok:
+            row, comparison = outcome.value
+            rows.append(row)
+            comparisons.append(comparison)
+        else:
+            rows.append(error_row(outcome))
     return Table1Result(rows=rows, comparisons=comparisons)
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dft import OverheadComparison, compare_delay
 from ..timing import analyze
 from .common import default_circuits, styled_designs
+from .parallel import error_row, run_per_circuit
 from .report import format_table, summary_line
 
 
@@ -53,24 +54,37 @@ class Table2Result:
         return "\n".join(lines)
 
 
-def run(circuits: Optional[Sequence[str]] = None) -> Table2Result:
-    """Run the Table II experiment."""
+def _circuit_result(name: str):
+    """Row + comparison for one circuit (module-level: picklable)."""
+    designs = styled_designs(name)
+    report = analyze(designs["scan"].netlist, designs["scan"].library)
+    comparison = compare_delay(designs)
+    row: Dict[str, object] = {
+        "circuit": name,
+        "crit_levels": report.critical_levels,
+    }
+    row.update(
+        {k: v for k, v in comparison.as_row().items() if k != "circuit"}
+    )
+    return row, comparison
+
+
+def run(circuits: Optional[Sequence[str]] = None,
+        processes: int = 1,
+        task_timeout: Optional[float] = None) -> Table2Result:
+    """Run the Table II experiment (see Table I for the parallel knobs)."""
     names = list(circuits or default_circuits(2))
     rows: List[Dict[str, object]] = []
     comparisons: List[OverheadComparison] = []
-    for name in names:
-        designs = styled_designs(name)
-        report = analyze(designs["scan"].netlist, designs["scan"].library)
-        comparison = compare_delay(designs)
-        comparisons.append(comparison)
-        row: Dict[str, object] = {
-            "circuit": name,
-            "crit_levels": report.critical_levels,
-        }
-        row.update(
-            {k: v for k, v in comparison.as_row().items() if k != "circuit"}
-        )
-        rows.append(row)
+    for outcome in run_per_circuit(_circuit_result, names,
+                                   processes=processes,
+                                   timeout=task_timeout):
+        if outcome.ok:
+            row, comparison = outcome.value
+            rows.append(row)
+            comparisons.append(comparison)
+        else:
+            rows.append(error_row(outcome))
     return Table2Result(rows=rows, comparisons=comparisons)
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..dft import OverheadComparison, compare_power
 from .common import POWER_VECTORS, SEED, default_circuits, styled_designs
+from .parallel import error_row, run_per_circuit
 from .report import format_table, summary_line
 
 
@@ -61,17 +62,30 @@ class Table3Result:
         return "\n".join(lines)
 
 
+def _circuit_result(args):
+    """Comparison for one circuit (module-level: picklable)."""
+    name, n_vectors = args
+    designs = styled_designs(name)
+    return compare_power(designs, n_vectors=n_vectors, seed=SEED)
+
+
 def run(circuits: Optional[Sequence[str]] = None,
-        n_vectors: int = POWER_VECTORS) -> Table3Result:
-    """Run the Table III experiment."""
+        n_vectors: int = POWER_VECTORS,
+        processes: int = 1,
+        task_timeout: Optional[float] = None) -> Table3Result:
+    """Run the Table III experiment (see Table I for the parallel knobs)."""
     names = list(circuits or default_circuits(3))
     rows: List[Dict[str, object]] = []
     comparisons: List[OverheadComparison] = []
-    for name in names:
-        designs = styled_designs(name)
-        comparison = compare_power(designs, n_vectors=n_vectors, seed=SEED)
-        comparisons.append(comparison)
-        rows.append(comparison.as_row())
+    for outcome in run_per_circuit(
+            _circuit_result, [(name, n_vectors) for name in names],
+            processes=processes, timeout=task_timeout):
+        if outcome.ok:
+            comparison = outcome.value
+            comparisons.append(comparison)
+            rows.append(comparison.as_row())
+        else:
+            rows.append({"circuit": outcome.item[0], "error": outcome.error})
     return Table3Result(rows=rows, comparisons=comparisons)
 
 

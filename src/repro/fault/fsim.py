@@ -6,9 +6,20 @@ good machine is simulated once and only the fault's fanout cone is
 re-evaluated with the site forced to the stuck value -- the standard
 single-fault propagation scheme.
 
+The inner loops run on the :class:`~repro.netlist.CompiledNetlist`
+flat arrays: integer opcodes, integer fanin indices, and per-site cone
+position lists cached on the compiled netlist (shared, via the content
+hash cache, with every other simulator over the same circuit).
+
 Observation points are the combinational core outputs: primary outputs
 plus flip-flop data inputs (captured into the scan chain and shifted
 out, as in any full-scan flow).
+
+Patterns reaching the fault simulator must assign **every** primary
+input and state input: packing runs in strict mode, so a missing net
+raises :class:`~repro.errors.SimulationError` instead of being silently
+zero-filled (which would quietly fault-simulate a different vector than
+the caller intended).
 """
 
 from __future__ import annotations
@@ -17,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import SimulationError
-from ..netlist import Netlist, fanout_cone, evaluate_gate
+from ..netlist import Netlist
 from ..power.logicsim import LogicSimulator, pack_patterns
 from .models import StuckFault, TransitionFault
 
@@ -36,7 +47,12 @@ class FaultSimResult:
 
     @property
     def coverage(self) -> float:
-        """Fraction of simulated faults detected."""
+        """Fraction of simulated faults detected.
+
+        Defined for every input: an empty fault list has coverage 0.0
+        (nothing was simulated, so nothing was demonstrated detected)
+        rather than raising ``ZeroDivisionError``.
+        """
         if not self.detected:
             return 0.0
         return len(self.detected_faults) / len(self.detected)
@@ -48,59 +64,98 @@ class FaultSimulator:
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
         self.sim = LogicSimulator(netlist)
+        self.compiled = self.sim.compiled
         self.observe: Tuple[str, ...] = tuple(netlist.core_outputs)
-        self._cone_cache: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     def _cone_order(self, net: str) -> Tuple[str, ...]:
         """Topologically sorted combinational fanout cone of ``net``."""
-        cached = self._cone_cache.get(net)
-        if cached is not None:
-            return cached
-        cone = fanout_cone(self.netlist, [net])
-        order = tuple(name for name in self.sim.order if name in cone)
-        self._cone_cache[net] = order
-        return order
+        return self.compiled.cone_names(net)
 
     def good_values(self, patterns: Sequence[Mapping[str, int]],
-                    ) -> Tuple[Dict[str, int], int]:
-        """Pack and simulate the fault-free machine."""
+                    strict: bool = True) -> Tuple[Dict[str, int], int]:
+        """Pack and simulate the fault-free machine.
+
+        With ``strict`` (the default) every pattern must assign every
+        primary input and state input; pass ``strict=False`` to restore
+        the historical zero-fill of missing nets.
+        """
         values, mask = pack_patterns(
-            patterns, list(self.netlist.inputs) + list(self.netlist.state_inputs)
+            patterns,
+            list(self.netlist.inputs) + list(self.netlist.state_inputs),
+            strict=strict,
         )
         self.sim.eval_combinational(values, mask)
         return values, mask
 
+    def _good_array(self, patterns: Sequence[Mapping[str, int]],
+                    ) -> Tuple[List[int], int]:
+        """Strictly pack patterns and simulate, on the flat value array."""
+        compiled = self.compiled
+        names = compiled.names
+        arr = [0] * len(names)
+        n = len(patterns)
+        for slot in range(compiled.n_prefix):
+            net = names[slot]
+            word = 0
+            for i, pattern in enumerate(patterns):
+                bit = pattern.get(net)
+                if bit is None:
+                    raise SimulationError(
+                        f"pattern {i} assigns no value to net {net!r} "
+                        f"(strict packing)"
+                    )
+                if bit & 1:
+                    word |= 1 << i
+            arr[slot] = word
+        mask = (1 << n) - 1 if n else 0
+        compiled.eval_into(arr, mask)
+        return arr, mask
+
     # ------------------------------------------------------------------
-    def detect_stuck(self, fault: StuckFault,
-                     good: Mapping[str, int], mask: int) -> int:
-        """Bitmask of patterns detecting ``fault`` given good values."""
-        if fault.net not in self.netlist:
+    def _detect_stuck_arr(self, fault: StuckFault,
+                          good: List[int], mask: int) -> int:
+        """Detection bitmask of ``fault`` over a flat good-value array."""
+        compiled = self.compiled
+        slot = compiled.index.get(fault.net)
+        if slot is None:
             raise SimulationError(f"fault site {fault.net!r} not in netlist")
         site_value = mask if fault.value else 0
         # Fault not excited where the good value equals the stuck value.
-        excited = good[fault.net] ^ site_value
-        if not (excited & mask):
+        if not ((good[slot] ^ site_value) & mask):
             return 0
-        faulty: Dict[str, int] = {fault.net: site_value}
-        for name in self._cone_order(fault.net):
-            gate = self.netlist.gate(name)
-            fanin_vals = tuple(
-                faulty.get(f, good[f]) for f in gate.fanin
-            )
-            faulty[name] = evaluate_gate(gate.func, fanin_vals, mask)
+        faulty = good.copy()
+        faulty[slot] = site_value
+        compiled.eval_into(faulty, mask, compiled.cone_positions(slot))
         detected = 0
-        for out in self.observe:
-            detected |= good[out] ^ faulty.get(out, good[out])
+        for out in compiled.observe_idx:
+            detected |= good[out] ^ faulty[out]
         return detected & mask
+
+    def detect_stuck(self, fault: StuckFault,
+                     good: Mapping[str, int], mask: int) -> int:
+        """Bitmask of patterns detecting ``fault`` given good values.
+
+        ``good`` is the full net -> packed-word mapping produced by
+        :meth:`good_values` (every net of the netlist must be present).
+        """
+        compiled = self.compiled
+        try:
+            arr = [good[name] for name in compiled.names]
+        except KeyError as exc:
+            raise SimulationError(
+                f"good-value mapping has no entry for net {exc.args[0]!r}"
+            ) from exc
+        return self._detect_stuck_arr(fault, arr, mask)
 
     def simulate_stuck(self, faults: Sequence[StuckFault],
                        patterns: Sequence[Mapping[str, int]],
                        ) -> FaultSimResult:
         """Fault-simulate a stuck-at fault list against a pattern set."""
-        good, mask = self.good_values(patterns)
+        good, mask = self._good_array(patterns)
         detected = {
-            fault: self.detect_stuck(fault, good, mask) for fault in faults
+            fault: self._detect_stuck_arr(fault, good, mask)
+            for fault in faults
         }
         return FaultSimResult(detected=detected, n_patterns=len(patterns))
 
@@ -116,22 +171,33 @@ class FaultSimulator:
         n stuck-at-0 (dually for slow-to-fall); this is the standard
         transition-fault condition under fully enhanced (arbitrary)
         two-pattern application.
+
+        Every V1 and V2 must assign every primary input and state input;
+        a partially assigned pattern raises
+        :class:`~repro.errors.SimulationError` (strict packing) rather
+        than being silently zero-filled into a different test.
         """
         v1s = [pair[0] for pair in pairs]
         v2s = [pair[1] for pair in pairs]
-        good1, mask = self.good_values(v1s)
-        good2, mask2 = self.good_values(v2s)
-        if mask2 != mask:
-            raise SimulationError("pattern pair lists of unequal length")
+        good1, mask = self._good_array(v1s)
+        good2, _ = self._good_array(v2s)
+        compiled = self.compiled
         detected: Dict[object, int] = {}
         for fault in faults:
-            site1 = good1[fault.net]
+            slot = compiled.index.get(fault.net)
+            if slot is None:
+                raise SimulationError(
+                    f"fault site {fault.net!r} not in netlist"
+                )
+            site1 = good1[slot]
             # Launch bit set where V1's value equals the required initial.
             if fault.initial_value == 1:
                 launch = site1 & mask
             else:
                 launch = ~site1 & mask
-            stuck_mask = self.detect_stuck(fault.equivalent_stuck, good2, mask)
+            stuck_mask = self._detect_stuck_arr(
+                fault.equivalent_stuck, good2, mask
+            )
             detected[fault] = launch & stuck_mask
         return FaultSimResult(detected=detected, n_patterns=len(pairs))
 

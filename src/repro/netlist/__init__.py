@@ -7,6 +7,13 @@ Public surface::
     from repro.netlist import first_level_gates, validate, collect_stats
 """
 
+from .compiled import (
+    CompiledNetlist,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_netlist,
+    content_hash,
+)
 from .gate import ALL_FUNCS, COMBINATIONAL_FUNCS, Gate, evaluate_gate
 from .graph import (
     fanout_cone,
@@ -28,6 +35,11 @@ from .validate import validate, validation_issues
 __all__ = [
     "ALL_FUNCS",
     "COMBINATIONAL_FUNCS",
+    "CompiledNetlist",
+    "clear_compile_cache",
+    "compile_cache_info",
+    "compile_netlist",
+    "content_hash",
     "Gate",
     "Netlist",
     "NetlistStats",

@@ -1,0 +1,351 @@
+"""Compiled netlist kernels: index-based flat arrays for the hot loops.
+
+Every simulator in the repository used to walk gates through per-net
+string-keyed dict lookups (``netlist.gate(name)`` + ``values[fanin]``
+per pin).  This module lowers a :class:`~repro.netlist.Netlist` once
+into flat parallel arrays -- integer opcodes and integer fanin indices
+-- that the logic simulator, the fault simulator's cone re-evaluation
+and STA arrival propagation all share:
+
+* value slot ``i`` holds the word for net ``names[i]``; primary inputs
+  come first, then state inputs (DFF outputs), then every combinational
+  gate in topological order;
+* eval node ``p`` computes slot ``n_prefix + p`` from ``ops[p]`` and
+  ``fanins[p]`` (indices into the value array);
+* fanout cones are cached per fault site as tuples of eval positions,
+  already topologically sorted (position order *is* topological order).
+
+Compiled forms are cached process-wide, keyed on a **content hash** of
+the netlist (name, port order, and every gate record), so repeated
+construction of simulators over the same circuit -- the common shape of
+the table experiments -- compiles exactly once.  Mutating a netlist
+changes its hash, which simply misses the cache; stale entries are only
+dropped via :func:`clear_compile_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from .netlist import Netlist
+from .graph import topological_order
+
+# Generic n-ary opcodes (match COMBINATIONAL_FUNCS).
+OP_AND = 0
+OP_NAND = 1
+OP_OR = 2
+OP_NOR = 3
+OP_XOR = 4
+OP_XNOR = 5
+OP_NOT = 6
+OP_BUF = 7
+OP_AOI21 = 8
+OP_AOI22 = 9
+OP_OAI21 = 10
+OP_OAI22 = 11
+OP_MUX2 = 12
+# Two-input specializations (the overwhelmingly common case after
+# technology mapping) -- generic code + _TWO_INPUT_OFFSET.
+_TWO_INPUT_OFFSET = 20
+OP_AND2 = 20
+OP_NAND2 = 21
+OP_OR2 = 22
+OP_NOR2 = 23
+OP_XOR2 = 24
+OP_XNOR2 = 25
+
+_OPCODES = {
+    "AND": OP_AND,
+    "NAND": OP_NAND,
+    "OR": OP_OR,
+    "NOR": OP_NOR,
+    "XOR": OP_XOR,
+    "XNOR": OP_XNOR,
+    "NOT": OP_NOT,
+    "BUF": OP_BUF,
+    "AOI21": OP_AOI21,
+    "AOI22": OP_AOI22,
+    "OAI21": OP_OAI21,
+    "OAI22": OP_OAI22,
+    "MUX2": OP_MUX2,
+}
+
+
+def content_hash(netlist: Netlist) -> str:
+    """Stable content hash of a netlist's structure.
+
+    Covers the design name, port declaration order and every gate
+    record (name, function, fanin order, cell binding).  Two netlists
+    with the same hash simulate identically; any structural mutation --
+    adding a gate, rewiring a pin, remapping a cell -- changes the hash,
+    which is what keys the compile cache.
+    """
+    h = hashlib.sha256()
+    h.update(netlist.name.encode())
+    h.update(b"\x00I")
+    for net in netlist.inputs:
+        h.update(net.encode() + b"\x00")
+    h.update(b"\x00O")
+    for net in netlist.outputs:
+        h.update(net.encode() + b"\x00")
+    h.update(b"\x00G")
+    for name in sorted(netlist.gate_names()):
+        gate = netlist.gate(name)
+        record = "|".join(
+            (gate.name, gate.func, ",".join(gate.fanin), gate.cell or "")
+        )
+        h.update(record.encode() + b"\x00")
+    return h.hexdigest()
+
+
+class CompiledNetlist:
+    """Flat-array lowering of one netlist's combinational core.
+
+    Instances are immutable snapshots: they reflect the netlist at
+    compile time and are safe to share between simulators (the compile
+    cache hands the same object to every consumer).
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.name = netlist.name
+        self.key = content_hash(netlist)
+
+        dffs = netlist.dffs()
+        self.dff_names: Tuple[str, ...] = tuple(g.name for g in dffs)
+        self.dff_data: Tuple[str, ...] = tuple(g.fanin[0] for g in dffs)
+        self.inputs: Tuple[str, ...] = tuple(netlist.inputs)
+
+        #: Combinational gates in dependency order.
+        self.order: Tuple[str, ...] = tuple(topological_order(netlist))
+        prefix = list(self.inputs) + list(self.dff_names)
+        self.n_inputs = len(self.inputs)
+        self.n_prefix = len(prefix)
+        self.names: Tuple[str, ...] = tuple(prefix) + self.order
+        self.index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.names)
+        }
+        if len(self.index) != len(self.names):
+            raise NetlistError(
+                f"{self.name}: duplicate net names in compile prefix"
+            )
+
+        ops: List[int] = []
+        fanins: List[Tuple[int, ...]] = []
+        index = self.index
+        for name in self.order:
+            gate = netlist.gate(name)
+            op = _OPCODES[gate.func]
+            try:
+                fanin = tuple(index[f] for f in gate.fanin)
+            except KeyError as exc:
+                raise NetlistError(
+                    f"{self.name}: gate {name!r} fanin net {exc.args[0]!r} "
+                    f"has no driver"
+                ) from exc
+            if len(fanin) == 2 and op <= OP_XNOR:
+                op += _TWO_INPUT_OFFSET
+            ops.append(op)
+            fanins.append(fanin)
+        self.ops: Tuple[int, ...] = tuple(ops)
+        self.fanins: Tuple[Tuple[int, ...], ...] = tuple(fanins)
+
+        self.observe_idx: Tuple[int, ...] = tuple(
+            self.index[net] for net in
+            tuple(netlist.outputs) + tuple(g.fanin[0] for g in dffs)
+        )
+        self.dff_data_idx: Tuple[int, ...] = tuple(
+            self.index[net] for net in self.dff_data
+        )
+
+        # Fanout adjacency: value slot -> eval positions reading it.
+        fanout_pos: List[List[int]] = [[] for _ in range(len(self.names))]
+        for pos, fanin in enumerate(self.fanins):
+            for f in set(fanin):
+                fanout_pos[f].append(pos)
+        self._fanout_pos: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(p) for p in fanout_pos
+        )
+        self._cone_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def new_values(self, fill: int = 0) -> List[int]:
+        """A fresh value array (one slot per net)."""
+        return [fill] * len(self.names)
+
+    def values_from(self, mapping) -> List[int]:
+        """Value array seeded from a full net -> word mapping."""
+        try:
+            return [mapping[name] for name in self.names]
+        except KeyError as exc:
+            raise NetlistError(
+                f"{self.name}: no value for net {exc.args[0]!r}"
+            ) from exc
+
+    def to_mapping(self, values: Sequence[int]) -> Dict[str, int]:
+        """Net -> word dict view of a value array."""
+        return dict(zip(self.names, values))
+
+    # ------------------------------------------------------------------
+    def cone_positions(self, slot: int) -> Tuple[int, ...]:
+        """Eval positions in the combinational fanout cone of ``slot``.
+
+        Sorted ascending, which *is* topological order; cached per site
+        for the lifetime of the compiled netlist.
+        """
+        cached = self._cone_cache.get(slot)
+        if cached is not None:
+            return cached
+        fanout_pos = self._fanout_pos
+        base = self.n_prefix
+        seen = set()
+        stack = [slot]
+        while stack:
+            s = stack.pop()
+            for pos in fanout_pos[s]:
+                if pos not in seen:
+                    seen.add(pos)
+                    stack.append(base + pos)
+        cone = tuple(sorted(seen))
+        self._cone_cache[slot] = cone
+        return cone
+
+    def cone_names(self, net: str) -> Tuple[str, ...]:
+        """Topologically sorted gate names downstream of ``net``."""
+        order = self.order
+        return tuple(order[pos] for pos in self.cone_positions(self.index[net]))
+
+    # ------------------------------------------------------------------
+    def eval_into(self, values: List[int], mask: int,
+                  positions: Optional[Iterable[int]] = None) -> List[int]:
+        """Evaluate eval nodes in place over packed bit-parallel words.
+
+        ``values`` is a full value array whose prefix slots (primary and
+        state inputs) are already filled.  With ``positions`` (a sorted
+        iterable of eval positions) only that subset is re-evaluated --
+        the fault simulator's cone propagation; the default evaluates
+        the entire combinational core.  Results are bit-identical to
+        :func:`repro.netlist.evaluate_gate` over the same gates.
+        """
+        ops = self.ops
+        fanins = self.fanins
+        base = self.n_prefix
+        if positions is None:
+            positions = range(len(ops))
+        for p in positions:
+            fanin = fanins[p]
+            op = ops[p]
+            if op == OP_NAND2:
+                v = mask & ~(values[fanin[0]] & values[fanin[1]])
+            elif op == OP_NOR2:
+                v = mask & ~(values[fanin[0]] | values[fanin[1]])
+            elif op == OP_AND2:
+                v = values[fanin[0]] & values[fanin[1]]
+            elif op == OP_OR2:
+                v = values[fanin[0]] | values[fanin[1]]
+            elif op == OP_NOT:
+                v = mask & ~values[fanin[0]]
+            elif op == OP_XOR2:
+                v = values[fanin[0]] ^ values[fanin[1]]
+            elif op == OP_XNOR2:
+                v = mask & ~(values[fanin[0]] ^ values[fanin[1]])
+            elif op == OP_BUF:
+                v = values[fanin[0]]
+            elif op == OP_AOI21:
+                v = mask & ~((values[fanin[0]] & values[fanin[1]])
+                             | values[fanin[2]])
+            elif op == OP_AOI22:
+                v = mask & ~((values[fanin[0]] & values[fanin[1]])
+                             | (values[fanin[2]] & values[fanin[3]]))
+            elif op == OP_OAI21:
+                v = mask & ~((values[fanin[0]] | values[fanin[1]])
+                             & values[fanin[2]])
+            elif op == OP_OAI22:
+                v = mask & ~((values[fanin[0]] | values[fanin[1]])
+                             & (values[fanin[2]] | values[fanin[3]]))
+            elif op == OP_MUX2:
+                sel = values[fanin[0]]
+                v = ((values[fanin[1]] & ~sel)
+                     | (values[fanin[2]] & sel)) & mask
+            elif op == OP_AND:
+                v = mask
+                for f in fanin:
+                    v &= values[f]
+            elif op == OP_NAND:
+                v = mask
+                for f in fanin:
+                    v &= values[f]
+                v = mask & ~v
+            elif op == OP_OR:
+                v = 0
+                for f in fanin:
+                    v |= values[f]
+            elif op == OP_NOR:
+                v = 0
+                for f in fanin:
+                    v |= values[f]
+                v = mask & ~v
+            elif op == OP_XOR:
+                v = 0
+                for f in fanin:
+                    v ^= values[f]
+            else:  # OP_XNOR
+                v = 0
+                for f in fanin:
+                    v ^= values[f]
+                v = mask & ~v
+            values[base + p] = v
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNetlist({self.name!r}: {self.n_prefix} inputs, "
+            f"{len(self.ops)} eval nodes, hash {self.key[:12]})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide compile cache
+# ----------------------------------------------------------------------
+_COMPILE_CACHE: Dict[str, CompiledNetlist] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def compile_netlist(netlist: Netlist, use_cache: bool = True) -> CompiledNetlist:
+    """Compiled form of ``netlist``, from the content-hash cache if possible.
+
+    The hash is recomputed on every call (O(gates), far cheaper than a
+    compile), so a netlist mutated since its last compilation naturally
+    misses and recompiles -- the cache can never serve a stale lowering.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    if not use_cache:
+        return CompiledNetlist(netlist)
+    key = content_hash(netlist)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _CACHE_HITS += 1
+        return cached
+    _CACHE_MISSES += 1
+    compiled = CompiledNetlist(netlist)
+    _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compiled netlist (frees cone caches too)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _COMPILE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def compile_cache_info() -> Dict[str, int]:
+    """Cache statistics: entries, hits, misses (for tests and the bench)."""
+    return {
+        "entries": len(_COMPILE_CACHE),
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }

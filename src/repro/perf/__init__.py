@@ -1,0 +1,17 @@
+"""Performance layer: reference kernels and the benchmark harness.
+
+Public surface::
+
+    from repro.perf import bench_main               # python -m repro bench
+    from repro.perf import ReferenceFaultSimulator  # pre-compile baseline
+"""
+
+from .bench import bench_main, run_bench
+from .reference import ReferenceFaultSimulator, ReferenceLogicSimulator
+
+__all__ = [
+    "ReferenceFaultSimulator",
+    "ReferenceLogicSimulator",
+    "bench_main",
+    "run_bench",
+]

@@ -1,0 +1,354 @@
+"""``python -m repro bench``: performance harness for the tier-1 kernels.
+
+Times the simulation kernels behind every table experiment -- good
+machine logic simulation, stuck-at and transition fault simulation,
+static timing analysis, and the table 1-3 quick flows -- and:
+
+* emits ``BENCH_<date>.json`` (per-kernel seconds + metadata) plus an
+  aligned text table;
+* verifies that the compiled stuck-at fault simulator produces
+  **bit-identical** detection masks to the retained reference
+  implementation, and records the measured speedup;
+* with ``--check-baseline``, compares against the committed baseline
+  (``benchmarks/baseline.json``) and fails only on regressions worse
+  than ``--threshold`` (default 2x) -- a smoke check loose enough to
+  survive machine-to-machine variance, tight enough to catch a kernel
+  accidentally falling back to the slow path.
+
+Usage::
+
+    python -m repro bench --quick
+    python -m repro bench --quick --check-baseline
+    python -m repro bench --output BENCH_today.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bench import load_circuit
+from ..experiments import table1_area, table2_delay, table3_power
+from ..experiments.common import clear_caches, styled_designs
+from ..experiments.report import format_table
+from ..fault import all_stuck_faults, all_transition_faults
+from ..fault.fsim import FaultSimulator
+from ..power import LogicSimulator
+from ..timing import analyze
+from .reference import ReferenceFaultSimulator
+
+#: Committed baseline the smoke check compares against.
+DEFAULT_BASELINE = os.path.join("benchmarks", "baseline.json")
+
+#: Quick-mode table circuits (mirrors ``python -m repro quick``).
+QUICK_CIRCUITS = ("s298", "s344", "s382")
+
+#: Circuit used for the compiled-vs-reference fault-sim comparison:
+#: the largest circuit in the catalog.
+FSIM_CIRCUIT = "s38584"
+
+
+def _random_patterns(netlist, n: int, seed: int) -> List[Dict[str, int]]:
+    rng = random.Random(seed)
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    return [
+        {net: rng.randint(0, 1) for net in nets} for _ in range(n)
+    ]
+
+
+def _timed(fn: Callable[[], object]) -> Dict[str, object]:
+    start = time.perf_counter()
+    value = fn()
+    return {"seconds": time.perf_counter() - start, "value": value}
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def bench_logicsim(quick: bool) -> List[Dict[str, object]]:
+    """Good-machine sequential simulation (the Table III inner loop)."""
+    name = "s5378"
+    n_vectors = 50 if quick else 200
+    netlist = load_circuit(name)
+    sim = LogicSimulator(netlist)
+    vectors = sim.random_vectors(n_vectors)
+    t = _timed(lambda: sim.run_sequential(vectors))
+    return [{
+        "kernel": "logicsim_sequential",
+        "circuit": name,
+        "n": n_vectors,
+        "seconds": t["seconds"],
+    }]
+
+
+def bench_fsim_stuck(quick: bool) -> List[Dict[str, object]]:
+    """Compiled vs reference stuck-at fault sim on the largest circuit.
+
+    Hard-asserts that both produce identical detection masks; the
+    recorded ``speedup`` is the headline number of the compile pass.
+    """
+    name = FSIM_CIRCUIT
+    netlist = load_circuit(name)
+    stride = 160 if quick else 40
+    n_patterns = 32 if quick else 64
+    faults = all_stuck_faults(netlist)[::stride]
+    patterns = _random_patterns(netlist, n_patterns, seed=11)
+
+    compiled_sim = FaultSimulator(netlist)
+    t_compiled = _timed(lambda: compiled_sim.simulate_stuck(faults, patterns))
+    reference_sim = ReferenceFaultSimulator(netlist)
+    t_reference = _timed(
+        lambda: reference_sim.simulate_stuck(faults, patterns)
+    )
+
+    identical = (
+        t_compiled["value"].detected == t_reference["value"].detected
+    )
+    if not identical:
+        raise AssertionError(
+            f"{name}: compiled fault sim masks differ from reference"
+        )
+    speedup = t_reference["seconds"] / max(t_compiled["seconds"], 1e-9)
+    return [
+        {
+            "kernel": "fsim_stuck_compiled",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_compiled["seconds"],
+        },
+        {
+            "kernel": "fsim_stuck_reference",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_reference["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "fsim_stuck_speedup",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": None,
+            "speedup": speedup,
+            "identical_masks": identical,
+        },
+    ]
+
+
+def bench_fsim_transition(quick: bool) -> List[Dict[str, object]]:
+    """Transition fault sim over random (V1, V2) pairs."""
+    name = "s5378"
+    netlist = load_circuit(name)
+    stride = 40 if quick else 10
+    n_pairs = 16 if quick else 48
+    faults = all_transition_faults(netlist)[::stride]
+    rng = random.Random(13)
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    pairs = [
+        (
+            {net: rng.randint(0, 1) for net in nets},
+            {net: rng.randint(0, 1) for net in nets},
+        )
+        for _ in range(n_pairs)
+    ]
+    sim = FaultSimulator(netlist)
+    t = _timed(lambda: sim.simulate_transition(faults, pairs))
+    return [{
+        "kernel": "fsim_transition",
+        "circuit": name,
+        "n": len(faults),
+        "seconds": t["seconds"],
+    }]
+
+
+def bench_sta(quick: bool) -> List[Dict[str, object]]:
+    """STA arrival propagation over a mapped scan design."""
+    name = "s382" if quick else "s5378"
+    design = styled_designs(name)["scan"]
+    n_runs = 20
+    def run_sta():
+        for _ in range(n_runs):
+            analyze(design.netlist, design.library)
+    t = _timed(run_sta)
+    return [{
+        "kernel": "sta_analyze",
+        "circuit": name,
+        "n": n_runs,
+        "seconds": t["seconds"],
+    }]
+
+
+def bench_tables(quick: bool) -> List[Dict[str, object]]:
+    """The table 1-3 quick experiment flows, end to end."""
+    circuits = QUICK_CIRCUITS
+    rows: List[Dict[str, object]] = []
+    t = _timed(lambda: table1_area.run(circuits=circuits))
+    rows.append({"kernel": "table1_quick", "circuit": "+".join(circuits),
+                 "n": len(circuits), "seconds": t["seconds"]})
+    t = _timed(lambda: table2_delay.run(circuits=circuits))
+    rows.append({"kernel": "table2_quick", "circuit": "+".join(circuits),
+                 "n": len(circuits), "seconds": t["seconds"]})
+    t = _timed(lambda: table3_power.run(circuits=circuits, n_vectors=40))
+    rows.append({"kernel": "table3_quick", "circuit": "+".join(circuits),
+                 "n": len(circuits), "seconds": t["seconds"]})
+    return rows
+
+
+KERNEL_GROUPS = (
+    bench_logicsim,
+    bench_fsim_stuck,
+    bench_fsim_transition,
+    bench_sta,
+    bench_tables,
+)
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_bench(quick: bool = True) -> Dict[str, object]:
+    """Run every kernel group; returns the report dict."""
+    clear_caches()
+    rows: List[Dict[str, object]] = []
+    for group in KERNEL_GROUPS:
+        rows.extend(group(quick))
+    return {
+        "schema": 1,
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "kernels": rows,
+    }
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Aligned text table of one bench run."""
+    rows = []
+    for row in report["kernels"]:
+        rows.append({
+            "kernel": row["kernel"],
+            "circuit": row["circuit"],
+            "n": row["n"],
+            "seconds": (
+                "-" if row.get("seconds") is None
+                else f"{row['seconds']:.4f}"
+            ),
+            "note": (
+                f"speedup {row['speedup']:.2f}x, identical masks"
+                if "speedup" in row else ""
+            ),
+        })
+    title = (
+        f"repro bench ({'quick' if report['quick'] else 'full'}) -- "
+        f"{report['date']}, python {report['python']}"
+    )
+    return format_table(rows, title=title)
+
+
+def check_against_baseline(report: Dict[str, object],
+                           baseline_path: str,
+                           threshold: float = 2.0,
+                           min_speedup: float = 2.5) -> List[str]:
+    """Regression check; returns a list of failure messages (empty = ok).
+
+    A kernel fails if it is more than ``threshold`` times slower than
+    the committed baseline; the compiled-vs-reference fault-sim speedup
+    fails if it drops below ``min_speedup`` (machine-independent, since
+    both sides run on the same host).
+    """
+    failures: List[str] = []
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        return [f"baseline file not found: {baseline_path}"]
+    base_seconds = {
+        row["kernel"]: row.get("seconds")
+        for row in baseline.get("kernels", [])
+    }
+    for row in report["kernels"]:
+        name = row["kernel"]
+        if "speedup" in row:
+            if row["speedup"] < min_speedup:
+                failures.append(
+                    f"{name}: compiled/reference speedup {row['speedup']:.2f}x"
+                    f" < required {min_speedup:.1f}x"
+                )
+            continue
+        if row.get("compare_only"):
+            continue
+        base = base_seconds.get(name)
+        if base is None or row.get("seconds") is None:
+            continue
+        ratio = row["seconds"] / max(base, 1e-9)
+        if ratio > threshold:
+            failures.append(
+                f"{name}: {row['seconds']:.4f}s is {ratio:.2f}x the "
+                f"baseline {base:.4f}s (threshold {threshold:.1f}x)"
+            )
+    return failures
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the tier-1 simulation kernels and experiment "
+                    "flows; optionally compare against the committed "
+                    "baseline.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fault samples / vector counts "
+                             "(CI smoke configuration)")
+    parser.add_argument("--output", default=None,
+                        help="output JSON path (default BENCH_<date>.json)")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="compare against the committed baseline and "
+                             "exit non-zero on a >threshold regression")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline JSON path (default {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="failure threshold as a slowdown ratio "
+                             "(default 2.0)")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="minimum compiled/reference fault-sim speedup "
+                             "(default 2.5)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="also (re)write the baseline file from this run")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report = run_bench(quick=args.quick)
+    print(render_report(report))
+
+    output = args.output or f"BENCH_{report['date']}.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\n[written to {output}]")
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"[baseline refreshed at {args.baseline}]")
+
+    if args.check_baseline:
+        failures = check_against_baseline(
+            report, args.baseline,
+            threshold=args.threshold, min_speedup=args.min_speedup,
+        )
+        if failures:
+            print("\nBASELINE CHECK FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nbaseline check ok (threshold {args.threshold:.1f}x, "
+              f"min speedup {args.min_speedup:.1f}x)")
+    return 0

@@ -10,8 +10,11 @@ Two simulators share the same compiled structure:
   switching activity for the power model (the paper's "100 random
   vectors" NanoSim run).
 
-The compile step flattens the netlist into parallel arrays once, so the
-per-cycle inner loop touches only lists and ints.
+The heavy lifting is done by :class:`repro.netlist.CompiledNetlist`:
+the netlist is lowered once (per content hash, process-wide) into flat
+integer-indexed arrays, so the per-cycle inner loop touches only lists
+and ints -- no string-keyed dict lookups, no per-gate dispatch on the
+function name.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import random
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
-from ..netlist import Netlist, evaluate_gate, topological_order
+from ..netlist import Netlist, compile_netlist
 
 
 class LogicSimulator:
@@ -28,15 +31,11 @@ class LogicSimulator:
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
-        self.order: List[str] = topological_order(netlist)
-        self._funcs: List[str] = []
-        self._fanins: List[Tuple[str, ...]] = []
-        for name in self.order:
-            gate = netlist.gate(name)
-            self._funcs.append(gate.func)
-            self._fanins.append(gate.fanin)
-        self.dff_names: List[str] = [g.name for g in netlist.dffs()]
-        self.dff_data: List[str] = [g.fanin[0] for g in netlist.dffs()]
+        #: Shared flat-array lowering (cached by netlist content hash).
+        self.compiled = compile_netlist(netlist)
+        self.order: List[str] = list(self.compiled.order)
+        self.dff_names: List[str] = list(self.compiled.dff_names)
+        self.dff_data: List[str] = list(self.compiled.dff_data)
 
     # ------------------------------------------------------------------
     def eval_combinational(self, values: Dict[str, int],
@@ -47,16 +46,20 @@ class LogicSimulator:
         every state input; the dict is updated with every internal net
         and returned.
         """
-        for net in self.netlist.inputs:
-            if net not in values:
-                raise SimulationError(f"missing value for input {net!r}")
-        for net in self.dff_names:
-            if net not in values:
-                raise SimulationError(f"missing value for state input {net!r}")
-        for name, func, fanin in zip(self.order, self._funcs, self._fanins):
-            values[name] = evaluate_gate(
-                func, tuple(values[f] for f in fanin), mask
-            )
+        compiled = self.compiled
+        arr = [0] * len(compiled.names)
+        names = compiled.names
+        n_inputs = compiled.n_inputs
+        for i in range(compiled.n_prefix):
+            net = names[i]
+            word = values.get(net)
+            if word is None:
+                kind = "input" if i < n_inputs else "state input"
+                raise SimulationError(f"missing value for {kind} {net!r}")
+            arr[i] = word
+        compiled.eval_into(arr, mask)
+        for i in range(compiled.n_prefix, len(names)):
+            values[names[i]] = arr[i]
         return values
 
     # ------------------------------------------------------------------
@@ -70,25 +73,28 @@ class LogicSimulator:
         Returns the full net-value dict for every cycle (single-bit
         values).  State starts at ``initial_state`` (default all zeros).
         """
-        state: Dict[str, int] = {
-            name: 0 for name in self.dff_names
-        }
+        compiled = self.compiled
+        state: List[int] = [0] * len(self.dff_names)
         if initial_state:
+            position = {name: i for i, name in enumerate(self.dff_names)}
             for name, value in initial_state.items():
-                if name not in state:
+                pos = position.get(name)
+                if pos is None:
                     raise SimulationError(f"{name!r} is not a flip-flop")
-                state[name] = value & 1
+                state[pos] = value & 1
         frames: List[Dict[str, int]] = []
+        names = compiled.names
+        n_inputs = compiled.n_inputs
+        n_prefix = compiled.n_prefix
+        dff_data_idx = compiled.dff_data_idx
+        arr = [0] * len(names)
         for vector in vectors:
-            values: Dict[str, int] = dict(state)
-            for net in self.netlist.inputs:
-                values[net] = vector.get(net, 0) & 1
-            self.eval_combinational(values, mask=1)
-            frames.append(values)
-            state = {
-                name: values[data] & 1
-                for name, data in zip(self.dff_names, self.dff_data)
-            }
+            for i in range(n_inputs):
+                arr[i] = vector.get(names[i], 0) & 1
+            arr[n_inputs:n_prefix] = state
+            compiled.eval_into(arr, 1)
+            frames.append(dict(zip(names, arr)))
+            state = [arr[idx] & 1 for idx in dff_data_idx]
         return frames
 
     # ------------------------------------------------------------------
@@ -103,18 +109,33 @@ class LogicSimulator:
 
 
 def pack_patterns(patterns: Sequence[Mapping[str, int]],
-                  nets: Iterable[str]) -> Tuple[Dict[str, int], int]:
+                  nets: Iterable[str],
+                  strict: bool = False) -> Tuple[Dict[str, int], int]:
     """Pack per-pattern bit values into parallel words.
 
     Returns ``(values, mask)`` where bit *i* of ``values[net]`` is the
     value of ``net`` in ``patterns[i]``.
+
+    By default a pattern that does not assign a net is zero-filled for
+    that net -- convenient for don't-cares, but silently wrong when the
+    caller *meant* to supply every bit.  With ``strict=True`` a missing
+    net raises :class:`~repro.errors.SimulationError` instead; the fault
+    simulator and ATPG run in strict mode.
     """
     values: Dict[str, int] = {}
     n = len(patterns)
     for net in nets:
         word = 0
         for i, pattern in enumerate(patterns):
-            if pattern.get(net, 0) & 1:
+            bit = pattern.get(net)
+            if bit is None:
+                if strict:
+                    raise SimulationError(
+                        f"pattern {i} assigns no value to net {net!r} "
+                        f"(strict packing)"
+                    )
+                bit = 0
+            if bit & 1:
                 word |= 1 << i
         values[net] = word
     return values, (1 << n) - 1 if n else 0

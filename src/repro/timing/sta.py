@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cells import Library, default_library
 from ..errors import TimingError
-from ..netlist import Netlist, topological_order
+from ..netlist import Netlist, compile_netlist
 from .delay_model import CLK_TO_Q, SETUP_TIME, DelayOverlay, gate_delay
 
 
@@ -48,35 +48,52 @@ class TimingReport:
 
 def analyze(netlist: Netlist, library: Optional[Library] = None,
             overlay: Optional[DelayOverlay] = None) -> TimingReport:
-    """Run STA and return a :class:`TimingReport`."""
+    """Run STA and return a :class:`TimingReport`.
+
+    Raises
+    ------
+    TimingError
+        If the design has no capture point at all (no primary outputs
+        and no flip-flops): there is no register-to-register or
+        port-to-port path to time, and silently reporting a zero-delay
+        circuit would hide the modelling error.
+    """
     if library is None:
         library = default_library()
 
-    arrival: Dict[str, float] = {}
-    for net in netlist.inputs:
-        arrival[net] = 0.0
-    for net in netlist.state_inputs:
-        arrival[net] = CLK_TO_Q
+    # Capture points: primary outputs (no setup) and DFF data pins
+    # (setup).  Checked up front so the error does not depend on how far
+    # delay calculation got on an endpoint-free design.
+    if not netlist.outputs and not netlist.state_outputs:
+        raise TimingError(
+            f"{netlist.name}: no capture points (no primary outputs and "
+            f"no flip-flops) -- nothing to time"
+        )
 
-    order = topological_order(netlist)
+    # Arrival propagation runs on the compiled flat arrays: slot order
+    # is primary inputs, state inputs, then gates topologically.
+    compiled = compile_netlist(netlist)
+    n_slots = len(compiled.names)
+    arr: List[float] = [0.0] * n_slots
+    for i in range(compiled.n_inputs, compiled.n_prefix):
+        arr[i] = CLK_TO_Q
+
     # Per-gate delays are cached so path backtracking agrees exactly.
     delay_of: Dict[str, float] = {}
-    for name in order:
-        gate = netlist.gate(name)
+    base = compiled.n_prefix
+    fanins = compiled.fanins
+    order = compiled.order
+    for pos, name in enumerate(order):
         d = gate_delay(netlist, library, name, overlay)
         delay_of[name] = d
         best = 0.0
-        for fanin in gate.fanin:
-            t = arrival.get(fanin)
-            if t is None:
-                raise TimingError(
-                    f"{netlist.name}: net {fanin!r} has no arrival time"
-                )
+        for f in fanins[pos]:
+            t = arr[f]
             if t > best:
                 best = t
-        arrival[name] = best + d
+        arr[base + pos] = best + d
+    arrival: Dict[str, float] = dict(zip(compiled.names, arr))
 
-    # Capture points: primary outputs (no setup) and DFF data pins (setup).
     worst_net = None
     worst_time = 0.0
     for net in netlist.outputs:
@@ -139,7 +156,7 @@ def required_times(netlist: Netlist, clock_period: float,
         required[net] = min(
             required.get(net, float("inf")), clock_period - SETUP_TIME
         )
-    for name in reversed(topological_order(netlist)):
+    for name in reversed(compile_netlist(netlist).order):
         gate = netlist.gate(name)
         req = required.get(name, float("inf"))
         d = gate_delay(netlist, library, name, overlay)

@@ -26,12 +26,35 @@ def test_styled_designs_cached():
     assert set(a) == {"scan", "enhanced", "mux", "flh"}
 
 
-def test_custom_flh_config_not_cached():
+def test_custom_flh_config_separate_key():
     a = styled_designs("s298")
     b = styled_designs("s298", FlhConfig(width_factors=(3.0,)))
     assert b is not a
     assert all(
         g.width_factor == 3.0 for g in b["flh"].flh_gating.values()
+    )
+
+
+def test_custom_flh_config_cached_under_own_key():
+    """Regression: the old cache keyed on name alone and punted on any
+    custom config, so an ablation sweep re-synthesized every call."""
+    clear_caches()
+    config = FlhConfig(width_factors=(3.0,))
+    a = styled_designs("s298", config)
+    b = styled_designs("s298", FlhConfig(width_factors=(3.0,)))
+    assert b is a  # equal configs hash equal -> cache hit
+
+
+def test_distinct_configs_do_not_collide():
+    clear_caches()
+    a = styled_designs("s298", FlhConfig(width_factors=(2.0,)))
+    b = styled_designs("s298", FlhConfig(width_factors=(4.0,)))
+    assert a is not b
+    assert all(
+        g.width_factor == 2.0 for g in a["flh"].flh_gating.values()
+    )
+    assert all(
+        g.width_factor == 4.0 for g in b["flh"].flh_gating.values()
     )
 
 

@@ -1,0 +1,116 @@
+"""Compiled fault simulation must be bit-identical to the reference.
+
+The compile pass (repro.netlist.compiled) rewrote the fault-sim inner
+loops from string-keyed dicts to flat index arrays.  These tests pin
+the contract: on every catalog circuit, sampled faults and random
+patterns, the compiled ``FaultSimulator`` produces exactly the packed
+detection masks of the retained pre-compile implementation
+(``repro.perf.reference``).
+
+Also holds the strict-packing regression tests: the old
+``simulate_transition`` carried a dead ``mask2 != mask`` check that
+could never fire, silently zero-filling missing pattern bits.  Partial
+patterns now raise ``SimulationError`` up front.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import available_circuits, load_circuit
+from repro.errors import SimulationError
+from repro.fault import (
+    FaultSimulator,
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+)
+from repro.perf.reference import ReferenceFaultSimulator
+
+# Keep per-circuit cost bounded: sample at most this many faults.
+MAX_FAULTS = 40
+N_PATTERNS = 16
+
+
+def _sampled_faults(netlist):
+    faults = all_stuck_faults(netlist)
+    stride = max(1, len(faults) // MAX_FAULTS)
+    return faults[::stride]
+
+
+def _random_patterns(netlist, n, seed):
+    rng = random.Random(seed)
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    return [{net: rng.randint(0, 1) for net in nets} for _ in range(n)]
+
+
+@pytest.mark.parametrize("name", available_circuits())
+def test_stuck_masks_identical(name):
+    netlist = load_circuit(name)
+    faults = _sampled_faults(netlist)
+    patterns = _random_patterns(netlist, N_PATTERNS, seed=hash(name) & 0xFFFF)
+    compiled = FaultSimulator(netlist).simulate_stuck(faults, patterns)
+    reference = ReferenceFaultSimulator(netlist).simulate_stuck(
+        faults, patterns
+    )
+    assert compiled.detected == reference.detected
+    assert compiled.n_patterns == reference.n_patterns
+
+
+def test_good_values_identical(s298_netlist):
+    patterns = _random_patterns(s298_netlist, 8, seed=3)
+    compiled_good, compiled_mask = FaultSimulator(
+        s298_netlist
+    ).good_values(patterns)
+    ref_good, ref_mask = ReferenceFaultSimulator(
+        s298_netlist
+    ).good_values(patterns)
+    assert compiled_mask == ref_mask
+    assert compiled_good == ref_good
+
+
+class TestStrictPacking:
+    """Regression: partial patterns must fail loudly, not zero-fill."""
+
+    def test_stuck_partial_pattern_raises(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        patterns = _random_patterns(s27_netlist, 2, seed=1)
+        del patterns[1]["G0"]  # drop one primary input
+        with pytest.raises(SimulationError, match="assigns no value"):
+            sim.simulate_stuck([StuckFault("G0", 1)], patterns)
+
+    def test_transition_partial_v1_raises(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        v1, v2 = _random_patterns(s27_netlist, 2, seed=2)
+        bad_v1 = dict(v1)
+        del bad_v1["G1"]
+        with pytest.raises(SimulationError, match="assigns no value"):
+            sim.simulate_transition(
+                [TransitionFault("G1", "rise")], [(bad_v1, v2)]
+            )
+
+    def test_transition_partial_v2_raises(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        v1, v2 = _random_patterns(s27_netlist, 2, seed=4)
+        bad_v2 = dict(v2)
+        del bad_v2["G7"]  # state input missing from V2 only
+        with pytest.raises(SimulationError, match="assigns no value"):
+            sim.simulate_transition(
+                [TransitionFault("G1", "rise")], [(v1, bad_v2)]
+            )
+
+    def test_full_patterns_accepted(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        v1, v2 = _random_patterns(s27_netlist, 2, seed=5)
+        result = sim.simulate_transition(
+            [TransitionFault("G1", "rise")], [(v1, v2)]
+        )
+        assert result.n_patterns == 1
+
+
+def test_coverage_defined_for_empty_fault_list(s27_netlist):
+    sim = FaultSimulator(s27_netlist)
+    patterns = _random_patterns(s27_netlist, 4, seed=6)
+    result = sim.simulate_stuck([], patterns)
+    assert result.coverage == 0.0
+    assert result.detected_faults == []

@@ -1,0 +1,94 @@
+"""Tests for the benchmark harness plumbing (no heavy kernel runs)."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import check_against_baseline, render_report
+
+
+@pytest.fixture
+def report():
+    return {
+        "schema": 1,
+        "date": "2026-01-01",
+        "quick": True,
+        "python": "3.11",
+        "platform": "test",
+        "kernels": [
+            {"kernel": "logicsim_sequential", "circuit": "s5378",
+             "n": 50, "seconds": 0.10},
+            {"kernel": "fsim_stuck_compiled", "circuit": "s38584",
+             "n": 259, "seconds": 0.30},
+            {"kernel": "fsim_stuck_reference", "circuit": "s38584",
+             "n": 259, "seconds": 1.50, "compare_only": True},
+            {"kernel": "fsim_stuck_speedup", "circuit": "s38584",
+             "n": 259, "seconds": None, "speedup": 5.0,
+             "identical_masks": True},
+        ],
+    }
+
+
+def _write_baseline(tmp_path, report):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestCheckAgainstBaseline:
+    def test_identical_run_passes(self, tmp_path, report):
+        path = _write_baseline(tmp_path, report)
+        assert check_against_baseline(report, path) == []
+
+    def test_small_drift_tolerated(self, tmp_path, report):
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"][0]["seconds"] = 0.19  # 1.9x: under threshold
+        assert check_against_baseline(current, path) == []
+
+    def test_regression_over_threshold_fails(self, tmp_path, report):
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"][0]["seconds"] = 0.25  # 2.5x the baseline
+        failures = check_against_baseline(current, path)
+        assert len(failures) == 1
+        assert "logicsim_sequential" in failures[0]
+
+    def test_reference_kernel_exempt(self, tmp_path, report):
+        """The reference simulator is compare-only: it being slow is
+        the point, not a regression."""
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"][2]["seconds"] = 99.0
+        assert check_against_baseline(current, path) == []
+
+    def test_speedup_floor_enforced(self, tmp_path, report):
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"][3]["speedup"] = 1.2
+        failures = check_against_baseline(current, path)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_missing_baseline_reported(self, tmp_path, report):
+        failures = check_against_baseline(
+            report, str(tmp_path / "nope.json")
+        )
+        assert failures and "not found" in failures[0]
+
+    def test_new_kernel_without_baseline_entry_passes(self, tmp_path,
+                                                      report):
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"].append(
+            {"kernel": "brand_new", "circuit": "s27", "n": 1,
+             "seconds": 42.0}
+        )
+        assert check_against_baseline(current, path) == []
+
+
+def test_render_report(report):
+    text = render_report(report)
+    assert "logicsim_sequential" in text
+    assert "speedup 5.00x" in text
+    assert "2026-01-01" in text

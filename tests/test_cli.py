@@ -38,6 +38,14 @@ def test_all_expands_to_every_experiment():
 
 def test_quick_subset_runs(capsys):
     # The quick bundle must at least include the fast protocol check.
+    # Entries take (processes, task_timeout); fig5 ignores both.
     assert "fig5" in QUICK
-    QUICK["fig5"]()
+    QUICK["fig5"](1, None)
     assert "Figure 5(b)" in capsys.readouterr().out
+
+
+def test_bench_help_available(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--help"])
+    assert excinfo.value.code == 0
+    assert "--check-baseline" in capsys.readouterr().out

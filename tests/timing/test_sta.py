@@ -101,3 +101,28 @@ class TestRequiredAndSlack:
         required = required_times(mapped_s27, period, library)
         for net in mapped_s27.state_outputs:
             assert required[net] <= period - SETUP_TIME + 1e-18
+
+
+class TestNoCapturePoints:
+    def test_no_endpoints_raises(self, library):
+        """A netlist with no POs and no flip-flops cannot be timed."""
+        from repro.errors import TimingError
+
+        n = Netlist("dangling")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("y", "NAND", ("a", "b"))
+        # note: y is never declared an output
+        with pytest.raises(TimingError, match="no capture points"):
+            analyze(n, library)
+
+    def test_flop_only_design_still_timed(self, library):
+        """DFF data pins are capture points even with no POs."""
+        from repro.synth import map_netlist
+
+        n = Netlist("flop_only")
+        n.add_input("a")
+        n.add("q", "DFF", ("d",))
+        n.add("d", "NAND", ("a", "q"))
+        report = analyze(map_netlist(n), library)
+        assert report.critical_delay > 0.0
