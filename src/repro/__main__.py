@@ -20,6 +20,9 @@ Usage::
     python -m repro bench --quick             # time the tier-1 kernels
     python -m repro bench --quick --check-baseline   # CI smoke check
 
+    python -m repro atpg s5378                # two-phase fault-dropping ATPG
+    python -m repro atpg --all --json         # every catalog circuit, JSON
+
     python -m repro table1 --processes 4      # fan circuits across workers
 
 See ``python -m repro lint --help`` (and ``docs/lint.md``) for rule
@@ -109,6 +112,10 @@ def main(argv: List[str] | None = None) -> int:
         from .perf import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "atpg":
+        from .fault.atpg_flow import atpg_main
+
+        return atpg_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -1,14 +1,17 @@
 """Section IV claims: fault coverage and test-mode power.
 
-Three measurements per circuit:
+Four measurements per circuit:
 
 1. transition-fault coverage under the three application styles --
    arbitrary (enhanced scan / FLH) dominates skewed-load dominates
    broadside, the paper's Section I motivation;
-2. capture-response equality of enhanced scan and FLH over a shared
+2. stuck-at coverage via the two-phase fault-dropping pipeline
+   (:mod:`repro.fault.atpg_flow`) -- the baseline every delay-test
+   flow sits on, plus how much of it random patterns buy;
+3. capture-response equality of enhanced scan and FLH over a shared
    test set -- "fault coverage for enhanced scan and FLH for a given
    test set remain unchanged";
-3. scan-shift combinational energy with and without isolation --
+4. scan-shift combinational energy with and without isolation --
    FLH "is equally effective in completely eliminating redundant
    switching power" (cf. Gerstendoerfer & Wunderlich's 78% figure).
 """
@@ -20,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..fault import (
+    AtpgFlow,
+    AtpgFlowConfig,
     all_transition_faults,
     collapse_transition,
     compare_styles,
@@ -38,6 +43,11 @@ class CoverageStudyResult:
     effective_by_style: Dict[str, float]
     responses_identical: bool
     shift_saving_fraction: float
+    #: Stuck-at baseline via the two-phase fault-dropping pipeline.
+    stuck_coverage: float = 0.0
+    stuck_n_faults: int = 0
+    stuck_detected_random: int = 0   # retired by phase-1 random patterns
+    stuck_podem_calls: int = 0       # phase-2 deterministic targets
 
     @property
     def ordering_holds(self) -> bool:
@@ -67,6 +77,10 @@ class CoverageStudyResult:
             f"{'YES' if self.responses_identical else 'NO'}",
             f"scan-shift energy saved by isolation: "
             f"{self.shift_saving_fraction * 100.0:.1f}%",
+            f"stuck-at coverage (two-phase flow): "
+            f"{self.stuck_coverage:.4f} over {self.stuck_n_faults} faults "
+            f"({self.stuck_detected_random} random-detected, "
+            f"{self.stuck_podem_calls} PODEM calls)",
         ]
         return "\n".join(lines)
 
@@ -100,6 +114,9 @@ def run(circuit_name: str = "s298", seed: int = SEED,
         n_patterns=n_shift_patterns, seed=seed,
     )
 
+    flow = AtpgFlow(netlist, AtpgFlowConfig(seed=seed)).run()
+    summary = flow.summary()
+
     return CoverageStudyResult(
         circuit=circuit_name,
         coverage_by_style={s: r.coverage for s, r in results.items()},
@@ -108,6 +125,10 @@ def run(circuit_name: str = "s298", seed: int = SEED,
         },
         responses_identical=identical,
         shift_saving_fraction=study.saving_fraction,
+        stuck_coverage=flow.coverage,
+        stuck_n_faults=flow.n_faults,
+        stuck_detected_random=int(summary["detected_random"]),
+        stuck_podem_calls=flow.podem_calls,
     )
 
 

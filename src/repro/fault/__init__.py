@@ -6,10 +6,22 @@ Public surface::
     from repro.fault import all_stuck_faults, all_transition_faults
     from repro.fault import collapse_stuck, collapse_transition
     from repro.fault import FaultSimulator, Podem, TransitionAtpg
+    from repro.fault import AtpgFlow, run_flow
 """
 
-from .collapse import collapse_stuck, collapse_transition
-from .fsim import FaultSimResult, FaultSimulator, random_pattern_coverage
+from .atpg_flow import AtpgFlow, AtpgFlowConfig, AtpgFlowResult, run_flow
+from .collapse import (
+    collapse_stuck,
+    collapse_transition,
+    dominance_collapse_stuck,
+    dominance_collapse_transition,
+)
+from .fsim import (
+    FaultSimResult,
+    FaultSimulator,
+    random_pattern_coverage,
+    random_pattern_words,
+)
 from .models import (
     FALL,
     RISE,
@@ -47,6 +59,9 @@ from .transition import (
 )
 
 __all__ = [
+    "AtpgFlow",
+    "AtpgFlowConfig",
+    "AtpgFlowResult",
     "AtpgResult",
     "BroadsideAtpg",
     "Candidate",
@@ -71,6 +86,8 @@ __all__ = [
     "all_transition_faults",
     "collapse_stuck",
     "collapse_transition",
+    "dominance_collapse_stuck",
+    "dominance_collapse_transition",
     "compact_two_pattern_tests",
     "compare_styles",
     "diagnose",
@@ -86,7 +103,9 @@ __all__ = [
     "nonrobust_test_ok",
     "path_coverage",
     "random_pattern_coverage",
+    "random_pattern_words",
     "robust_test_ok",
+    "run_flow",
     "sample_delay_defects",
     "unroll_two_frames",
 ]

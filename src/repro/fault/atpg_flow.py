@@ -1,0 +1,325 @@
+"""Two-phase fault-dropping ATPG pipeline.
+
+The naive path (:func:`repro.fault.podem.generate_tests`) runs one
+PODEM search per fault -- textbook, and quadratically wasteful: most
+faults are trivially detected by random patterns, and every
+deterministic test detects dozens of faults beyond its target.  The
+production structure (standard since the 1980s) is a two-phase
+pipeline:
+
+**Phase 1 -- random patterns with fault dropping.**  Batches of packed
+uniform random patterns are fault-simulated against the active fault
+list in drop mode: a fault leaves the list at first detection, and for
+each newly detected fault one detecting pattern is kept as a test.
+The phase stops at the pattern budget or after a configurable number
+of consecutive batches that detect nothing new (the random phase has
+saturated).
+
+**Phase 2 -- deterministic ATPG on the survivors.**  PODEM runs only
+on still-undetected faults; dominance collapse
+(:func:`repro.fault.collapse.dominance_collapse_stuck`) orders the
+targets so that dominating (droppable) faults are never targeted
+while a dominated-below fault is pending.  Every generated test is
+immediately fault-simulated against *all* remaining undetected faults
+(drop mode again), so one PODEM call typically retires many faults.
+Aborted faults stay in the droppable pool -- a later test can still
+detect them.
+
+Because phase 2 eventually targets every undetected fault with a full
+PODEM search, the final coverage equals the naive per-fault path
+whenever neither run aborts (``tests/fault/test_atpg_flow.py`` pins
+this on every catalog circuit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..netlist import Netlist
+from .collapse import collapse_stuck, dominance_collapse_stuck
+from .fsim import FaultSimulator
+from .models import StuckFault, all_stuck_faults
+from .podem import Podem
+
+#: How a detected fault was retired.
+VIA_RANDOM = "random"    # phase-1 random pattern
+VIA_PODEM = "podem"      # phase-2 PODEM target
+VIA_DROP = "drop"        # dropped by another fault's deterministic test
+
+
+@dataclass(frozen=True)
+class AtpgFlowConfig:
+    """Knobs of the two-phase pipeline."""
+
+    n_random_patterns: int = 256   # phase-1 pattern budget
+    batch_size: int = 64           # patterns fault-simulated per batch
+    max_idle_batches: int = 2      # stop phase 1 after this many
+                                   # consecutive batches with no new drop
+    backtrack_limit: int = 100     # PODEM abort threshold (per fault)
+    seed: int = 7                  # phase-1 RNG seed
+    use_dominance: bool = True     # dominance-order phase-2 targets
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass
+class AtpgFlowResult:
+    """Outcome of one pipeline run."""
+
+    n_faults: int
+    #: fault -> "detected" | "untestable" | "aborted"
+    status: Dict[StuckFault, str]
+    #: detected fault -> VIA_RANDOM | VIA_PODEM | VIA_DROP
+    detected_via: Dict[StuckFault, str]
+    #: the generated test set (full input vectors)
+    tests: List[Dict[str, int]] = field(default_factory=list)
+    n_random_simulated: int = 0    # phase-1 patterns fault-simulated
+    podem_calls: int = 0           # phase-2 PODEM invocations
+    backtracks: int = 0            # total phase-2 backtracks
+
+    @property
+    def detected_faults(self) -> List[StuckFault]:
+        return [f for f, s in self.status.items() if s == "detected"]
+
+    @property
+    def untestable_faults(self) -> List[StuckFault]:
+        return [f for f, s in self.status.items() if s == "untestable"]
+
+    @property
+    def aborted_faults(self) -> List[StuckFault]:
+        return [f for f, s in self.status.items() if s == "aborted"]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the fault list detected (0.0 for an empty list)."""
+        if not self.n_faults:
+            return 0.0
+        return len(self.detected_faults) / self.n_faults
+
+    def summary(self) -> Dict[str, object]:
+        """Flat scalar summary (JSON-friendly)."""
+        via = self.detected_via
+        return {
+            "n_faults": self.n_faults,
+            "detected": len(self.detected_faults),
+            "untestable": len(self.untestable_faults),
+            "aborted": len(self.aborted_faults),
+            "coverage": self.coverage,
+            "tests": len(self.tests),
+            "random_patterns_simulated": self.n_random_simulated,
+            "detected_random": sum(1 for v in via.values()
+                                   if v == VIA_RANDOM),
+            "detected_podem": sum(1 for v in via.values()
+                                  if v == VIA_PODEM),
+            "detected_drop": sum(1 for v in via.values() if v == VIA_DROP),
+            "podem_calls": self.podem_calls,
+            "backtracks": self.backtracks,
+        }
+
+
+class AtpgFlow:
+    """Two-phase fault-dropping ATPG engine bound to one netlist."""
+
+    def __init__(self, netlist: Netlist,
+                 config: Optional[AtpgFlowConfig] = None):
+        self.netlist = netlist
+        self.config = config or AtpgFlowConfig()
+        self.sim = FaultSimulator(netlist)
+        self.podem = Podem(netlist, self.config.backtrack_limit)
+        self._input_nets = list(netlist.inputs) + list(netlist.state_inputs)
+
+    # ------------------------------------------------------------------
+    def run(self, faults: Optional[Sequence[StuckFault]] = None,
+            ) -> AtpgFlowResult:
+        """Run both phases over ``faults``.
+
+        With ``faults`` omitted the equivalence-collapsed full stuck-at
+        list of the netlist is used (the set coverage experiments report
+        over).
+        """
+        if faults is None:
+            faults = collapse_stuck(self.netlist,
+                                    all_stuck_faults(self.netlist))
+        faults = list(faults)
+        result = AtpgFlowResult(n_faults=len(faults), status={},
+                                detected_via={})
+        survivors = self._random_phase(faults, result)
+        self._podem_phase(survivors, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _random_phase(self, faults: List[StuckFault],
+                      result: AtpgFlowResult) -> List[StuckFault]:
+        """Phase 1: batched random patterns, fault dropping.
+
+        Returns the surviving (still undetected) faults, in input
+        order.  One detecting pattern per newly dropped fault is kept
+        in ``result.tests``.
+        """
+        config = self.config
+        rng = random.Random(config.seed)
+        nets = self._input_nets
+        active = list(faults)
+        idle = 0
+        while (active and result.n_random_simulated < config.n_random_patterns
+               and idle < config.max_idle_batches):
+            n = min(config.batch_size,
+                    config.n_random_patterns - result.n_random_simulated)
+            words = {net: rng.getrandbits(n) for net in nets}
+            sim_result = self.sim.simulate_stuck_packed(
+                active, words, n, drop_detected=True
+            )
+            result.n_random_simulated += n
+            keep_bits = 0
+            remaining: List[StuckFault] = []
+            for fault in active:
+                mask = sim_result.detected[fault]
+                if mask:
+                    result.status[fault] = "detected"
+                    result.detected_via[fault] = VIA_RANDOM
+                    keep_bits |= mask & -mask   # one detecting pattern
+                else:
+                    remaining.append(fault)
+            if len(remaining) == len(active):
+                idle += 1
+            else:
+                idle = 0
+                self._keep_patterns(words, keep_bits, result)
+            active = remaining
+        return active
+
+    def _keep_patterns(self, words: Mapping[str, int], bits: int,
+                       result: AtpgFlowResult) -> None:
+        """Materialize the selected pattern lanes as test vectors."""
+        i = 0
+        while bits:
+            if bits & 1:
+                result.tests.append(
+                    {net: (words[net] >> i) & 1 for net in self._input_nets}
+                )
+            bits >>= 1
+            i += 1
+
+    # ------------------------------------------------------------------
+    def _podem_phase(self, survivors: List[StuckFault],
+                     result: AtpgFlowResult) -> None:
+        """Phase 2: PODEM on survivors, cross-dropping each new test.
+
+        Dominance-kept faults are targeted first: a test for a
+        dominated-below fault detects its dominators for free, so
+        putting the kept set up front retires the droppable tail by
+        simulation instead of search.  The tail is still *walked* --
+        any fault neither detected nor proven untestable by the time
+        its turn comes gets its own PODEM call, which is what makes
+        final coverage match the naive per-fault path.
+        """
+        if not survivors:
+            return
+        if self.config.use_dominance and len(survivors) > 1:
+            kept = set(dominance_collapse_stuck(self.netlist, survivors))
+            order = ([f for f in survivors if f in kept]
+                     + [f for f in survivors if f not in kept])
+        else:
+            order = list(survivors)
+        remaining: Set[StuckFault] = set(survivors)
+        sim = self.sim
+        for fault in order:
+            if result.status.get(fault) in ("detected", "untestable"):
+                continue
+            atpg = self.podem.generate(fault)
+            result.podem_calls += 1
+            result.backtracks += atpg.backtracks
+            if atpg.detected:
+                result.tests.append(atpg.test)
+                result.status[fault] = "detected"
+                result.detected_via[fault] = VIA_PODEM
+                remaining.discard(fault)
+                if remaining:
+                    good, mask = sim.good_array([atpg.test])
+                    dropped = sim.detect_stuck_many(
+                        sorted(remaining), good, mask, early_exit=True
+                    )
+                    for other, det in dropped.items():
+                        if det:
+                            result.status[other] = "detected"
+                            result.detected_via[other] = VIA_DROP
+                            remaining.discard(other)
+            elif atpg.status == "untestable":
+                result.status[fault] = "untestable"
+                remaining.discard(fault)
+            else:
+                # Aborted: stays in the droppable pool -- a later
+                # fault's test may still detect it.
+                result.status[fault] = "aborted"
+
+
+def run_flow(netlist: Netlist,
+             faults: Optional[Sequence[StuckFault]] = None,
+             config: Optional[AtpgFlowConfig] = None) -> AtpgFlowResult:
+    """One-shot convenience wrapper around :class:`AtpgFlow`."""
+    return AtpgFlow(netlist, config).run(faults)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro atpg
+# ----------------------------------------------------------------------
+def atpg_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro atpg`` -- run the pipeline on catalog circuits."""
+    import argparse
+    import json as _json
+
+    from ..bench import available_circuits, load_circuit
+
+    parser = argparse.ArgumentParser(
+        prog="repro atpg",
+        description="Two-phase fault-dropping stuck-at ATPG "
+                    "(random patterns + PODEM on survivors).",
+    )
+    parser.add_argument("circuits", nargs="*", default=["s298"],
+                        help="catalog circuit names (default: s298)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every catalog circuit")
+    parser.add_argument("--random-patterns", type=int, default=256,
+                        help="phase-1 pattern budget (default 256)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="patterns per phase-1 batch (default 64)")
+    parser.add_argument("--backtrack-limit", type=int, default=100,
+                        help="PODEM backtrack limit (default 100)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="phase-1 RNG seed (default 7)")
+    parser.add_argument("--no-dominance", action="store_true",
+                        help="disable dominance ordering of phase-2 "
+                             "targets")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON object per circuit")
+    args = parser.parse_args(argv)
+
+    names = available_circuits() if args.all else args.circuits
+    config = AtpgFlowConfig(
+        n_random_patterns=args.random_patterns,
+        batch_size=args.batch_size,
+        backtrack_limit=args.backtrack_limit,
+        seed=args.seed,
+        use_dominance=not args.no_dominance,
+    )
+    for name in names:
+        netlist = load_circuit(name)
+        result = AtpgFlow(netlist, config).run()
+        summary = result.summary()
+        if args.json:
+            print(_json.dumps({"circuit": name, **summary}, sort_keys=True))
+        else:
+            print(f"{name}: coverage {summary['coverage']:.4f} "
+                  f"({summary['detected']}/{summary['n_faults']} detected, "
+                  f"{summary['untestable']} untestable, "
+                  f"{summary['aborted']} aborted) | "
+                  f"{summary['tests']} tests | "
+                  f"random {summary['detected_random']}, "
+                  f"podem {summary['detected_podem']}, "
+                  f"dropped {summary['detected_drop']} | "
+                  f"{summary['podem_calls']} PODEM calls")
+    return 0

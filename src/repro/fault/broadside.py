@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import AtpgError
-from ..netlist import Netlist, validate
+from ..netlist import Netlist, content_hash, validate
 from ..power.logicsim import LogicSimulator
 from .models import TransitionFault
 from .podem import Podem
@@ -34,14 +34,29 @@ from .transition import TwoPatternTest
 FRAME1 = "f1_"
 FRAME2 = "f2_"
 
+#: Unrolled netlists by source content hash.  Unrolling is O(gates) and
+#: every BroadsideAtpg (one per TransitionAtpg engine, one per
+#: experiment row) used to redo it; the cache hands the same unrolled
+#: instance to every consumer, which also lets them share one compiled
+#: form downstream.  Treat cached netlists as read-only.
+_UNROLL_CACHE: Dict[str, Netlist] = {}
 
-def unroll_two_frames(netlist: Netlist) -> Netlist:
+
+def unroll_two_frames(netlist: Netlist, use_cache: bool = True) -> Netlist:
     """Unrolled two-frame combinational core.
 
     Inputs: ``f1_<pi>``, ``f1_<ff>`` (V1) and ``f2_<pi>`` (V2's PIs).
     Frame-2 logic reads its state from frame-1's next-state nets.
     Outputs: frame-2 primary and state outputs (the capture points).
+
+    Results are cached on the source netlist's content hash (pass
+    ``use_cache=False`` for a private mutable copy).
     """
+    key = content_hash(netlist) if use_cache else None
+    if key is not None:
+        cached = _UNROLL_CACHE.get(key)
+        if cached is not None:
+            return cached
     un = Netlist(f"{netlist.name}_x2")
     state_inputs = set(netlist.state_inputs)
     next_state: Dict[str, str] = {
@@ -91,6 +106,8 @@ def unroll_two_frames(netlist: Netlist) -> Netlist:
             un.add_output(out_net)
             declared.add(out_net)
     validate(un)
+    if key is not None:
+        _UNROLL_CACHE[key] = un
     return un
 
 

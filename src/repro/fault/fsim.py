@@ -20,17 +20,30 @@ input and state input: packing runs in strict mode, so a missing net
 raises :class:`~repro.errors.SimulationError` instead of being silently
 zero-filled (which would quietly fault-simulate a different vector than
 the caller intended).
+
+**Fault dropping**: ``simulate_stuck`` / ``simulate_transition`` accept
+``drop_detected=True``, the mode the two-phase ATPG pipeline
+(:mod:`repro.fault.atpg_flow`) runs in.  A dropped fault's mask is
+*early-exit*: computation stops at the first observation point showing
+a difference, so the mask is guaranteed non-zero exactly when the fault
+is detected but need not enumerate every detecting pattern.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from ..errors import SimulationError
 from ..netlist import Netlist
 from ..power.logicsim import LogicSimulator, pack_patterns
 from .models import StuckFault, TransitionFault
+
+#: A good-machine state: either the net -> packed-word mapping of
+#: :meth:`FaultSimulator.good_values` or the flat value array of
+#: :meth:`FaultSimulator.good_array` (cheaper for per-fault callers).
+GoodValues = Union[Mapping[str, int], Sequence[int]]
 
 
 @dataclass(frozen=True)
@@ -88,9 +101,15 @@ class FaultSimulator:
         self.sim.eval_combinational(values, mask)
         return values, mask
 
-    def _good_array(self, patterns: Sequence[Mapping[str, int]],
-                    ) -> Tuple[List[int], int]:
-        """Strictly pack patterns and simulate, on the flat value array."""
+    def good_array(self, patterns: Sequence[Mapping[str, int]],
+                   ) -> Tuple[List[int], int]:
+        """Strictly pack patterns and simulate, on the flat value array.
+
+        The returned array can be fed straight to :meth:`detect_stuck`
+        (or :meth:`detect_stuck_arr`): per-fault callers -- the ATPG
+        pipeline's phase-2 dropping loop foremost -- pay the O(nets)
+        packing cost once per pattern set instead of once per fault.
+        """
         compiled = self.compiled
         names = compiled.names
         arr = [0] * len(names)
@@ -112,10 +131,41 @@ class FaultSimulator:
         compiled.eval_into(arr, mask)
         return arr, mask
 
+    def good_array_from_words(self, words: Mapping[str, int],
+                              n_patterns: int) -> Tuple[List[int], int]:
+        """Good-machine flat array from pre-packed per-net input words.
+
+        ``words`` maps every primary input and state input to a packed
+        word (bit *i* = pattern *i*); the random-pattern phase builds
+        these straight from the RNG without materializing per-pattern
+        dicts.  Missing nets raise (strict packing).
+        """
+        compiled = self.compiled
+        names = compiled.names
+        arr = [0] * len(names)
+        mask = (1 << n_patterns) - 1 if n_patterns else 0
+        for slot in range(compiled.n_prefix):
+            net = names[slot]
+            word = words.get(net)
+            if word is None:
+                raise SimulationError(
+                    f"packed words assign no value to net {net!r} "
+                    f"(strict packing)"
+                )
+            arr[slot] = word & mask
+        compiled.eval_into(arr, mask)
+        return arr, mask
+
     # ------------------------------------------------------------------
-    def _detect_stuck_arr(self, fault: StuckFault,
-                          good: List[int], mask: int) -> int:
-        """Detection bitmask of ``fault`` over a flat good-value array."""
+    def detect_stuck_arr(self, fault: StuckFault, good: Sequence[int],
+                         mask: int, early_exit: bool = False) -> int:
+        """Detection bitmask of ``fault`` over a flat good-value array.
+
+        With ``early_exit`` the scan over observation points stops at
+        the first difference: the result is non-zero iff the fault is
+        detected, but is not necessarily the full per-pattern mask --
+        the contract of fault-dropping callers.
+        """
         compiled = self.compiled
         slot = compiled.index.get(fault.net)
         if slot is None:
@@ -124,21 +174,78 @@ class FaultSimulator:
         # Fault not excited where the good value equals the stuck value.
         if not ((good[slot] ^ site_value) & mask):
             return 0
-        faulty = good.copy()
+        faulty = list(good)
         faulty[slot] = site_value
         compiled.eval_into(faulty, mask, compiled.cone_positions(slot))
         detected = 0
         for out in compiled.observe_idx:
-            detected |= good[out] ^ faulty[out]
-        return detected & mask
+            diff = (good[out] ^ faulty[out]) & mask
+            if diff:
+                detected |= diff
+                if early_exit:
+                    break
+        return detected
+
+    # Backward-compatible alias (pre-flow internal name).
+    _detect_stuck_arr = detect_stuck_arr
+
+    def detect_stuck_many(self, faults: Sequence[StuckFault],
+                          good: Sequence[int], mask: int,
+                          early_exit: bool = False,
+                          ) -> Dict[object, int]:
+        """Detection masks for a whole fault list over one good array.
+
+        One scratch copy of the good array is shared by every fault:
+        after each fault's cone re-evaluation only the cone slots are
+        restored, so the per-fault cost is O(cone), not O(nets).  Same
+        ``early_exit`` contract as :meth:`detect_stuck_arr`.
+        """
+        compiled = self.compiled
+        index = compiled.index
+        observe = compiled.observe_idx
+        cone_positions = compiled.cone_positions
+        eval_into = compiled.eval_into
+        base = compiled.n_prefix
+        faulty = list(good)
+        detected: Dict[object, int] = {}
+        for fault in faults:
+            slot = index.get(fault.net)
+            if slot is None:
+                raise SimulationError(
+                    f"fault site {fault.net!r} not in netlist"
+                )
+            site_value = mask if fault.value else 0
+            if not ((good[slot] ^ site_value) & mask):
+                detected[fault] = 0
+                continue
+            cone = cone_positions(slot)
+            faulty[slot] = site_value
+            eval_into(faulty, mask, cone)
+            det = 0
+            for out in observe:
+                diff = (good[out] ^ faulty[out]) & mask
+                if diff:
+                    det |= diff
+                    if early_exit:
+                        break
+            detected[fault] = det
+            faulty[slot] = good[slot]
+            for p in cone:
+                s = base + p
+                faulty[s] = good[s]
+        return detected
 
     def detect_stuck(self, fault: StuckFault,
-                     good: Mapping[str, int], mask: int) -> int:
+                     good: GoodValues, mask: int) -> int:
         """Bitmask of patterns detecting ``fault`` given good values.
 
-        ``good`` is the full net -> packed-word mapping produced by
-        :meth:`good_values` (every net of the netlist must be present).
+        ``good`` is either the net -> packed-word mapping produced by
+        :meth:`good_values` (every net of the netlist must be present)
+        or the flat value array of :meth:`good_array`, which skips the
+        O(nets) per-call flattening entirely.
         """
+        if not isinstance(good, Mapping):
+            return self.detect_stuck_arr(fault, good, mask)
         compiled = self.compiled
         try:
             arr = [good[name] for name in compiled.names]
@@ -146,24 +253,37 @@ class FaultSimulator:
             raise SimulationError(
                 f"good-value mapping has no entry for net {exc.args[0]!r}"
             ) from exc
-        return self._detect_stuck_arr(fault, arr, mask)
+        return self.detect_stuck_arr(fault, arr, mask)
 
     def simulate_stuck(self, faults: Sequence[StuckFault],
                        patterns: Sequence[Mapping[str, int]],
-                       ) -> FaultSimResult:
-        """Fault-simulate a stuck-at fault list against a pattern set."""
-        good, mask = self._good_array(patterns)
-        detected = {
-            fault: self._detect_stuck_arr(fault, good, mask)
-            for fault in faults
-        }
+                       drop_detected: bool = False) -> FaultSimResult:
+        """Fault-simulate a stuck-at fault list against a pattern set.
+
+        ``drop_detected`` switches on the fault-dropping contract:
+        per-fault masks are computed with early exit (non-zero iff
+        detected, not necessarily complete).
+        """
+        good, mask = self.good_array(patterns)
+        detected = self.detect_stuck_many(faults, good, mask,
+                                          early_exit=drop_detected)
         return FaultSimResult(detected=detected, n_patterns=len(patterns))
+
+    def simulate_stuck_packed(self, faults: Sequence[StuckFault],
+                              words: Mapping[str, int], n_patterns: int,
+                              drop_detected: bool = False) -> FaultSimResult:
+        """Like :meth:`simulate_stuck`, from pre-packed input words."""
+        good, mask = self.good_array_from_words(words, n_patterns)
+        detected = self.detect_stuck_many(faults, good, mask,
+                                          early_exit=drop_detected)
+        return FaultSimResult(detected=detected, n_patterns=n_patterns)
 
     # ------------------------------------------------------------------
     def simulate_transition(
         self,
         faults: Sequence[TransitionFault],
         pairs: Sequence[Tuple[Mapping[str, int], Mapping[str, int]]],
+        drop_detected: bool = False,
     ) -> FaultSimResult:
         """Fault-simulate transition faults against (V1, V2) pattern pairs.
 
@@ -176,11 +296,14 @@ class FaultSimulator:
         a partially assigned pattern raises
         :class:`~repro.errors.SimulationError` (strict packing) rather
         than being silently zero-filled into a different test.
+
+        ``drop_detected`` applies the early-exit mask contract of
+        :meth:`simulate_stuck` to the V2 stuck-at detection step.
         """
         v1s = [pair[0] for pair in pairs]
         v2s = [pair[1] for pair in pairs]
-        good1, mask = self._good_array(v1s)
-        good2, _ = self._good_array(v2s)
+        good1, mask = self.good_array(v1s)
+        good2, _ = self.good_array(v2s)
         compiled = self.compiled
         detected: Dict[object, int] = {}
         for fault in faults:
@@ -195,23 +318,47 @@ class FaultSimulator:
                 launch = site1 & mask
             else:
                 launch = ~site1 & mask
-            stuck_mask = self._detect_stuck_arr(
-                fault.equivalent_stuck, good2, mask
+            if not launch:
+                detected[fault] = 0
+                continue
+            stuck_mask = self.detect_stuck_arr(
+                fault.equivalent_stuck, good2,
+                launch if drop_detected else mask,
+                early_exit=drop_detected,
             )
             detected[fault] = launch & stuck_mask
         return FaultSimResult(detected=detected, n_patterns=len(pairs))
+
+
+def random_pattern_words(netlist: Netlist, n_patterns: int,
+                         seed: int = 7) -> Dict[str, int]:
+    """Packed uniform random words, one per core input net.
+
+    Seed contract (since the fault-dropping pipeline): one
+    ``random.Random(seed).getrandbits(n_patterns)`` draw per net, in
+    core-input order (primary inputs, then state inputs).  This
+    replaced the historical per-pattern ``randint`` stream -- patterns
+    for a given seed differ from pre-flow releases, but remain fully
+    deterministic and identical across circuits sharing input names.
+    """
+    rng = random.Random(seed)
+    nets = list(netlist.inputs) + list(netlist.state_inputs)
+    if n_patterns <= 0:
+        return {net: 0 for net in nets}
+    return {net: rng.getrandbits(n_patterns) for net in nets}
 
 
 def random_pattern_coverage(netlist: Netlist,
                             faults: Sequence[StuckFault],
                             n_patterns: int = 256,
                             seed: int = 7) -> FaultSimResult:
-    """Coverage of ``n_patterns`` uniform random patterns (BIST baseline)."""
-    import random as _random
+    """Coverage of ``n_patterns`` uniform random patterns (BIST baseline).
 
-    rng = _random.Random(seed)
-    nets = list(netlist.inputs) + list(netlist.state_inputs)
-    patterns = [
-        {net: rng.randint(0, 1) for net in nets} for _ in range(n_patterns)
-    ]
-    return FaultSimulator(netlist).simulate_stuck(faults, patterns)
+    The patterns are generated as packed words per input net
+    (:func:`random_pattern_words`) and fed straight to the packed fault
+    simulator -- no per-pattern dicts, no repacking.
+    """
+    words = random_pattern_words(netlist, n_patterns, seed)
+    return FaultSimulator(netlist).simulate_stuck_packed(
+        faults, words, n_patterns
+    )

@@ -30,6 +30,7 @@ class StuckFault:
     def __post_init__(self) -> None:
         if self.value not in (0, 1):
             raise ValueError("stuck-at value must be 0 or 1")
+        object.__setattr__(self, "_hash", hash((self.net, self.value)))
 
     def __str__(self) -> str:
         return f"{self.net}/sa{self.value}"
@@ -45,6 +46,7 @@ class TransitionFault:
     def __post_init__(self) -> None:
         if self.direction not in (RISE, FALL):
             raise ValueError("direction must be 'rise' or 'fall'")
+        object.__setattr__(self, "_hash", hash((self.net, self.direction)))
 
     @property
     def initial_value(self) -> int:
@@ -58,6 +60,19 @@ class TransitionFault:
 
     def __str__(self) -> str:
         return f"{self.net}/slow-to-{self.direction}"
+
+
+def _cached_hash(self) -> int:
+    return self._hash
+
+
+# Faults are dict/set keys in every fault-simulation and dropping loop;
+# the dataclass-generated __hash__ re-hashes the field tuple on each
+# call, so precompute it once in __post_init__.  Must be assigned after
+# class creation: a class-body __hash__ would be overwritten by the
+# frozen dataclass machinery.
+StuckFault.__hash__ = _cached_hash          # type: ignore[assignment]
+TransitionFault.__hash__ = _cached_hash     # type: ignore[assignment]
 
 
 def all_stuck_faults(netlist: Netlist) -> List[StuckFault]:

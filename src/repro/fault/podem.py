@@ -1,6 +1,6 @@
 """PODEM test generation for single stuck-at faults.
 
-A textbook PODEM (Goel 1981) over the combinational core:
+A PODEM (Goel 1981) over the combinational core:
 
 * five effective values via a (good, faulty) pair per net, each in
   {0, 1, X};
@@ -9,18 +9,41 @@ A textbook PODEM (Goel 1981) over the combinational core:
 * D-frontier tracking with X-path check;
 * bounded backtracking.
 
-The implication step re-simulates the whole core in three-valued logic;
-for the circuit sizes of the paper's benchmark set this is plenty fast
-and keeps the code free of incremental-update subtleties.
+The implication step runs **event-driven on the compiled flat arrays**
+(:meth:`repro.netlist.CompiledNetlist.eval3_into`, the two-word-per-net
+three-valued kernel): assigning a primary input re-implies only that
+input's fanout cone, and within the cone only the nets whose values
+actually change.  The D-frontier and X-path scans are likewise
+restricted to the fault site's cone.  This replaced the historical
+whole-core dict re-simulation per decision; the retained dict-based
+reference (``repro.perf.reference.ReferenceThreeValuedSimulator``, built
+on :func:`eval3` below) pins bit-identical three-valued results on
+every catalog circuit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import AtpgError
-from ..netlist import Netlist, topological_order
+from ..netlist import compile_netlist, topological_order
+from ..netlist.compiled import (
+    OP_AND,
+    OP_AOI21,
+    OP_AOI22,
+    OP_BUF,
+    OP_MUX2,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OAI21,
+    OP_OAI22,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    _TWO_INPUT_OFFSET,
+)
 from .models import StuckFault
 
 X = 2  # unknown in three-valued logic
@@ -38,9 +61,31 @@ _CONTROLLING = {
     "XNOR": (None, 1),
 }
 
+#: Same table keyed by generic opcode, for the compiled engine.
+_OP_CONTROLLING = {
+    OP_AND: (0, 0),
+    OP_NAND: (0, 1),
+    OP_OR: (1, 0),
+    OP_NOR: (1, 1),
+    OP_BUF: (None, 0),
+    OP_NOT: (None, 1),
+    OP_XOR: (None, 0),
+    OP_XNOR: (None, 1),
+    OP_AOI21: (None, 0),
+    OP_AOI22: (None, 0),
+    OP_OAI21: (None, 0),
+    OP_OAI22: (None, 0),
+    OP_MUX2: (None, 0),
+}
+
 
 def eval3(func: str, values: Sequence[int]) -> int:
-    """Three-valued evaluation (0/1/X) of a gate function."""
+    """Three-valued evaluation (0/1/X) of a gate function.
+
+    This is the scalar reference semantics; the compiled two-word
+    kernel (:meth:`repro.netlist.CompiledNetlist.eval3_into`) must stay
+    bit-identical to it.
+    """
     if func == "BUF":
         return values[0]
     if func == "NOT":
@@ -122,141 +167,244 @@ class AtpgResult:
 
 
 class Podem:
-    """PODEM engine bound to one netlist."""
+    """PODEM engine bound to one netlist (compiled-array internals)."""
 
-    def __init__(self, netlist: Netlist, backtrack_limit: int = 100):
+    def __init__(self, netlist, backtrack_limit: int = 100):
         self.netlist = netlist
-        self.order = topological_order(netlist)
+        self.backtrack_limit = backtrack_limit
+        self.compiled = compile_netlist(netlist)
+        compiled = self.compiled
+        self.order: List[str] = list(compiled.order)
         self.pis: Tuple[str, ...] = tuple(netlist.core_inputs)
         self.observe: Tuple[str, ...] = tuple(netlist.core_outputs)
-        self.backtrack_limit = backtrack_limit
+        self._n_prefix = compiled.n_prefix
+        self._n_slots = len(compiled.names)
+        self._observe_idx = compiled.observe_idx
+
+        # Per-eval-position controlling value / inversion, from opcodes.
+        ctrl: List[Optional[int]] = []
+        inv: List[int] = []
+        for op in compiled.ops:
+            code = op - _TWO_INPUT_OFFSET if op >= _TWO_INPUT_OFFSET else op
+            c, i = _OP_CONTROLLING[code]
+            ctrl.append(c)
+            inv.append(i)
+        self._ctrl = ctrl
+        self._inv = inv
+
         # Static level map for backtrace guidance (input depth).
-        self._depth: Dict[str, int] = {net: 0 for net in self.pis}
-        for name in self.order:
-            gate = netlist.gate(name)
-            self._depth[name] = 1 + max(
-                (self._depth.get(f, 0) for f in gate.fanin), default=0
-            )
+        depth = [0] * self._n_slots
+        base = self._n_prefix
+        for p, fanin in enumerate(compiled.fanins):
+            depth[base + p] = 1 + max(depth[f] for f in fanin)
+        self._depth = depth
+
+        # Mutable per-generate state (set up by _begin).
+        self._g0: List[int] = []
+        self._g1: List[int] = []
+        self._f0: List[int] = []
+        self._f1: List[int] = []
+        self._site: Optional[int] = None
+        self._site_pos: int = -1
+        self._site_cone: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
-    def _simulate(self, assignment: Dict[str, int], fault: StuckFault,
-                  ) -> Tuple[Dict[str, int], Dict[str, int]]:
-        """Three-valued good/faulty simulation under ``assignment``."""
-        good: Dict[str, int] = {}
-        faulty: Dict[str, int] = {}
-        for net in self.pis:
-            v = assignment.get(net, X)
-            good[net] = v
-            faulty[net] = v
-        if fault.net in faulty:
-            faulty[fault.net] = fault.value
-        for name in self.order:
-            gate = self.netlist.gate(name)
-            good[name] = eval3(
-                gate.func, [good[f] for f in gate.fanin]
-            )
-            if name == fault.net:
-                faulty[name] = fault.value
-            else:
-                faulty[name] = eval3(
-                    gate.func, [faulty[f] for f in gate.fanin]
-                )
-        return good, faulty
+    # incremental three-valued simulation state
+    # ------------------------------------------------------------------
+    def _begin(self, site: Optional[int], fault_value: int = 0) -> None:
+        """Reset to the all-X state, with the fault site forced.
 
-    def _fault_at_output(self, good: Dict[str, int],
-                         faulty: Dict[str, int]) -> bool:
-        for out in self.observe:
-            g, f = good[out], faulty[out]
-            if g != X and f != X and g != f:
+        With every core input at X the fault-free machine is X on every
+        net (no gate evaluates to a constant from all-X fanins), so the
+        fresh zero arrays *are* the full-simulation result.  The faulty
+        machine forces the site and propagates the controlling-value
+        implications through its cone.
+        """
+        n = self._n_slots
+        self._g0 = [0] * n
+        self._g1 = [0] * n
+        self._site = site
+        if site is None:
+            self._f0 = self._g0
+            self._f1 = self._g1
+            self._site_pos = -1
+            self._site_cone = ()
+            return
+        compiled = self.compiled
+        self._site_pos = (site - self._n_prefix
+                          if site >= self._n_prefix else -1)
+        self._site_cone = compiled.cone_positions(site)
+        f0 = [0] * n
+        f1 = [0] * n
+        if fault_value:
+            f1[site] = 1
+        else:
+            f0[site] = 1
+        compiled.propagate3(f0, f1, 1, (site,), skip=self._site_pos)
+        self._f0 = f0
+        self._f1 = f1
+
+    #: Undo record of one input assignment: trails of (slot, old0,
+    #: old1) for the good and faulty machines.
+    _Trails = Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]
+
+    def _assign_pi(self, slot: int, value: int) -> "Podem._Trails":
+        """Assign one core input slot; returns the undo trails."""
+        compiled = self.compiled
+        n0 = 1 if value == 0 else 0
+        n1 = 1 if value == 1 else 0
+        g0, g1 = self._g0, self._g1
+        gtrail: List[Tuple[int, int, int]] = []
+        if g0[slot] != n0 or g1[slot] != n1:
+            gtrail.append((slot, g0[slot], g1[slot]))
+            g0[slot] = n0
+            g1[slot] = n1
+            compiled.propagate3(g0, g1, 1, (slot,), trail=gtrail)
+        site = self._site
+        if site is None or slot == site:
+            # Good-only mode, or the faulty machine holds the site.
+            return gtrail, []
+        f0, f1 = self._f0, self._f1
+        ftrail: List[Tuple[int, int, int]] = []
+        if f0[slot] != n0 or f1[slot] != n1:
+            ftrail.append((slot, f0[slot], f1[slot]))
+            f0[slot] = n0
+            f1[slot] = n1
+            compiled.propagate3(f0, f1, 1, (slot,), skip=self._site_pos,
+                                trail=ftrail)
+        return gtrail, ftrail
+
+    def _undo(self, trails: "Podem._Trails") -> None:
+        """Restore both machines from an assignment's undo trails."""
+        gtrail, ftrail = trails
+        g0, g1 = self._g0, self._g1
+        for slot, old0, old1 in reversed(gtrail):
+            g0[slot] = old0
+            g1[slot] = old1
+        f0, f1 = self._f0, self._f1
+        for slot, old0, old1 in reversed(ftrail):
+            f0[slot] = old0
+            f1[slot] = old1
+
+    # ------------------------------------------------------------------
+    # composite-value queries
+    # ------------------------------------------------------------------
+    def _good(self, slot: int) -> int:
+        """Good-machine value of a slot in {0, 1, X}."""
+        if self._g0[slot]:
+            return 0
+        if self._g1[slot]:
+            return 1
+        return X
+
+    def _fault_at_output(self) -> bool:
+        g0, g1, f0, f1 = self._g0, self._g1, self._f0, self._f1
+        for out in self._observe_idx:
+            if (g1[out] & f0[out]) | (g0[out] & f1[out]):
                 return True
         return False
 
-    def _d_frontier(self, good: Dict[str, int],
-                    faulty: Dict[str, int]) -> List[str]:
-        """Gates whose composite output is still unknown but with a
-        definite fault effect (good != faulty, both known) on an input."""
-        frontier = []
-        for name in self.order:
-            g_out, f_out = good[name], faulty[name]
-            if g_out != X and f_out != X:
+    def _d_frontier(self) -> List[int]:
+        """Eval positions whose composite output is still unknown but
+        with a definite fault effect (good != faulty, both known) on an
+        input.  Only the fault site's cone can qualify."""
+        g0, g1, f0, f1 = self._g0, self._g1, self._f0, self._f1
+        fanins = self.compiled.fanins
+        base = self._n_prefix
+        frontier: List[int] = []
+        for p in self._site_cone:
+            slot = base + p
+            if (g0[slot] | g1[slot]) and (f0[slot] | f1[slot]):
                 continue  # composite value settled (propagated or blocked)
-            gate = self.netlist.gate(name)
-            for f in gate.fanin:
-                g, fv = good[f], faulty[f]
-                if g != X and fv != X and g != fv:
-                    frontier.append(name)
+            for f in fanins[p]:
+                if (g1[f] & f0[f]) | (g0[f] & f1[f]):
+                    frontier.append(p)
                     break
         return frontier
 
-    def _x_path_exists(self, good: Dict[str, int],
-                       faulty: Dict[str, int], frontier: List[str]) -> bool:
+    def _x_path_exists(self, frontier: List[int]) -> bool:
         """Can a fault effect still reach an observation point?"""
         if not frontier:
             return False
-        x_nets = {
-            name for name in self.order
-            if good[name] == X or faulty[name] == X
-        }
-        x_nets.update(frontier)
-        reachable = set(frontier)
-        stack = list(frontier)
-        observed = set(self.observe)
+        g0, g1, f0, f1 = self._g0, self._g1, self._f0, self._f1
+        fanout_pos = self.compiled._fanout_pos
+        base = self._n_prefix
+        observed = set(self._observe_idx)
+        reachable: Set[int] = {base + p for p in frontier}
+        stack = list(reachable)
         while stack:
-            net = stack.pop()
-            if net in observed:
+            slot = stack.pop()
+            if slot in observed:
                 return True
-            for sink in self.netlist.fanout(net):
-                gate = self.netlist.gate(sink)
-                if gate.is_combinational and sink in x_nets \
-                        and sink not in reachable:
-                    reachable.add(sink)
-                    stack.append(sink)
-        return bool(reachable & observed)
+            for pos in fanout_pos[slot]:
+                sink = base + pos
+                if sink in reachable:
+                    continue
+                if (g0[sink] | g1[sink]) and (f0[sink] | f1[sink]):
+                    continue  # both machines known: no X-path through it
+                reachable.add(sink)
+                stack.append(sink)
+        return False
 
     # ------------------------------------------------------------------
-    def _objective(self, fault: StuckFault, good: Dict[str, int],
-                   frontier: List[str]) -> Optional[Tuple[str, int]]:
-        """Next (net, value) goal: activate the fault, then propagate."""
-        if good[fault.net] == X:
-            return fault.net, 1 - fault.value
-        for name in frontier:
-            gate = self.netlist.gate(name)
-            ctrl, _ = _CONTROLLING.get(gate.func, (None, 0))
-            for f in gate.fanin:
-                if good[f] == X:
+    def _objective(self, site: int, fault_value: int,
+                   frontier: List[int]) -> Optional[Tuple[int, int]]:
+        """Next (slot, value) goal: activate the fault, then propagate."""
+        g0, g1 = self._g0, self._g1
+        if not (g0[site] | g1[site]):
+            return site, 1 - fault_value
+        fanins = self.compiled.fanins
+        for p in frontier:
+            ctrl = self._ctrl[p]
+            for f in fanins[p]:
+                if not (g0[f] | g1[f]):
                     if ctrl is None:
                         return f, 0
                     return f, 1 - ctrl
         return None
 
-    def _backtrace(self, net: str, value: int,
-                   good: Dict[str, int]) -> Tuple[str, int]:
+    def _backtrace(self, slot: int, value: int) -> Tuple[int, int]:
         """Walk an objective back to an unassigned primary/state input."""
-        current, target = net, value
-        while current not in self._is_pi_cache():
-            gate = self.netlist.gate(current)
-            ctrl, inversion = _CONTROLLING.get(gate.func, (None, 0))
-            if inversion:
+        g0, g1 = self._g0, self._g1
+        fanins = self.compiled.fanins
+        depth = self._depth
+        base = self._n_prefix
+        current, target = slot, value
+        while current >= base:
+            p = current - base
+            if self._inv[p]:
                 target = 1 - target
+            fanin = fanins[p]
             # Choose the X input closest to the inputs (easiest set).
-            candidates = [f for f in gate.fanin if good[f] == X]
+            candidates = [f for f in fanin if not (g0[f] | g1[f])]
             if not candidates:
                 # Everything justified already; pick any input to move on.
-                candidates = list(gate.fanin)
-            current = min(candidates, key=lambda f: self._depth.get(f, 0))
-            if gate.func in ("XOR", "XNOR", "MUX2", "AOI21", "AOI22",
-                             "OAI21", "OAI22"):
-                # No simple polarity through complex gates: aim for 'target'
-                # as-is; implication will correct wrong guesses.
-                continue
+                candidates = list(fanin)
+            current = min(candidates, key=lambda f: depth[f])
+            # Complex gates (XOR/MUX/AOI/OAI) have no simple polarity:
+            # aim for 'target' as-is; implication corrects wrong guesses.
         return current, target
 
-    def _is_pi_cache(self) -> frozenset:
-        cached = getattr(self, "_pi_set", None)
-        if cached is None:
-            cached = frozenset(self.pis)
-            self._pi_set = cached
-        return cached
+    def _backtrack(self, assignment: Dict[int, int],
+                   decisions: List[list]) -> bool:
+        """Flip the last unflipped decision; False if none remain.
+
+        Undoing an assignment restores the saved trail -- no
+        re-propagation at all on the way up the decision stack.
+        """
+        while decisions and decisions[-1][2]:
+            slot, _, _, trails = decisions.pop()
+            del assignment[slot]
+            self._undo(trails)
+        if not decisions:
+            return False
+        slot, value, _, trails = decisions.pop()
+        self._undo(trails)
+        flipped = 1 - value
+        trails = self._assign_pi(slot, flipped)
+        decisions.append([slot, flipped, 1, trails])
+        assignment[slot] = flipped
+        return True
 
     # ------------------------------------------------------------------
     def generate(self, fault: StuckFault,
@@ -268,91 +416,140 @@ class Podem:
         Used by the two-time-frame broadside generator, where the
         frame-1 copy of the fault site must carry the initial value.
         """
-        assignment: Dict[str, int] = {}
-        decisions: List[Tuple[str, int, bool]] = []  # (pi, value, flipped)
+        compiled = self.compiled
+        site = compiled.index.get(fault.net)
+        if site is None:
+            raise AtpgError(f"fault site {fault.net!r} not in netlist")
+        req: List[Tuple[int, int]] = []
+        for net, value in require:
+            slot = compiled.index.get(net)
+            if slot is None:
+                raise AtpgError(f"require net {net!r} not in netlist")
+            req.append((slot, value))
+
+        self._begin(site, fault.value)
+        g0, g1 = self._g0, self._g1
+        assignment: Dict[int, int] = {}
+        decisions: List[list] = []  # [slot, value, flipped, trails]
         backtracks = 0
+        names = compiled.names
+        n_prefix = self._n_prefix
 
         while True:
-            good, faulty = self._simulate(assignment, fault)
             req_conflict = any(
-                good[net] != X and good[net] != value
-                for net, value in require
+                (g0[s] if value else g1[s]) for s, value in req
             )
             req_pending = [
-                (net, value) for net, value in require if good[net] == X
+                (s, value) for s, value in req if not (g0[s] | g1[s])
             ]
-            detected = self._fault_at_output(good, faulty)
+            detected = self._fault_at_output()
             if not req_conflict and not req_pending and detected:
-                test = {net: assignment.get(net, 0) for net in self.pis}
-                return AtpgResult(
-                    fault, "detected", test, backtracks,
-                    cube=dict(assignment),
-                )
+                test = {
+                    names[s]: assignment.get(s, 0) for s in range(n_prefix)
+                }
+                cube = {names[s]: v for s, v in assignment.items()}
+                return AtpgResult(fault, "detected", test, backtracks,
+                                  cube=cube)
 
-            frontier = self._d_frontier(good, faulty)
-            fault_active = (
-                good[fault.net] != X and good[fault.net] == 1 - fault.value
-            )
+            frontier = self._d_frontier()
             failed = req_conflict
-            if good[fault.net] != X and good[fault.net] == fault.value:
-                failed = True            # fault can no longer be excited
-            elif (fault_active and not detected
-                    and not self._x_path_exists(good, faulty, frontier)):
-                failed = True            # effect can no longer propagate
+            if g0[site] | g1[site]:
+                if g1[site] if fault.value else g0[site]:
+                    failed = True        # fault can no longer be excited
+                elif not detected and not self._x_path_exists(frontier):
+                    failed = True        # effect can no longer propagate
 
             if not failed:
-                objective = self._objective(fault, good, frontier)
+                objective = self._objective(site, fault.value, frontier)
                 if objective is None and req_pending:
                     objective = req_pending[0]
                 if objective is None:
                     failed = True
 
             if failed:
-                # Backtrack: flip the last unflipped decision.
-                while decisions and decisions[-1][2]:
-                    pi, _, _ = decisions.pop()
-                    assignment.pop(pi, None)
-                if not decisions:
+                if not self._backtrack(assignment, decisions):
                     return AtpgResult(fault, "untestable",
                                       backtracks=backtracks)
-                pi, value, _ = decisions.pop()
                 backtracks += 1
                 if backtracks > self.backtrack_limit:
                     return AtpgResult(fault, "aborted", backtracks=backtracks)
-                decisions.append((pi, 1 - value, True))
-                assignment[pi] = 1 - value
                 continue
 
-            net, value = objective
-            pi, pi_value = self._backtrace(net, value, good)
+            slot, value = objective
+            pi, pi_value = self._backtrace(slot, value)
             if pi in assignment:
                 # Backtrace landed on a decided input: the objective is
                 # unreachable under the current decisions -- backtrack.
-                while decisions and decisions[-1][2]:
-                    prev, _, _ = decisions.pop()
-                    assignment.pop(prev, None)
-                if not decisions:
+                if not self._backtrack(assignment, decisions):
                     return AtpgResult(fault, "untestable",
                                       backtracks=backtracks)
-                prev, value_prev, _ = decisions.pop()
                 backtracks += 1
                 if backtracks > self.backtrack_limit:
                     return AtpgResult(fault, "aborted", backtracks=backtracks)
-                decisions.append((prev, 1 - value_prev, True))
-                assignment[prev] = 1 - value_prev
                 continue
-            decisions.append((pi, pi_value, False))
+            trails = self._assign_pi(pi, pi_value)
+            decisions.append([pi, pi_value, 0, trails])
+            assignment[pi] = pi_value
+
+    # ------------------------------------------------------------------
+    def justify(self, net: str, value: int) -> Optional[Dict[str, int]]:
+        """Find an input assignment setting ``net`` to ``value``.
+
+        Good-machine-only search over the same incremental engine;
+        returns a full input vector (X -> 0) or None if ``net`` cannot
+        take ``value`` within the backtrack limit.
+        """
+        compiled = self.compiled
+        slot = compiled.index.get(net)
+        if slot is None:
+            raise AtpgError(f"net {net!r} not in netlist")
+        self._begin(None)
+        g0, g1 = self._g0, self._g1
+        assignment: Dict[int, int] = {}
+        decisions: List[list] = []  # [slot, value, flipped, trails]
+        backtracks = 0
+        names = compiled.names
+
+        while True:
+            if (g1[slot] if value else g0[slot]):
+                return {
+                    names[s]: assignment.get(s, 0)
+                    for s in range(self._n_prefix)
+                }
+            if g0[slot] | g1[slot]:
+                # Wrong value under current decisions: backtrack.
+                if not self._backtrack(assignment, decisions):
+                    return None
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return None
+                continue
+            pi, pi_value = self._backtrace(slot, value)
+            if pi in assignment:
+                if not self._backtrack(assignment, decisions):
+                    return None
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return None
+                continue
+            trails = self._assign_pi(pi, pi_value)
+            decisions.append([pi, pi_value, 0, trails])
             assignment[pi] = pi_value
 
 
-def generate_tests(netlist: Netlist, faults: Sequence[StuckFault],
+def generate_tests(netlist, faults: Sequence[StuckFault],
                    backtrack_limit: int = 100) -> List[AtpgResult]:
-    """Run PODEM over a fault list."""
+    """Run PODEM over a fault list, one call per fault (no dropping).
+
+    This is the naive per-fault path; the two-phase fault-dropping
+    pipeline (:mod:`repro.fault.atpg_flow`) reaches the same coverage
+    far faster and should be preferred for whole-circuit runs.
+    """
     engine = Podem(netlist, backtrack_limit)
     return [engine.generate(fault) for fault in faults]
 
 
-def justify(netlist: Netlist, net: str, value: int,
+def justify(netlist, net: str, value: int,
             backtrack_limit: int = 100) -> Optional[Dict[str, int]]:
     """Find an input assignment setting ``net`` to ``value``.
 
@@ -360,44 +557,16 @@ def justify(netlist: Netlist, net: str, value: int,
     patterns (V1).  Returns a full input vector or None if ``net``
     cannot take ``value``.
     """
-    # Reuse PODEM machinery: justification is "excite a stuck-at at the
-    # net" without the propagation requirement, so run a tiny search.
-    engine = Podem(netlist, backtrack_limit)
-    assignment: Dict[str, int] = {}
-    decisions: List[Tuple[str, int, bool]] = []
-    backtracks = 0
-    pseudo = StuckFault(net, 1 - value)
-    while True:
-        good, _ = engine._simulate(assignment, pseudo)
-        if good[net] == value:
-            return {p: assignment.get(p, 0) for p in engine.pis}
-        if good[net] != X:
-            # Wrong value under current decisions: backtrack.
-            while decisions and decisions[-1][2]:
-                pi, _, _ = decisions.pop()
-                assignment.pop(pi, None)
-            if not decisions:
-                return None
-            pi, val, _ = decisions.pop()
-            backtracks += 1
-            if backtracks > backtrack_limit:
-                return None
-            decisions.append((pi, 1 - val, True))
-            assignment[pi] = 1 - val
-            continue
-        pi, pi_value = engine._backtrace(net, value, good)
-        if pi in assignment:
-            while decisions and decisions[-1][2]:
-                prev, _, _ = decisions.pop()
-                assignment.pop(prev, None)
-            if not decisions:
-                return None
-            prev, val, _ = decisions.pop()
-            backtracks += 1
-            if backtracks > backtrack_limit:
-                return None
-            decisions.append((prev, 1 - val, True))
-            assignment[prev] = 1 - val
-            continue
-        decisions.append((pi, pi_value, False))
-        assignment[pi] = pi_value
+    return Podem(netlist, backtrack_limit).justify(net, value)
+
+
+# Re-export for callers that levelize through this module historically.
+__all__ = [
+    "AtpgResult",
+    "Podem",
+    "X",
+    "eval3",
+    "generate_tests",
+    "justify",
+    "topological_order",
+]

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 from ..errors import AtpgError
 from ..netlist import Netlist
 from ..power.logicsim import LogicSimulator
+from .collapse import dominance_collapse_transition
 from .fsim import FaultSimulator
 from .models import TransitionFault
 from .podem import Podem, justify
@@ -255,7 +256,8 @@ class TransitionAtpg:
             for start in range(0, len(pairs), max_chunk):
                 chunk = pairs[start: start + max_chunk]
                 sim = self.fsim.simulate_transition(
-                    remaining, [(t.v1, t.v2) for t in chunk]
+                    remaining, [(t.v1, t.v2) for t in chunk],
+                    drop_detected=True,
                 )
                 newly = {f for f, mask in sim.detected.items() if mask}
                 if newly:
@@ -271,8 +273,19 @@ class TransitionAtpg:
             if result.detected:
                 result.tests.extend(random_tests)
 
-        # Phase 2: deterministic per-fault generation.
-        for fault in list(remaining):
+        # Phase 2: deterministic per-fault generation.  Dominance-kept
+        # faults go first: their tests detect the dominating (dropped)
+        # faults for free, so the tail usually falls to fault dropping
+        # instead of its own PODEM call.  Every fault still gets a turn
+        # -- ordering never changes which faults are targeted.
+        if len(remaining) > 1:
+            kept = set(dominance_collapse_transition(self.netlist,
+                                                     remaining))
+            ordered = ([f for f in remaining if f in kept]
+                       + [f for f in remaining if f not in kept])
+        else:
+            ordered = list(remaining)
+        for fault in ordered:
             if fault in result.detected:
                 continue
             if style == STYLE_BROADSIDE and self.deterministic_broadside:

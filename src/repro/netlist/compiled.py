@@ -26,6 +26,7 @@ dropped via :func:`clear_compile_cache`.
 from __future__ import annotations
 
 import hashlib
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import NetlistError
@@ -297,6 +298,303 @@ class CompiledNetlist:
                 v = mask & ~v
             values[base + p] = v
         return values
+
+    # ------------------------------------------------------------------
+    def eval3_into(self, values0: List[int], values1: List[int], mask: int,
+                   positions: Optional[Iterable[int]] = None,
+                   events: Optional[set] = None) -> None:
+        """Three-valued (0/1/X) evaluation over two packed words per net.
+
+        The encoding is two parallel value arrays: bit *i* of
+        ``values0[slot]`` set means net ``names[slot]`` is 0 in pattern
+        *i*; the same bit of ``values1[slot]`` means 1; neither set
+        means X.  (``values0 & values1 == 0`` is an invariant the
+        kernel preserves.)  The results are bit-identical to
+        :func:`repro.fault.podem.eval3` applied per pattern -- the
+        retained dict-based reference, pinned by
+        ``tests/fault/test_atpg_flow.py`` on every catalog circuit.
+
+        ``positions`` restricts evaluation to a sorted subset of eval
+        positions (a fanout cone), exactly like :meth:`eval_into`.
+
+        ``events`` switches on *event-driven* propagation: it must be a
+        set of value-slot indices whose words just changed (typically
+        the one assigned input).  A position none of whose fanins are
+        in ``events`` is skipped outright, and a position whose
+        recomputed pair equals the stored pair does not extend
+        ``events`` -- so implication work is proportional to the nets
+        that actually change, not to the cone size.  The set is updated
+        in place with every slot whose value changed.
+        """
+        ops = self.ops
+        fanins = self.fanins
+        base = self.n_prefix
+        if positions is None:
+            positions = range(len(ops))
+        for p in positions:
+            fanin = fanins[p]
+            if events is not None:
+                for f in fanin:
+                    if f in events:
+                        break
+                else:
+                    continue
+            op = ops[p]
+            if op >= _TWO_INPUT_OFFSET:
+                a, b = fanin
+                a0 = values0[a]
+                a1 = values1[a]
+                b0 = values0[b]
+                b1 = values1[b]
+                if op == OP_NAND2:
+                    v1 = a0 | b0
+                    v0 = a1 & b1
+                elif op == OP_NOR2:
+                    v0 = a1 | b1
+                    v1 = a0 & b0
+                elif op == OP_AND2:
+                    v1 = a1 & b1
+                    v0 = a0 | b0
+                elif op == OP_OR2:
+                    v1 = a1 | b1
+                    v0 = a0 & b0
+                else:
+                    known = (a0 | a1) & (b0 | b1)
+                    parity = a1 ^ b1
+                    if op == OP_XOR2:
+                        v1 = parity & known
+                        v0 = known & ~parity & mask
+                    else:  # OP_XNOR2
+                        v0 = parity & known
+                        v1 = known & ~parity & mask
+            elif op == OP_NOT:
+                f = fanin[0]
+                v0 = values1[f]
+                v1 = values0[f]
+            elif op == OP_BUF:
+                f = fanin[0]
+                v0 = values0[f]
+                v1 = values1[f]
+            elif op == OP_AND or op == OP_NAND:
+                v1 = mask
+                v0 = 0
+                for f in fanin:
+                    v1 &= values1[f]
+                    v0 |= values0[f]
+                if op == OP_NAND:
+                    v0, v1 = v1, v0
+            elif op == OP_OR or op == OP_NOR:
+                v1 = 0
+                v0 = mask
+                for f in fanin:
+                    v1 |= values1[f]
+                    v0 &= values0[f]
+                if op == OP_NOR:
+                    v0, v1 = v1, v0
+            elif op == OP_XOR or op == OP_XNOR:
+                known = mask
+                parity = 0
+                for f in fanin:
+                    known &= values0[f] | values1[f]
+                    parity ^= values1[f]
+                if op == OP_XOR:
+                    v1 = parity & known
+                    v0 = known & ~parity & mask
+                else:
+                    v0 = parity & known
+                    v1 = known & ~parity & mask
+            elif op == OP_AOI21:
+                x, y, z = fanin
+                t1 = values1[x] & values1[y]
+                t0 = values0[x] | values0[y]
+                v0 = t1 | values1[z]
+                v1 = t0 & values0[z]
+            elif op == OP_AOI22:
+                x, y, z, w = fanin
+                t1 = values1[x] & values1[y]
+                t0 = values0[x] | values0[y]
+                u1 = values1[z] & values1[w]
+                u0 = values0[z] | values0[w]
+                v0 = t1 | u1
+                v1 = t0 & u0
+            elif op == OP_OAI21:
+                x, y, z = fanin
+                t1 = values1[x] | values1[y]
+                t0 = values0[x] & values0[y]
+                v0 = t1 & values1[z]
+                v1 = t0 | values0[z]
+            elif op == OP_OAI22:
+                x, y, z, w = fanin
+                t1 = values1[x] | values1[y]
+                t0 = values0[x] & values0[y]
+                u1 = values1[z] | values1[w]
+                u0 = values0[z] & values0[w]
+                v0 = t1 & u1
+                v1 = t0 | u0
+            else:  # OP_MUX2
+                s, d0, d1 = fanin
+                s0 = values0[s]
+                s1 = values1[s]
+                v1 = ((s0 & values1[d0]) | (s1 & values1[d1])
+                      | (values1[d0] & values1[d1]))
+                v0 = ((s0 & values0[d0]) | (s1 & values0[d1])
+                      | (values0[d0] & values0[d1]))
+            slot = base + p
+            if events is not None:
+                if values0[slot] == v0 and values1[slot] == v1:
+                    continue
+                events.add(slot)
+            values0[slot] = v0
+            values1[slot] = v1
+
+    # ------------------------------------------------------------------
+    def propagate3(self, values0: List[int], values1: List[int], mask: int,
+                   seeds: Iterable[int], skip: int = -1,
+                   trail: Optional[List[Tuple[int, int, int]]] = None,
+                   ) -> None:
+        """Worklist form of :meth:`eval3_into`: re-implicate from seeds.
+
+        ``seeds`` are value-slot indices whose words just changed (the
+        assigned input, or a forced fault site).  A min-heap over eval
+        positions -- position order is topological order -- visits only
+        positions whose support actually changed, each at most once,
+        and an unchanged recomputed pair cuts propagation there.  This
+        is what makes PODEM's per-decision implication proportional to
+        the nets that change, not to the fanout-cone size.
+
+        ``skip`` excludes one eval position from recomputation (the
+        faulty machine's forced site).  ``trail`` collects
+        ``(slot, old0, old1)`` undo records for every overwritten slot,
+        so a backtracking caller can restore state without
+        re-propagating.  Final values are bit-identical to
+        :meth:`eval3_into` over the seeds' full fanout cones.
+        """
+        ops = self.ops
+        fanins = self.fanins
+        fanout_pos = self._fanout_pos
+        base = self.n_prefix
+        heap: List[int] = []
+        pending = set()
+        for s in seeds:
+            for p in fanout_pos[s]:
+                if p != skip and p not in pending:
+                    pending.add(p)
+                    heappush(heap, p)
+        while heap:
+            p = heappop(heap)
+            pending.discard(p)
+            fanin = fanins[p]
+            op = ops[p]
+            if op >= _TWO_INPUT_OFFSET:
+                a, b = fanin
+                a0 = values0[a]
+                a1 = values1[a]
+                b0 = values0[b]
+                b1 = values1[b]
+                if op == OP_NAND2:
+                    v1 = a0 | b0
+                    v0 = a1 & b1
+                elif op == OP_NOR2:
+                    v0 = a1 | b1
+                    v1 = a0 & b0
+                elif op == OP_AND2:
+                    v1 = a1 & b1
+                    v0 = a0 | b0
+                elif op == OP_OR2:
+                    v1 = a1 | b1
+                    v0 = a0 & b0
+                else:
+                    known = (a0 | a1) & (b0 | b1)
+                    parity = a1 ^ b1
+                    if op == OP_XOR2:
+                        v1 = parity & known
+                        v0 = known & ~parity & mask
+                    else:  # OP_XNOR2
+                        v0 = parity & known
+                        v1 = known & ~parity & mask
+            elif op == OP_NOT:
+                f = fanin[0]
+                v0 = values1[f]
+                v1 = values0[f]
+            elif op == OP_BUF:
+                f = fanin[0]
+                v0 = values0[f]
+                v1 = values1[f]
+            elif op == OP_AND or op == OP_NAND:
+                v1 = mask
+                v0 = 0
+                for f in fanin:
+                    v1 &= values1[f]
+                    v0 |= values0[f]
+                if op == OP_NAND:
+                    v0, v1 = v1, v0
+            elif op == OP_OR or op == OP_NOR:
+                v1 = 0
+                v0 = mask
+                for f in fanin:
+                    v1 |= values1[f]
+                    v0 &= values0[f]
+                if op == OP_NOR:
+                    v0, v1 = v1, v0
+            elif op == OP_XOR or op == OP_XNOR:
+                known = mask
+                parity = 0
+                for f in fanin:
+                    known &= values0[f] | values1[f]
+                    parity ^= values1[f]
+                if op == OP_XOR:
+                    v1 = parity & known
+                    v0 = known & ~parity & mask
+                else:
+                    v0 = parity & known
+                    v1 = known & ~parity & mask
+            elif op == OP_AOI21:
+                x, y, z = fanin
+                t1 = values1[x] & values1[y]
+                t0 = values0[x] | values0[y]
+                v0 = t1 | values1[z]
+                v1 = t0 & values0[z]
+            elif op == OP_AOI22:
+                x, y, z, w = fanin
+                t1 = values1[x] & values1[y]
+                t0 = values0[x] | values0[y]
+                u1 = values1[z] & values1[w]
+                u0 = values0[z] | values0[w]
+                v0 = t1 | u1
+                v1 = t0 & u0
+            elif op == OP_OAI21:
+                x, y, z = fanin
+                t1 = values1[x] | values1[y]
+                t0 = values0[x] & values0[y]
+                v0 = t1 & values1[z]
+                v1 = t0 | values0[z]
+            elif op == OP_OAI22:
+                x, y, z, w = fanin
+                t1 = values1[x] | values1[y]
+                t0 = values0[x] & values0[y]
+                u1 = values1[z] | values1[w]
+                u0 = values0[z] & values0[w]
+                v0 = t1 & u1
+                v1 = t0 | u0
+            else:  # OP_MUX2
+                s, d0, d1 = fanin
+                s0 = values0[s]
+                s1 = values1[s]
+                v1 = ((s0 & values1[d0]) | (s1 & values1[d1])
+                      | (values1[d0] & values1[d1]))
+                v0 = ((s0 & values0[d0]) | (s1 & values0[d1])
+                      | (values0[d0] & values0[d1]))
+            slot = base + p
+            if values0[slot] == v0 and values1[slot] == v1:
+                continue
+            if trail is not None:
+                trail.append((slot, values0[slot], values1[slot]))
+            values0[slot] = v0
+            values1[slot] = v1
+            for q in fanout_pos[slot]:
+                if q != skip and q not in pending:
+                    pending.add(q)
+                    heappush(heap, q)
 
     def __repr__(self) -> str:
         return (

@@ -2,7 +2,12 @@
 
 Times the simulation kernels behind every table experiment -- good
 machine logic simulation, stuck-at and transition fault simulation,
-static timing analysis, and the table 1-3 quick flows -- and:
+the three-valued implication kernel, the two-phase fault-dropping ATPG
+flow, static timing analysis, and the table 1-3 quick flows -- and:
+
+* verifies the compiled three-valued kernel against the dict-based
+  scalar reference and the two-phase flow's coverage against the naive
+  per-fault PODEM path (equal by construction when neither aborts);
 
 * emits ``BENCH_<date>.json`` (per-kernel seconds + metadata) plus an
   aligned text table;
@@ -38,11 +43,19 @@ from ..bench import load_circuit
 from ..experiments import table1_area, table2_delay, table3_power
 from ..experiments.common import clear_caches, styled_designs
 from ..experiments.report import format_table
-from ..fault import all_stuck_faults, all_transition_faults
+from ..fault import (
+    AtpgFlow,
+    AtpgFlowConfig,
+    all_stuck_faults,
+    all_transition_faults,
+    collapse_stuck,
+)
 from ..fault.fsim import FaultSimulator
+from ..fault.podem import X, generate_tests
+from ..netlist import compile_netlist
 from ..power import LogicSimulator
 from ..timing import analyze
-from .reference import ReferenceFaultSimulator
+from .reference import ReferenceFaultSimulator, ReferenceThreeValuedSimulator
 
 #: Committed baseline the smoke check compares against.
 DEFAULT_BASELINE = os.path.join("benchmarks", "baseline.json")
@@ -67,6 +80,20 @@ def _timed(fn: Callable[[], object]) -> Dict[str, object]:
     start = time.perf_counter()
     value = fn()
     return {"seconds": time.perf_counter() - start, "value": value}
+
+
+def _timed_best(fn: Callable[[], object], repeats: int = 2,
+                ) -> Dict[str, object]:
+    """Best-of-N timing: damps cache-warmup and scheduler noise for
+    kernels whose recorded number gates a speedup floor."""
+    best = None
+    value = None
+    for _ in range(repeats):
+        t = _timed(fn)
+        if best is None or t["seconds"] < best:
+            best = t["seconds"]
+            value = t["value"]
+    return {"seconds": best, "value": value}
 
 
 # ----------------------------------------------------------------------
@@ -167,6 +194,151 @@ def bench_fsim_transition(quick: bool) -> List[Dict[str, object]]:
     }]
 
 
+def bench_eval3(quick: bool) -> List[Dict[str, object]]:
+    """Compiled two-word three-valued evaluation vs the dict reference.
+
+    Packs random 0/1/X input assignments into the two-word-per-net
+    encoding, evaluates all patterns bit-parallel in one
+    :meth:`~repro.netlist.CompiledNetlist.eval3_into` pass, and checks
+    every net of every pattern against scalar whole-core dict
+    re-simulation (``ReferenceThreeValuedSimulator``).
+    """
+    name = "s5378"
+    netlist = load_circuit(name)
+    compiled = compile_netlist(netlist)
+    n_patterns = 16 if quick else 32
+    rng = random.Random(17)
+    core_inputs = compiled.names[:compiled.n_prefix]
+    assignments = [
+        {net: rng.choice((0, 1, X)) for net in core_inputs}
+        for _ in range(n_patterns)
+    ]
+
+    def run_compiled():
+        v0 = compiled.new_values()
+        v1 = compiled.new_values()
+        mask = (1 << n_patterns) - 1
+        for i, assignment in enumerate(assignments):
+            bit = 1 << i
+            for slot, net in enumerate(core_inputs):
+                v = assignment[net]
+                if v == 0:
+                    v0[slot] |= bit
+                elif v == 1:
+                    v1[slot] |= bit
+        compiled.eval3_into(v0, v1, mask)
+        return v0, v1
+
+    t_compiled = _timed(run_compiled)
+    reference = ReferenceThreeValuedSimulator(netlist)
+    t_reference = _timed(
+        lambda: [reference.simulate(a) for a in assignments]
+    )
+
+    v0, v1 = t_compiled["value"]
+    for i, ref_values in enumerate(t_reference["value"]):
+        bit = 1 << i
+        for slot, net in enumerate(compiled.names):
+            got = 0 if v0[slot] & bit else (1 if v1[slot] & bit else X)
+            if got != ref_values[net]:
+                raise AssertionError(
+                    f"{name}: eval3 mismatch at net {net!r}, pattern {i}: "
+                    f"compiled {got} != reference {ref_values[net]}"
+                )
+    speedup = t_reference["seconds"] / max(t_compiled["seconds"], 1e-9)
+    return [
+        {
+            "kernel": "eval3_compiled",
+            "circuit": name,
+            "n": n_patterns,
+            "seconds": t_compiled["seconds"],
+        },
+        {
+            "kernel": "eval3_reference",
+            "circuit": name,
+            "n": n_patterns,
+            "seconds": t_reference["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "eval3_speedup",
+            "circuit": name,
+            "n": n_patterns,
+            "seconds": None,
+            "speedup": speedup,
+            "identical_values": True,
+        },
+    ]
+
+
+def bench_atpg_flow(quick: bool) -> List[Dict[str, object]]:
+    """Two-phase fault-dropping pipeline vs naive per-fault PODEM.
+
+    Workload: the s5378 faults naive PODEM detects without aborting at
+    the bench backtrack limit -- the realistic detectable-fault ATPG
+    population.  Untestable and abort-bound faults cost the identical
+    search on both paths, so including them only dilutes the
+    pipeline-structure comparison (and makes coverage equality hinge on
+    abort luck).  Hard-asserts equal final coverage; the recorded
+    speedup row carries its own ``min_speedup`` floor of 5x.
+    """
+    name = "s5378"
+    netlist = load_circuit(name)
+    stride = 12 if quick else 8
+    backtrack_limit = 60
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))[::stride]
+    prefilter = generate_tests(netlist, faults,
+                               backtrack_limit=backtrack_limit)
+    workload = [r.fault for r in prefilter if r.detected]
+
+    t_naive = _timed_best(
+        lambda: generate_tests(netlist, workload,
+                               backtrack_limit=backtrack_limit)
+    )
+    config = AtpgFlowConfig(n_random_patterns=2048 if quick else 1024,
+                            batch_size=256,
+                            max_idle_batches=4 if quick else 3,
+                            backtrack_limit=backtrack_limit)
+    t_flow = _timed_best(lambda: AtpgFlow(netlist, config).run(workload))
+
+    naive = t_naive["value"]
+    naive_coverage = (
+        sum(1 for r in naive if r.detected) / len(workload)
+        if workload else 0.0
+    )
+    flow_coverage = t_flow["value"].coverage
+    if abs(naive_coverage - flow_coverage) > 1e-12:
+        raise AssertionError(
+            f"{name}: flow coverage {flow_coverage:.4f} != naive "
+            f"coverage {naive_coverage:.4f}"
+        )
+    speedup = t_naive["seconds"] / max(t_flow["seconds"], 1e-9)
+    return [
+        {
+            "kernel": "atpg_flow",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": t_flow["seconds"],
+        },
+        {
+            "kernel": "atpg_naive",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": t_naive["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "atpg_flow_speedup",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": None,
+            "speedup": speedup,
+            "min_speedup": 5.0,
+            "equal_coverage": flow_coverage,
+        },
+    ]
+
+
 def bench_sta(quick: bool) -> List[Dict[str, object]]:
     """STA arrival propagation over a mapped scan design."""
     name = "s382" if quick else "s5378"
@@ -204,6 +376,8 @@ KERNEL_GROUPS = (
     bench_logicsim,
     bench_fsim_stuck,
     bench_fsim_transition,
+    bench_eval3,
+    bench_atpg_flow,
     bench_sta,
     bench_tables,
 )
@@ -241,7 +415,7 @@ def render_report(report: Dict[str, object]) -> str:
                 else f"{row['seconds']:.4f}"
             ),
             "note": (
-                f"speedup {row['speedup']:.2f}x, identical masks"
+                f"speedup {row['speedup']:.2f}x, identical results"
                 if "speedup" in row else ""
             ),
         })
@@ -259,9 +433,10 @@ def check_against_baseline(report: Dict[str, object],
     """Regression check; returns a list of failure messages (empty = ok).
 
     A kernel fails if it is more than ``threshold`` times slower than
-    the committed baseline; the compiled-vs-reference fault-sim speedup
-    fails if it drops below ``min_speedup`` (machine-independent, since
-    both sides run on the same host).
+    the committed baseline; a speedup row (compiled vs reference, flow
+    vs naive) fails if it drops below its floor -- the row's own
+    ``min_speedup`` when present, else the harness-wide ``min_speedup``
+    (machine-independent, since both sides run on the same host).
     """
     failures: List[str] = []
     try:
@@ -276,10 +451,11 @@ def check_against_baseline(report: Dict[str, object],
     for row in report["kernels"]:
         name = row["kernel"]
         if "speedup" in row:
-            if row["speedup"] < min_speedup:
+            required = row.get("min_speedup", min_speedup)
+            if row["speedup"] < required:
                 failures.append(
-                    f"{name}: compiled/reference speedup {row['speedup']:.2f}x"
-                    f" < required {min_speedup:.1f}x"
+                    f"{name}: speedup {row['speedup']:.2f}x"
+                    f" < required {required:.1f}x"
                 )
             continue
         if row.get("compare_only"):

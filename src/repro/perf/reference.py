@@ -22,6 +22,7 @@ from ..netlist import Netlist, evaluate_gate, fanout_cone, topological_order
 from ..power.logicsim import pack_patterns
 from ..fault.fsim import FaultSimResult
 from ..fault.models import StuckFault
+from ..fault.podem import X, eval3
 
 
 class ReferenceLogicSimulator:
@@ -110,3 +111,45 @@ class ReferenceFaultSimulator:
             fault: self.detect_stuck(fault, good, mask) for fault in faults
         }
         return FaultSimResult(detected=detected, n_patterns=len(patterns))
+
+
+class ReferenceThreeValuedSimulator:
+    """Whole-core dict re-simulation in three-valued (0/1/X) logic.
+
+    This is the implication step PODEM shipped with before the
+    event-driven compiled kernels: one scalar :func:`repro.fault.podem.eval3`
+    call per gate over string-keyed dicts, re-walking the entire
+    combinational core on every input assignment.  Kept as the
+    bit-identity oracle for :meth:`repro.netlist.CompiledNetlist.eval3_into`
+    and :meth:`~repro.netlist.CompiledNetlist.propagate3`
+    (``tests/fault/test_atpg_flow.py``) and as the slow side of the
+    ``eval3`` bench kernel.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.order: List[str] = topological_order(netlist)
+        self._funcs: List[str] = []
+        self._fanins: List[Tuple[str, ...]] = []
+        for name in self.order:
+            gate = netlist.gate(name)
+            self._funcs.append(gate.func)
+            self._fanins.append(gate.fanin)
+        self.core_inputs: Tuple[str, ...] = tuple(netlist.inputs) + tuple(
+            g.name for g in netlist.dffs()
+        )
+
+    def simulate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Net -> 0/1/X for one (possibly partial) input assignment.
+
+        Inputs absent from ``assignment`` are X; every combinational
+        net is filled in by scalar three-valued evaluation.
+        """
+        values: Dict[str, int] = {net: X for net in self.core_inputs}
+        for net, value in assignment.items():
+            if net not in values:
+                raise SimulationError(f"{net!r} is not a core input")
+            values[net] = value
+        for name, func, fanin in zip(self.order, self._funcs, self._fanins):
+            values[name] = eval3(func, tuple(values[f] for f in fanin))
+        return values

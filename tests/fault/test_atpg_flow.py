@@ -1,0 +1,263 @@
+"""Tests for the two-phase fault-dropping ATPG pipeline and the
+compiled three-valued kernels it rides on.
+
+The two pinning suites here are the contract the perf work rests on:
+
+* ``TestEval3Identity`` -- the compiled two-word kernels
+  (``eval3_into`` and the worklist ``propagate3``) must be
+  bit-identical to the scalar dict reference
+  (``repro.perf.reference.ReferenceThreeValuedSimulator``) on every
+  catalog circuit;
+* ``TestFlowMatchesNaive`` -- the pipeline's final coverage must equal
+  the naive per-fault PODEM path on every catalog circuit (exact, not
+  approximate) over workloads where neither side aborts.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bench import available_circuits, load_circuit
+from repro.fault import (
+    AtpgFlow,
+    AtpgFlowConfig,
+    FaultSimulator,
+    all_stuck_faults,
+    collapse_stuck,
+    generate_tests,
+    run_flow,
+)
+from repro.fault.atpg_flow import VIA_DROP, VIA_PODEM, VIA_RANDOM, atpg_main
+from repro.fault.podem import X
+from repro.netlist import Netlist, compile_netlist
+from repro.perf.reference import ReferenceThreeValuedSimulator
+
+CATALOG = available_circuits()
+
+
+def _sampled_faults(netlist, target=24):
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+    return faults[::max(1, len(faults) // target)]
+
+
+def _random_assignment(compiled, rng, three_valued=True):
+    choices = (0, 1, X) if three_valued else (0, 1)
+    return {
+        net: rng.choice(choices)
+        for net in compiled.names[:compiled.n_prefix]
+    }
+
+
+def _pack_assignments(compiled, assignments):
+    """Two-word arrays holding one bit lane per assignment."""
+    v0 = compiled.new_values()
+    v1 = compiled.new_values()
+    for i, assignment in enumerate(assignments):
+        bit = 1 << i
+        for slot in range(compiled.n_prefix):
+            v = assignment[compiled.names[slot]]
+            if v == 0:
+                v0[slot] |= bit
+            elif v == 1:
+                v1[slot] |= bit
+    return v0, v1
+
+
+class TestEval3Identity:
+    """Compiled two-word kernels vs the scalar dict reference."""
+
+    @pytest.mark.parametrize("name", CATALOG)
+    def test_eval3_into_matches_reference(self, name):
+        netlist = load_circuit(name)
+        compiled = compile_netlist(netlist)
+        reference = ReferenceThreeValuedSimulator(netlist)
+        rng = random.Random(3)
+        n_patterns = 4
+        assignments = [
+            _random_assignment(compiled, rng) for _ in range(n_patterns)
+        ]
+        v0, v1 = _pack_assignments(compiled, assignments)
+        compiled.eval3_into(v0, v1, (1 << n_patterns) - 1)
+        for i, assignment in enumerate(assignments):
+            expected = reference.simulate(assignment)
+            bit = 1 << i
+            for slot, net in enumerate(compiled.names):
+                got = 0 if v0[slot] & bit else (1 if v1[slot] & bit else X)
+                assert got == expected[net], (
+                    f"{name}: net {net!r} pattern {i}"
+                )
+
+    @pytest.mark.parametrize("name", CATALOG)
+    def test_propagate3_matches_full_eval(self, name):
+        """Incremental worklist re-implication == from-scratch eval.
+
+        Starting from the propagated all-X state, assign the inputs one
+        at a time through ``propagate3`` (collecting a trail); the end
+        state must be bit-identical to one full ``eval3_into`` pass
+        over the complete assignment, and unwinding the trail must
+        restore the all-X state exactly.
+        """
+        netlist = load_circuit(name)
+        compiled = compile_netlist(netlist)
+        rng = random.Random(5)
+        assignment = _random_assignment(compiled, rng, three_valued=False)
+
+        v0 = compiled.new_values()
+        v1 = compiled.new_values()
+        compiled.eval3_into(v0, v1, 1)  # consistent all-X start state
+        start = (list(v0), list(v1))
+
+        trail = []
+        for slot in range(compiled.n_prefix):
+            value = assignment[compiled.names[slot]]
+            trail.append((slot, v0[slot], v1[slot]))
+            v0[slot] = 0 if value else 1
+            v1[slot] = 1 if value else 0
+            compiled.propagate3(v0, v1, 1, (slot,), trail=trail)
+
+        f0, f1 = _pack_assignments(compiled, [assignment])
+        compiled.eval3_into(f0, f1, 1)
+        assert v0 == f0 and v1 == f1, name
+
+        for slot, old0, old1 in reversed(trail):
+            v0[slot] = old0
+            v1[slot] = old1
+        assert (v0, v1) == start, f"{name}: trail undo incomplete"
+
+    def test_propagate3_skip_freezes_fault_site(self, s27_netlist):
+        """The ``skip`` position is never recomputed (faulty machine)."""
+        compiled = compile_netlist(s27_netlist)
+        site = compiled.index["G11"]
+        site_pos = site - compiled.n_prefix
+        v0 = compiled.new_values()
+        v1 = compiled.new_values()
+        compiled.eval3_into(v0, v1, 1)
+        # Force the site to 1 (as _begin does for a sa1 faulty machine).
+        v0[site], v1[site] = 0, 1
+        compiled.propagate3(v0, v1, 1, (site,), skip=site_pos)
+        assert (v0[site], v1[site]) == (0, 1)
+        for slot in range(compiled.n_prefix):
+            v0[slot], v1[slot] = 1, 0  # drive every input to 0
+            compiled.propagate3(v0, v1, 1, (slot,), skip=site_pos)
+        assert (v0[site], v1[site]) == (0, 1)
+
+
+class TestFlowMatchesNaive:
+    """Pipeline coverage == naive per-fault PODEM, on every circuit."""
+
+    @pytest.mark.parametrize("name", CATALOG)
+    def test_equal_coverage(self, name):
+        netlist = load_circuit(name)
+        sample = _sampled_faults(netlist)
+        naive = generate_tests(netlist, sample, backtrack_limit=100)
+        # Restrict to faults naive PODEM resolves (no aborts): ordering
+        # never changes which faults phase 2 targets, so over this
+        # workload the flow must reach the identical outcome per fault.
+        resolved = [r for r in naive if r.status != "aborted"]
+        workload = [r.fault for r in resolved]
+        if not workload:
+            pytest.skip(f"{name}: every sampled fault aborts")
+        flow = run_flow(
+            netlist, workload,
+            AtpgFlowConfig(n_random_patterns=64, backtrack_limit=100),
+        )
+        assert set(flow.detected_faults) == {
+            r.fault for r in resolved if r.detected
+        }, name
+        assert set(flow.untestable_faults) == {
+            r.fault for r in resolved if r.status == "untestable"
+        }, name
+        naive_coverage = (
+            sum(1 for r in resolved if r.detected) / len(workload)
+        )
+        assert flow.coverage == pytest.approx(naive_coverage, abs=0), name
+
+
+class TestAtpgFlow:
+    def test_config_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            AtpgFlowConfig(batch_size=0)
+
+    def test_s27_full_coverage_and_tests_verify(self, s27_netlist):
+        flow = AtpgFlow(s27_netlist).run()
+        assert flow.coverage == 1.0
+        # Every kept test really detects something: replaying the test
+        # set must reach the same coverage.
+        faults = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        sim = FaultSimulator(s27_netlist)
+        replay = sim.simulate_stuck(faults, flow.tests)
+        assert replay.coverage == 1.0
+
+    def test_random_phase_retires_most_faults(self, s298_netlist):
+        flow = AtpgFlow(s298_netlist).run()
+        summary = flow.summary()
+        assert summary["detected_random"] > summary["detected_podem"]
+        assert flow.n_random_simulated > 0
+        # PODEM only ever ran on random-phase survivors.
+        assert flow.podem_calls < flow.n_faults
+
+    def test_zero_random_budget_goes_straight_to_podem(self, s27_netlist):
+        flow = AtpgFlow(
+            s27_netlist, AtpgFlowConfig(n_random_patterns=0)
+        ).run()
+        assert flow.n_random_simulated == 0
+        assert flow.coverage == 1.0
+        via = set(flow.detected_via.values())
+        assert VIA_RANDOM not in via
+        assert via <= {VIA_PODEM, VIA_DROP}
+        # Cross-dropping means far fewer PODEM calls than faults.
+        assert VIA_DROP in via
+
+    def test_dropping_never_loses_coverage(self, s298_netlist):
+        """With a starvation-level backtrack limit the flow can only do
+        better than naive PODEM: aborted faults stay droppable."""
+        sample = _sampled_faults(s298_netlist, target=40)
+        naive = generate_tests(s298_netlist, sample, backtrack_limit=1)
+        naive_coverage = sum(1 for r in naive if r.detected) / len(sample)
+        flow = run_flow(
+            s298_netlist, sample, AtpgFlowConfig(backtrack_limit=1)
+        )
+        assert flow.coverage >= naive_coverage
+        for fault in flow.aborted_faults:
+            assert flow.status[fault] == "aborted"
+            assert fault not in flow.detected_via
+
+    def test_status_covers_every_fault(self, s344_netlist):
+        sample = _sampled_faults(s344_netlist, target=40)
+        flow = run_flow(s344_netlist, sample)
+        assert set(flow.status) == set(sample)
+        assert set(flow.status.values()) <= {
+            "detected", "untestable", "aborted"
+        }
+
+    def test_summary_is_consistent(self, s27_netlist):
+        flow = AtpgFlow(s27_netlist).run()
+        summary = flow.summary()
+        assert summary["detected"] == (
+            summary["detected_random"] + summary["detected_podem"]
+            + summary["detected_drop"]
+        )
+        assert summary["n_faults"] == (
+            summary["detected"] + summary["untestable"]
+            + summary["aborted"]
+        )
+        json.dumps(summary)  # JSON-friendly by contract
+
+
+class TestCli:
+    def test_text_output(self, capsys):
+        assert atpg_main(["s27", "--random-patterns", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "s27: coverage" in out
+
+    def test_json_output(self, capsys):
+        assert atpg_main(["s27", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["circuit"] == "s27"
+        assert record["coverage"] == 1.0
+
+    def test_no_dominance_flag(self, capsys):
+        assert atpg_main(["s27", "--no-dominance", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["coverage"] == 1.0

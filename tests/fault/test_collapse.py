@@ -1,12 +1,16 @@
 """Tests for fault collapsing."""
 
 from repro.fault import (
+    FaultSimulator,
     StuckFault,
     TransitionFault,
     all_stuck_faults,
     all_transition_faults,
     collapse_stuck,
     collapse_transition,
+    dominance_collapse_stuck,
+    dominance_collapse_transition,
+    generate_tests,
 )
 from repro.netlist import Netlist
 
@@ -55,6 +59,140 @@ class TestCollapseStuck:
         once = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
         twice = collapse_stuck(s27_netlist, once)
         assert once == twice
+
+
+def and_gate():
+    n = Netlist("and2")
+    n.add_input("a")
+    n.add_input("b")
+    n.add("y", "AND", ("a", "b"))
+    n.add_output("y")
+    return n
+
+
+class TestDominanceStuck:
+    def test_and_output_dominated_by_input(self):
+        n = and_gate()
+        faults = [StuckFault("a", 0), StuckFault("y", 0)]
+        # Any test for a/sa0 sets a=1, b=1 (b non-controlling to
+        # propagate) and observes y -- which is exactly a y/sa0 test.
+        assert dominance_collapse_stuck(n, faults) == [StuckFault("a", 0)]
+
+    def test_output_kept_without_input_fault(self):
+        n = and_gate()
+        faults = [StuckFault("y", 0), StuckFault("y", 1)]
+        assert dominance_collapse_stuck(n, faults) == faults
+
+    def test_inversion_through_nand(self):
+        n = Netlist("nand2")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("y", "NAND", ("a", "b"))
+        n.add_output("y")
+        # a/sa0 forces y to 1: it dominates y/sa1, not y/sa0.
+        faults = [StuckFault("a", 0), StuckFault("y", 0), StuckFault("y", 1)]
+        assert dominance_collapse_stuck(n, faults) == [
+            StuckFault("a", 0), StuckFault("y", 0)
+        ]
+
+    def test_observable_input_blocks_drop(self):
+        n = and_gate()
+        n.add_output("a")  # a is now directly observable
+        faults = [StuckFault("a", 0), StuckFault("y", 0)]
+        assert dominance_collapse_stuck(n, faults) == faults
+
+    def test_multi_fanout_input_blocks_drop(self):
+        n = Netlist("fan")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("y", "AND", ("a", "b"))
+        n.add("z", "NOT", ("a",))
+        n.add_output("y")
+        n.add_output("z")
+        # a has a second observation path through z: a test for a/sa0
+        # may propagate only via z and miss y entirely.
+        faults = [StuckFault("a", 0), StuckFault("y", 0)]
+        assert dominance_collapse_stuck(n, faults) == faults
+
+    def test_xor_never_dropped(self):
+        n = Netlist("xor2")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("y", "XOR", ("a", "b"))
+        n.add_output("y")
+        faults = [StuckFault("a", 0), StuckFault("y", 0), StuckFault("y", 1)]
+        assert dominance_collapse_stuck(n, faults) == faults
+
+    def test_rule_validity_on_s27(self, s27_netlist):
+        """Soundness property: tests generated for the dominance-kept
+        list alone must still detect every collapsed fault."""
+        full = collapse_stuck(s27_netlist, all_stuck_faults(s27_netlist))
+        kept = dominance_collapse_stuck(s27_netlist, full)
+        assert len(kept) < len(full)
+        results = generate_tests(s27_netlist, kept)
+        tests = [r.test for r in results if r.detected]
+        sim = FaultSimulator(s27_netlist)
+        replay = sim.simulate_stuck(full, tests)
+        assert replay.coverage == 1.0
+
+    def test_preserves_input_order(self, s298_netlist):
+        full = collapse_stuck(s298_netlist, all_stuck_faults(s298_netlist))
+        kept = dominance_collapse_stuck(s298_netlist, full)
+        assert kept == sorted(kept)
+        assert set(kept) <= set(full)
+
+
+class TestDominanceTransition:
+    def test_and_rise_dominated(self):
+        n = and_gate()
+        faults = [TransitionFault("a", "rise"), TransitionFault("y", "rise")]
+        # V1 of a slow-to-rise test at a sets a=0, forcing y=0 at V1;
+        # V2 detects a/sa0 which (stuck dominance) detects y/sa0.
+        assert dominance_collapse_transition(n, faults) == [
+            TransitionFault("a", "rise")
+        ]
+
+    def test_and_fall_never_dropped(self):
+        n = and_gate()
+        # a=1 at V1 does NOT force y's initial value (depends on b), so
+        # slow-to-fall at y is not dominated.
+        faults = [TransitionFault("a", "fall"), TransitionFault("y", "fall")]
+        assert dominance_collapse_transition(n, faults) == faults
+
+    def test_nand_direction_flips(self):
+        n = Netlist("nand2")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("y", "NAND", ("a", "b"))
+        n.add_output("y")
+        faults = [
+            TransitionFault("a", "rise"),
+            TransitionFault("y", "rise"),
+            TransitionFault("y", "fall"),
+        ]
+        # a: 0->1 forces y: 1->? i.e. dominates slow-to-fall at y.
+        assert dominance_collapse_transition(n, faults) == [
+            TransitionFault("a", "rise"), TransitionFault("y", "rise")
+        ]
+
+    def test_rule_validity_on_s27(self, s27_netlist):
+        """Every dropped transition fault is detected by the two-pattern
+        test set of the kept list (checked by simulation)."""
+        from repro.fault import TransitionAtpg
+
+        full = collapse_transition(
+            s27_netlist, all_transition_faults(s27_netlist)
+        )
+        kept = dominance_collapse_transition(s27_netlist, full)
+        assert len(kept) < len(full)
+        atpg = TransitionAtpg(s27_netlist)
+        kept_result = atpg.generate(kept, style="arbitrary")
+        pairs = [(t.v1, t.v2) for t in kept_result.tests]
+        sim = FaultSimulator(s27_netlist)
+        replay = sim.simulate_transition(full, pairs)
+        dropped = [f for f in full if f not in set(kept)]
+        for fault in dropped:
+            assert replay.detected[fault], str(fault)
 
 
 class TestCollapseTransition:

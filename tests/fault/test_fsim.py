@@ -9,8 +9,11 @@ from repro.fault import (
     StuckFault,
     TransitionFault,
     all_stuck_faults,
+    all_transition_faults,
     collapse_stuck,
+    collapse_transition,
     random_pattern_coverage,
+    random_pattern_words,
 )
 from repro.netlist import Netlist
 
@@ -136,6 +139,123 @@ class TestTransitionDetection:
         sim = FaultSimulator(and_netlist)
         result = sim.simulate_transition([], [])
         assert result.coverage == 0.0
+
+
+class TestDropMode:
+    """``drop_detected`` masks: non-zero iff detected, subset bits."""
+
+    def _setup(self, netlist, n_patterns=16, seed=23):
+        rng = random.Random(seed)
+        nets = list(netlist.inputs) + list(netlist.state_inputs)
+        patterns = [
+            {net: rng.randint(0, 1) for net in nets}
+            for _ in range(n_patterns)
+        ]
+        faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+        return FaultSimulator(netlist), faults, patterns
+
+    def test_stuck_drop_agrees_with_full(self, s298_netlist):
+        sim, faults, patterns = self._setup(s298_netlist)
+        full = sim.simulate_stuck(faults, patterns)
+        drop = sim.simulate_stuck(faults, patterns, drop_detected=True)
+        for fault in faults:
+            assert bool(drop.detected[fault]) == bool(full.detected[fault])
+            # Early exit stops at the first differing observation point:
+            # whatever bits it did record are real detections.
+            assert drop.detected[fault] & ~full.detected[fault] == 0
+
+    def test_transition_drop_agrees_with_full(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        rng = random.Random(29)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        pairs = [
+            (
+                {net: rng.randint(0, 1) for net in nets},
+                {net: rng.randint(0, 1) for net in nets},
+            )
+            for _ in range(12)
+        ]
+        faults = collapse_transition(
+            s27_netlist, all_transition_faults(s27_netlist)
+        )
+        full = sim.simulate_transition(faults, pairs)
+        drop = sim.simulate_transition(faults, pairs, drop_detected=True)
+        for fault in faults:
+            assert bool(drop.detected[fault]) == bool(full.detected[fault])
+            assert drop.detected[fault] & ~full.detected[fault] == 0
+
+    def test_detect_stuck_many_matches_per_fault(self, s298_netlist):
+        sim, faults, patterns = self._setup(s298_netlist)
+        good, mask = sim.good_array(patterns)
+        many = sim.detect_stuck_many(faults, good, mask)
+        for fault in faults:
+            assert many[fault] == sim.detect_stuck_arr(fault, good, mask)
+
+    def test_detect_stuck_many_scratch_is_restored(self, s27_netlist):
+        """The shared scratch array must leave ``good`` untouched and
+        produce identical answers on repeated calls."""
+        sim, faults, patterns = self._setup(s27_netlist, n_patterns=8)
+        good, mask = sim.good_array(patterns)
+        snapshot = list(good)
+        first = sim.detect_stuck_many(faults, good, mask)
+        assert good == snapshot
+        assert sim.detect_stuck_many(faults, good, mask) == first
+
+
+class TestFlatArrayApi:
+    def test_detect_stuck_accepts_flat_array(self, s27_netlist):
+        sim = FaultSimulator(s27_netlist)
+        rng = random.Random(31)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        patterns = [
+            {net: rng.randint(0, 1) for net in nets} for _ in range(8)
+        ]
+        good_dict, mask = sim.good_values(patterns)
+        good_arr, mask2 = sim.good_array(patterns)
+        assert mask == mask2
+        for fault in collapse_stuck(
+            s27_netlist, all_stuck_faults(s27_netlist)
+        ):
+            via_dict = sim.detect_stuck(fault, good_dict, mask)
+            via_arr = sim.detect_stuck(fault, good_arr, mask)
+            assert via_dict == via_arr, str(fault)
+
+
+class TestRandomPatternWords:
+    def test_words_deterministic_per_seed(self, s27_netlist):
+        a = random_pattern_words(s27_netlist, 32, seed=7)
+        b = random_pattern_words(s27_netlist, 32, seed=7)
+        c = random_pattern_words(s27_netlist, 32, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_words_cover_core_inputs(self, s27_netlist):
+        words = random_pattern_words(s27_netlist, 16)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        assert set(words) == set(nets)
+        assert all(w < (1 << 16) for w in words.values())
+
+    def test_zero_patterns(self, s27_netlist):
+        words = random_pattern_words(s27_netlist, 0)
+        assert all(w == 0 for w in words.values())
+
+    def test_packed_path_matches_materialized(self, s298_netlist):
+        """simulate_stuck_packed(words) == simulate_stuck over the
+        same patterns materialized as dicts."""
+        sim = FaultSimulator(s298_netlist)
+        faults = collapse_stuck(
+            s298_netlist, all_stuck_faults(s298_netlist)
+        )[::4]
+        n = 16
+        words = random_pattern_words(s298_netlist, n, seed=7)
+        nets = list(s298_netlist.inputs) + list(s298_netlist.state_inputs)
+        patterns = [
+            {net: (words[net] >> i) & 1 for net in nets} for i in range(n)
+        ]
+        packed = sim.simulate_stuck_packed(faults, words, n)
+        materialized = sim.simulate_stuck(faults, patterns)
+        assert packed.detected == materialized.detected
+        assert packed.n_patterns == n
 
 
 class TestRandomCoverage:

@@ -94,6 +94,59 @@ class TestUntestable:
         assert Podem(n).generate(StuckFault("y", 1)).detected
 
 
+class TestAborted:
+    """Backtrack exhaustion yields "aborted", never a wrong answer."""
+
+    @staticmethod
+    def needs_backtrack():
+        # y = AND(XOR(a, b), a): the backtrace's first guess for the
+        # XOR objective conflicts with the AND's side input, forcing
+        # exactly one backtrack before y/sa0 is detected.
+        n = Netlist("needs_backtrack")
+        n.add_input("a")
+        n.add_input("b")
+        n.add("x", "XOR", ("a", "b"))
+        n.add("y", "AND", ("x", "a"))
+        n.add_output("y")
+        return n
+
+    def test_exhaustion_aborts(self):
+        n = self.needs_backtrack()
+        result = Podem(n, backtrack_limit=0).generate(StuckFault("y", 0))
+        assert result.status == "aborted"
+        assert not result.detected
+        assert result.test is None
+        assert result.backtracks == 1
+
+    def test_one_more_backtrack_detects(self):
+        n = self.needs_backtrack()
+        result = Podem(n, backtrack_limit=1).generate(StuckFault("y", 0))
+        assert result.detected
+        assert result.test == {"a": 1, "b": 0}
+
+    def test_abort_leaves_engine_reusable(self):
+        """A shared engine must not leak state from an aborted run."""
+        n = self.needs_backtrack()
+        engine = Podem(n, backtrack_limit=0)
+        assert engine.generate(StuckFault("y", 0)).status == "aborted"
+        # An easy fault on the same engine still succeeds afterwards.
+        easy = engine.generate(StuckFault("y", 1))
+        assert easy.detected
+
+    def test_starved_s298_aborts_some_but_verifies_rest(self, s298_netlist):
+        faults = collapse_stuck(
+            s298_netlist, all_stuck_faults(s298_netlist)
+        )[::8]
+        results = generate_tests(s298_netlist, faults, backtrack_limit=0)
+        statuses = {r.status for r in results}
+        assert "aborted" in statuses
+        sim = FaultSimulator(s298_netlist)
+        for r in results:
+            if r.detected:
+                check = sim.simulate_stuck([r.fault], [r.test])
+                assert check.detected[r.fault], str(r.fault)
+
+
 class TestJustify:
     def test_justify_both_values(self, s27_netlist):
         from repro.power import LogicSimulator
