@@ -22,6 +22,11 @@ Usage::
 
     python -m repro atpg s5378                # two-phase fault-dropping ATPG
     python -m repro atpg --all --json         # every catalog circuit, JSON
+    python -m repro atpg s38584 --processes 4 # sharded fault-sim pool
+
+    python -m repro fsim s5378 --processes 2 --check-serial
+                                              # sharded fault simulation,
+                                              # asserted identical to serial
 
     python -m repro table1 --processes 4      # fan circuits across workers
 
@@ -116,6 +121,10 @@ def main(argv: List[str] | None = None) -> int:
         from .fault.atpg_flow import atpg_main
 
         return atpg_main(argv[1:])
+    if argv and argv[0] == "fsim":
+        from .fault.sharded import fsim_main
+
+        return fsim_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

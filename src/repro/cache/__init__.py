@@ -1,0 +1,23 @@
+"""Persistent on-disk caching for compiled artifacts.
+
+Public surface::
+
+    from repro.cache import DiskCache, disk_cache_enabled
+    from repro.cache import default_cache_root, default_max_bytes
+"""
+
+from .diskcache import (
+    DEFAULT_MAX_BYTES,
+    DiskCache,
+    default_cache_root,
+    default_max_bytes,
+    disk_cache_enabled,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DiskCache",
+    "default_cache_root",
+    "default_max_bytes",
+    "disk_cache_enabled",
+]

@@ -115,57 +115,90 @@ class ParallelRunner:
         pending = list(enumerate(items))
         running: Dict[int, tuple] = {}  # index -> (proc, conn, start)
 
+        def reap(proc) -> None:
+            """Join ``proc`` with bounded escalation.
+
+            A terminated worker normally exits promptly, but a child
+            wedged in uninterruptible state (or mid-write on a full
+            pipe) must not hang the whole run: escalate to SIGKILL
+            after a grace period and join unconditionally so the
+            process table entry is always reclaimed.
+            """
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+
         def finish(index: int, outcome: TaskOutcome) -> None:
             proc, conn, _ = running.pop(index)
             conn.close()
-            proc.join()
+            reap(proc)
             results[index] = outcome
 
-        while pending or running:
-            while pending and len(running) < self.processes:
-                index, item = pending.pop(0)
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_main, args=(child_conn, fn, item)
-                )
-                proc.start()
-                child_conn.close()
-                running[index] = (proc, parent_conn, time.perf_counter())
-
-            progressed = False
-            for index in list(running):
-                proc, conn, start = running[index]
-                elapsed = time.perf_counter() - start
-                if conn.poll(0.0):
+        try:
+            while pending or running:
+                while pending and len(running) < self.processes:
+                    index, item = pending.pop(0)
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
                     try:
-                        ok, value, error = conn.recv()
-                    except EOFError:
-                        ok, value, error = (
-                            False, None,
-                            f"worker died (exit code {proc.exitcode})",
+                        proc = ctx.Process(
+                            target=_child_main, args=(child_conn, fn, item)
                         )
-                    finish(index, TaskOutcome(
-                        index=index, item=items[index], ok=ok, value=value,
-                        error=error, duration=elapsed,
-                    ))
-                    progressed = True
-                elif self.timeout is not None and elapsed > self.timeout:
-                    proc.terminate()
-                    finish(index, TaskOutcome(
-                        index=index, item=items[index], ok=False,
-                        error=f"timed out after {self.timeout:.1f}s",
-                        duration=elapsed, timed_out=True,
-                    ))
-                    progressed = True
-                elif not proc.is_alive() and not conn.poll(0.0):
-                    finish(index, TaskOutcome(
-                        index=index, item=items[index], ok=False,
-                        error=f"worker died (exit code {proc.exitcode})",
-                        duration=elapsed,
-                    ))
-                    progressed = True
-            if not progressed and running:
-                time.sleep(0.005)
+                        proc.start()
+                    except BaseException:
+                        parent_conn.close()
+                        child_conn.close()
+                        raise
+                    child_conn.close()
+                    running[index] = (proc, parent_conn,
+                                      time.perf_counter())
+
+                progressed = False
+                for index in list(running):
+                    proc, conn, start = running[index]
+                    elapsed = time.perf_counter() - start
+                    if conn.poll(0.0):
+                        try:
+                            ok, value, error = conn.recv()
+                        except EOFError:
+                            ok, value, error = (
+                                False, None,
+                                f"worker died (exit code {proc.exitcode})",
+                            )
+                        finish(index, TaskOutcome(
+                            index=index, item=items[index], ok=ok,
+                            value=value, error=error, duration=elapsed,
+                        ))
+                        progressed = True
+                    elif self.timeout is not None and elapsed > self.timeout:
+                        # Kill, then close our pipe end and join the
+                        # worker (via finish): leaving either undone
+                        # leaks one FD pair / zombie per timed-out
+                        # task for the life of the parent process.
+                        proc.terminate()
+                        finish(index, TaskOutcome(
+                            index=index, item=items[index], ok=False,
+                            error=f"timed out after {self.timeout:.1f}s",
+                            duration=elapsed, timed_out=True,
+                        ))
+                        progressed = True
+                    elif not proc.is_alive() and not conn.poll(0.0):
+                        finish(index, TaskOutcome(
+                            index=index, item=items[index], ok=False,
+                            error=f"worker died (exit code {proc.exitcode})",
+                            duration=elapsed,
+                        ))
+                        progressed = True
+                if not progressed and running:
+                    time.sleep(0.005)
+        finally:
+            # Unwind on error/interrupt: no orphaned workers, no open
+            # pipe ends, regardless of where the loop stopped.
+            for index in list(running):
+                proc, conn, _ = running.pop(index)
+                proc.terminate()
+                conn.close()
+                reap(proc)
 
         return [results[i] for i in range(len(items))]
 

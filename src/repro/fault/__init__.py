@@ -46,6 +46,7 @@ from .pathdelay import (
     robust_test_ok,
 )
 from .podem import AtpgResult, Podem, eval3, generate_tests, justify
+from .sharded import ShardedFaultSimulator, shard_faults
 from .quality import EscapeReport, escape_study, sample_delay_defects
 from .transition import (
     STYLE_ARBITRARY,
@@ -74,6 +75,8 @@ __all__ = [
     "STYLE_BROADSIDE",
     "STYLE_PARTIAL",
     "STYLE_SKEWED",
+    "ShardedFaultSimulator",
+    "shard_faults",
     "CompactionResult",
     "DelayPath",
     "EscapeReport",

@@ -29,19 +29,29 @@ Because phase 2 eventually targets every undetected fault with a full
 PODEM search, the final coverage equals the naive per-fault path
 whenever neither run aborts (``tests/fault/test_atpg_flow.py`` pins
 this on every catalog circuit).
+
+Both phases run their fault simulation through one
+:class:`~repro.fault.sharded.ShardedFaultSimulator` session: with
+``AtpgFlowConfig.processes > 1`` the active fault list is sharded
+across a persistent worker pool (phase-1 batches and phase-2
+cross-simulation alike), with dropped faults exchanged between rounds;
+with the default ``processes=1`` it degrades to the serial in-process
+simulator.  Results are identical either way
+(``tests/fault/test_sharded.py`` pins serial == sharded flow output).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist import Netlist
 from .collapse import collapse_stuck, dominance_collapse_stuck
 from .fsim import FaultSimulator
 from .models import StuckFault, all_stuck_faults
 from .podem import Podem
+from .sharded import ShardedFaultSimulator
 
 #: How a detected fault was retired.
 VIA_RANDOM = "random"    # phase-1 random pattern
@@ -60,10 +70,14 @@ class AtpgFlowConfig:
     backtrack_limit: int = 100     # PODEM abort threshold (per fault)
     seed: int = 7                  # phase-1 RNG seed
     use_dominance: bool = True     # dominance-order phase-2 targets
+    processes: int = 1             # fault-sim worker pool size
+                                   # (1 = serial in-process)
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
 
 
 @dataclass
@@ -147,50 +161,46 @@ class AtpgFlow:
         faults = list(faults)
         result = AtpgFlowResult(n_faults=len(faults), status={},
                                 detected_via={})
-        survivors = self._random_phase(faults, result)
-        self._podem_phase(survivors, result)
+        with ShardedFaultSimulator(self.netlist,
+                                   self.config.processes) as pool:
+            pool.load_faults(faults)
+            self._random_phase(result, pool)
+            self._podem_phase(pool.active_faults, result, pool)
         return result
 
     # ------------------------------------------------------------------
-    def _random_phase(self, faults: List[StuckFault],
-                      result: AtpgFlowResult) -> List[StuckFault]:
+    def _random_phase(self, result: AtpgFlowResult,
+                      pool: ShardedFaultSimulator) -> None:
         """Phase 1: batched random patterns, fault dropping.
 
-        Returns the surviving (still undetected) faults, in input
-        order.  One detecting pattern per newly dropped fault is kept
-        in ``result.tests``.
+        The pool's session holds the active fault list (sharded across
+        workers when ``config.processes > 1``); each round's newly
+        detected faults are dropped everywhere before the next batch --
+        the cross-shard dropped-fault exchange.  One detecting pattern
+        per newly dropped fault is kept in ``result.tests``.
         """
         config = self.config
         rng = random.Random(config.seed)
         nets = self._input_nets
-        active = list(faults)
         idle = 0
-        while (active and result.n_random_simulated < config.n_random_patterns
+        while (pool.n_active
+               and result.n_random_simulated < config.n_random_patterns
                and idle < config.max_idle_batches):
             n = min(config.batch_size,
                     config.n_random_patterns - result.n_random_simulated)
             words = {net: rng.getrandbits(n) for net in nets}
-            sim_result = self.sim.simulate_stuck_packed(
-                active, words, n, drop_detected=True
-            )
+            hits = pool.round_packed(words, n, drop=True)
             result.n_random_simulated += n
             keep_bits = 0
-            remaining: List[StuckFault] = []
-            for fault in active:
-                mask = sim_result.detected[fault]
-                if mask:
-                    result.status[fault] = "detected"
-                    result.detected_via[fault] = VIA_RANDOM
-                    keep_bits |= mask & -mask   # one detecting pattern
-                else:
-                    remaining.append(fault)
-            if len(remaining) == len(active):
+            for fault, mask in hits.items():
+                result.status[fault] = "detected"
+                result.detected_via[fault] = VIA_RANDOM
+                keep_bits |= mask & -mask   # one detecting pattern
+            if not hits:
                 idle += 1
             else:
                 idle = 0
                 self._keep_patterns(words, keep_bits, result)
-            active = remaining
-        return active
 
     def _keep_patterns(self, words: Mapping[str, int], bits: int,
                        result: AtpgFlowResult) -> None:
@@ -206,7 +216,8 @@ class AtpgFlow:
 
     # ------------------------------------------------------------------
     def _podem_phase(self, survivors: List[StuckFault],
-                     result: AtpgFlowResult) -> None:
+                     result: AtpgFlowResult,
+                     pool: ShardedFaultSimulator) -> None:
         """Phase 2: PODEM on survivors, cross-dropping each new test.
 
         Dominance-kept faults are targeted first: a test for a
@@ -216,6 +227,12 @@ class AtpgFlow:
         any fault neither detected nor proven untestable by the time
         its turn comes gets its own PODEM call, which is what makes
         final coverage match the naive per-fault path.
+
+        Every new test is cross-simulated through the pool against all
+        remaining undetected faults (drop mode); faults retired by the
+        search itself (PODEM detection, untestability proofs) are
+        broadcast with :meth:`ShardedFaultSimulator.drop_faults` so
+        every shard's active set converges on the serial one.
         """
         if not survivors:
             return
@@ -225,8 +242,6 @@ class AtpgFlow:
                      + [f for f in survivors if f not in kept])
         else:
             order = list(survivors)
-        remaining: Set[StuckFault] = set(survivors)
-        sim = self.sim
         for fault in order:
             if result.status.get(fault) in ("detected", "untestable"):
                 continue
@@ -237,20 +252,15 @@ class AtpgFlow:
                 result.tests.append(atpg.test)
                 result.status[fault] = "detected"
                 result.detected_via[fault] = VIA_PODEM
-                remaining.discard(fault)
-                if remaining:
-                    good, mask = sim.good_array([atpg.test])
-                    dropped = sim.detect_stuck_many(
-                        sorted(remaining), good, mask, early_exit=True
-                    )
-                    for other, det in dropped.items():
-                        if det:
-                            result.status[other] = "detected"
-                            result.detected_via[other] = VIA_DROP
-                            remaining.discard(other)
+                pool.drop_faults([fault])
+                if pool.n_active:
+                    dropped = pool.round_patterns([atpg.test], drop=True)
+                    for other in sorted(dropped):
+                        result.status[other] = "detected"
+                        result.detected_via[other] = VIA_DROP
             elif atpg.status == "untestable":
                 result.status[fault] = "untestable"
-                remaining.discard(fault)
+                pool.drop_faults([fault])
             else:
                 # Aborted: stays in the droppable pool -- a later
                 # fault's test may still detect it.
@@ -291,6 +301,10 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                         help="PODEM backtrack limit (default 100)")
     parser.add_argument("--seed", type=int, default=7,
                         help="phase-1 RNG seed (default 7)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="fault-simulation worker processes (a "
+                             "persistent sharded pool; 1 = serial "
+                             "in-process, identical results)")
     parser.add_argument("--no-dominance", action="store_true",
                         help="disable dominance ordering of phase-2 "
                              "targets")
@@ -305,6 +319,7 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
         use_dominance=not args.no_dominance,
+        processes=args.processes,
     )
     for name in names:
         netlist = load_circuit(name)

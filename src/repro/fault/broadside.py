@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import AtpgError
-from ..netlist import Netlist, content_hash, validate
+from ..netlist import Netlist, content_hash, from_dict, to_dict, validate
 from ..power.logicsim import LogicSimulator
 from .models import TransitionFault
 from .podem import Podem
@@ -41,6 +41,26 @@ FRAME2 = "f2_"
 #: form downstream.  Treat cached netlists as read-only.
 _UNROLL_CACHE: Dict[str, Netlist] = {}
 
+#: Bump when the unrolling scheme (net naming, output selection)
+#: changes: persistent entries under the old schema then read as
+#: misses instead of resurrecting a differently-shaped unroll.
+UNROLL_CACHE_SCHEMA = 1
+
+_DISK_TIER = None
+
+
+def _disk_tier():
+    """Persistent cache of unrolled netlists (``None`` if disabled)."""
+    global _DISK_TIER
+    from ..cache import DiskCache, default_cache_root, disk_cache_enabled
+
+    if not disk_cache_enabled():
+        return None
+    root = default_cache_root()
+    if _DISK_TIER is None or _DISK_TIER.root != root:
+        _DISK_TIER = DiskCache("unroll", UNROLL_CACHE_SCHEMA, root=root)
+    return _DISK_TIER
+
 
 def unroll_two_frames(netlist: Netlist, use_cache: bool = True) -> Netlist:
     """Unrolled two-frame combinational core.
@@ -49,14 +69,28 @@ def unroll_two_frames(netlist: Netlist, use_cache: bool = True) -> Netlist:
     Frame-2 logic reads its state from frame-1's next-state nets.
     Outputs: frame-2 primary and state outputs (the capture points).
 
-    Results are cached on the source netlist's content hash (pass
-    ``use_cache=False`` for a private mutable copy).
+    Results are cached on the source netlist's content hash, in memory
+    and -- as their JSON-stable dict form -- in the persistent disk
+    tier (:mod:`repro.cache`), so repeated runs and worker processes
+    skip the O(gates) unroll.  Pass ``use_cache=False`` for a private
+    mutable copy.
     """
     key = content_hash(netlist) if use_cache else None
     if key is not None:
         cached = _UNROLL_CACHE.get(key)
         if cached is not None:
             return cached
+        disk = _disk_tier()
+        if disk is not None:
+            payload = disk.get(key)
+            if payload is not None:
+                try:
+                    un = from_dict(payload)
+                except Exception:
+                    pass  # foreign/corrupt payload: fall through, redo
+                else:
+                    _UNROLL_CACHE[key] = un
+                    return un
     un = Netlist(f"{netlist.name}_x2")
     state_inputs = set(netlist.state_inputs)
     next_state: Dict[str, str] = {
@@ -108,6 +142,9 @@ def unroll_two_frames(netlist: Netlist, use_cache: bool = True) -> Netlist:
     validate(un)
     if key is not None:
         _UNROLL_CACHE[key] = un
+        disk = _disk_tier()
+        if disk is not None:
+            disk.put(key, to_dict(un))
     return un
 
 

@@ -1,0 +1,561 @@
+"""Sharded fault-parallel simulation over a persistent worker pool.
+
+The bit-parallel fault simulator (:mod:`repro.fault.fsim`) is
+embarrassingly parallel over *faults*: each fault's detection mask is
+a function of the good machine and its own fanout cone only.  This
+module partitions a fault list into shards and runs drop-mode fault
+simulation across a pool of **persistent** worker processes:
+
+* workers are forked once per :class:`ShardedFaultSimulator` lifetime
+  (not once per task, unlike
+  :class:`repro.experiments.parallel.ParallelRunner`);
+* each worker receives the netlist **once** at startup (its serialized
+  dict form, so the pool also works under spawn), compiles it locally
+  -- or loads the lowering straight from the persistent disk cache
+  (:mod:`repro.cache`) -- and then streams shard requests over its
+  pipe;
+* results merge **deterministically**: per-fault masks do not depend
+  on which shard computed them, and the merged
+  :class:`~repro.fault.fsim.FaultSimResult` lists faults in the exact
+  order of the submitted fault list, so serial and sharded runs are
+  interchangeable bit for bit (``tests/fault/test_sharded.py`` pins
+  this on every catalog circuit, drop mode included);
+* for multi-round callers (the two-phase ATPG pipeline), dropped-fault
+  sets are exchanged between rounds: each worker drops its own
+  detections locally, and :meth:`ShardedFaultSimulator.drop_faults`
+  broadcasts externally retired faults (PODEM-detected targets,
+  untestable proofs) so cross-shard dropping converges on exactly the
+  serial active set.
+
+Worker errors are **structured**: a shard that raises (e.g. strict
+packing rejecting a pattern that misses a net) replies with a typed
+error record and the facade raises
+:class:`~repro.errors.SimulationError` naming the shard -- the pool
+survives and stays usable; nothing hangs on a dead queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..netlist import Netlist, from_dict, to_dict
+from .fsim import FaultSimResult, FaultSimulator
+from .models import StuckFault
+
+#: Seconds the parent waits for a worker's post-compile readiness.
+READY_TIMEOUT = 300.0
+#: Join grace before escalating to terminate/kill at close time.
+_JOIN_GRACE = 5.0
+
+
+def shard_faults(faults: Sequence[StuckFault],
+                 n_shards: int) -> List[List[StuckFault]]:
+    """Deterministic round-robin partition of a fault list.
+
+    Shard ``i`` gets ``faults[i::n_shards]``; relative order inside a
+    shard follows the input list.  Round-robin statistically balances
+    expensive (large-cone) and cheap faults across shards, and the
+    assignment depends only on ``(faults, n_shards)`` -- never on
+    timing -- so repeated runs shard identically.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    faults = list(faults)
+    return [faults[i::n_shards] for i in range(n_shards)]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _shard_detect(sim: FaultSimulator, faults: Sequence[StuckFault],
+                  payload: Tuple, drop: bool) -> Dict[StuckFault, int]:
+    """Run one request's fault simulation on the worker's simulator."""
+    kind = payload[0]
+    if kind == "words":
+        result = sim.simulate_stuck_packed(
+            faults, payload[1], payload[2], drop_detected=drop
+        )
+    elif kind == "patterns":
+        result = sim.simulate_stuck(faults, payload[1], drop_detected=drop)
+    else:
+        raise SimulationError(f"unknown payload kind {kind!r}")
+    return result.detected
+
+
+def _worker_main(conn, worker_id: int, netlist_data: Dict) -> None:
+    """Worker entry: compile once, then stream shard requests forever.
+
+    Protocol (parent -> worker):
+      ``("sim", req_id, faults, payload, drop)``   one-shot shard
+      ``("load", faults)``                         set the session shard
+      ``("drop", faults)``                         retire faults dropped
+                                                   elsewhere (cross-shard
+                                                   exchange)
+      ``("round", req_id, payload, drop)``         simulate the session
+                                                   shard's active faults
+      ``("stop",)``                                shut down
+
+    Replies (worker -> parent): ``("ready", worker_id)`` once after
+    compile, then ``("ok", req_id, detected, n_active)`` or
+    ``("err", req_id, exc_type, message)`` per request.  Request
+    handling errors are *caught and shipped*, never allowed to kill
+    the worker: the parent always gets a reply per request.
+    """
+    try:
+        netlist = from_dict(netlist_data)
+        # compile_netlist inside: memory tier (inherited on fork),
+        # then the shared disk tier, then a local compile.
+        sim = FaultSimulator(netlist)
+        conn.send(("ready", worker_id))
+    except BaseException as exc:  # noqa: BLE001 -- must report, not die silently
+        try:
+            conn.send(("err", -1, type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+        conn.close()
+        return
+    active: List[StuckFault] = []
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "stop":
+                break
+            req_id = -1
+            try:
+                if kind == "load":
+                    active = list(msg[1])
+                elif kind == "drop":
+                    retired = set(msg[1])
+                    active = [f for f in active if f not in retired]
+                elif kind == "sim":
+                    _, req_id, faults, payload, drop = msg
+                    detected = _shard_detect(sim, faults, payload, drop)
+                    conn.send(("ok", req_id, detected, len(active)))
+                elif kind == "round":
+                    _, req_id, payload, drop = msg
+                    detected = _shard_detect(sim, active, payload, drop)
+                    hits = {f: m for f, m in detected.items() if m}
+                    if drop:
+                        active = [f for f in active if f not in hits]
+                    conn.send(("ok", req_id, hits, len(active)))
+                else:
+                    conn.send(("err", -1, "SimulationError",
+                               f"unknown request {kind!r}"))
+            except Exception as exc:  # structured per-shard error
+                conn.send(("err", req_id, type(exc).__name__, str(exc)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ShardedFaultSimulator:
+    """Fault-parallel stuck-at simulation facade over a worker pool.
+
+    ``processes=1`` runs everything inline on a private
+    :class:`~repro.fault.fsim.FaultSimulator` -- no fork, identical
+    semantics -- so callers can thread a single code path through both
+    configurations.  With ``processes=N`` the pool must be started
+    (:meth:`start`, or use the instance as a context manager) before
+    simulating, and closed when done.
+
+    One-shot API: :meth:`simulate_stuck` / :meth:`simulate_stuck_packed`
+    mirror the serial :class:`~repro.fault.fsim.FaultSimulator` exactly
+    (same ``FaultSimResult``, same per-fault masks, same fault order).
+
+    Session API (multi-round fault dropping): :meth:`load_faults` once,
+    then :meth:`round_packed` / :meth:`round_patterns` per pattern
+    batch -- each returns the newly detected ``{fault: mask}`` and, in
+    drop mode, retires them everywhere -- plus :meth:`drop_faults` to
+    retire faults resolved outside the simulator (a PODEM-detected
+    target, an untestability proof).
+    """
+
+    def __init__(self, netlist: Netlist, processes: int = 1,
+                 request_timeout: Optional[float] = None):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.netlist = netlist
+        self.processes = processes
+        self.request_timeout = request_timeout
+        self._workers: List[Tuple] = []       # (proc, conn) per shard
+        self._serial: Optional[FaultSimulator] = None
+        self._req_ids = itertools.count()
+        self._active: List[StuckFault] = []   # session faults, in order
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShardedFaultSimulator":
+        """Fork the pool (idempotent); workers compile before returning."""
+        if self._started:
+            return self
+        if self.processes == 1:
+            self._serial = FaultSimulator(self.netlist)
+            self._started = True
+            return self
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork: netlist dict pickles
+            ctx = multiprocessing.get_context()
+        data = to_dict(self.netlist)
+        try:
+            for worker_id in range(self.processes):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, worker_id, data),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append((proc, parent_conn))
+            for worker_id in range(self.processes):
+                msg = self._recv(worker_id, timeout=READY_TIMEOUT)
+                if msg[0] != "ready":
+                    raise SimulationError(
+                        f"shard worker {worker_id} failed to start: "
+                        f"{msg[2]}: {msg[3]}" if msg[0] == "err"
+                        else f"shard worker {worker_id}: bad handshake "
+                             f"{msg[0]!r}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop every worker: polite message, then bounded escalation."""
+        workers, self._workers = self._workers, []
+        self._serial = None
+        self._started = False
+        for proc, conn in workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc, conn in workers:
+            proc.join(timeout=_JOIN_GRACE)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_GRACE)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedFaultSimulator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort backstop; daemon=True anyway
+        try:
+            if self._workers:
+                self.close()
+        except Exception:
+            pass
+
+    # -- plumbing ------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if not self._started:
+            raise SimulationError(
+                "ShardedFaultSimulator not started (call start() or use "
+                "it as a context manager)"
+            )
+
+    def _send(self, worker_id: int, msg: Tuple) -> None:
+        proc, conn = self._workers[worker_id]
+        if not proc.is_alive():
+            raise SimulationError(
+                f"shard worker {worker_id} died "
+                f"(exit code {proc.exitcode})"
+            )
+        try:
+            conn.send(msg)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise SimulationError(
+                f"shard worker {worker_id}: send failed ({exc})"
+            ) from exc
+
+    def _recv(self, worker_id: int,
+              timeout: Optional[float] = None) -> Tuple:
+        proc, conn = self._workers[worker_id]
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        while True:
+            if conn.poll(0.05):
+                try:
+                    return conn.recv()
+                except EOFError as exc:
+                    raise SimulationError(
+                        f"shard worker {worker_id} closed its pipe "
+                        f"(exit code {proc.exitcode})"
+                    ) from exc
+            if not proc.is_alive() and not conn.poll(0.0):
+                raise SimulationError(
+                    f"shard worker {worker_id} died "
+                    f"(exit code {proc.exitcode})"
+                )
+            if deadline is not None and time.perf_counter() > deadline:
+                raise SimulationError(
+                    f"shard worker {worker_id}: no reply within "
+                    f"{timeout:.1f}s"
+                )
+
+    def _collect(self, requests: List[Tuple[int, int]],
+                 ) -> List[Dict[StuckFault, int]]:
+        """Gather one reply per outstanding request, in worker order.
+
+        Every reply is drained before any error is raised, so a failed
+        shard (a structured ``err`` record) never leaves stragglers in
+        a pipe to desynchronize the next request -- the pool stays
+        usable after the raise.
+        """
+        replies: List[Optional[Dict[StuckFault, int]]] = []
+        errors: List[str] = []
+        for worker_id, req_id in requests:
+            try:
+                msg = self._recv(worker_id, timeout=self.request_timeout)
+            except SimulationError as exc:
+                errors.append(str(exc))
+                replies.append(None)
+                continue
+            if msg[0] == "ok" and msg[1] == req_id:
+                replies.append(msg[2])
+            elif msg[0] == "err":
+                errors.append(
+                    f"shard {worker_id} [{msg[2]}]: {msg[3]}"
+                )
+                replies.append(None)
+            else:
+                errors.append(
+                    f"shard {worker_id}: protocol desync "
+                    f"(got {msg[0]!r}, req {msg[1]!r} != {req_id})"
+                )
+                replies.append(None)
+        if errors:
+            raise SimulationError("; ".join(errors))
+        return replies  # type: ignore[return-value]
+
+    def _fanout(self, shards: List[List[StuckFault]], payload: Tuple,
+                drop: bool) -> Dict[StuckFault, int]:
+        """One-shot fan-out: per-shard ``sim`` requests, merged masks."""
+        requests: List[Tuple[int, int]] = []
+        for worker_id, shard in enumerate(shards):
+            req_id = next(self._req_ids)
+            self._send(worker_id, ("sim", req_id, shard, payload, drop))
+            requests.append((worker_id, req_id))
+        merged: Dict[StuckFault, int] = {}
+        for detected in self._collect(requests):
+            merged.update(detected)
+        return merged
+
+    # -- one-shot API --------------------------------------------------
+    def simulate_stuck(self, faults: Sequence[StuckFault],
+                       patterns: Sequence[Mapping[str, int]],
+                       drop_detected: bool = False) -> FaultSimResult:
+        """Sharded :meth:`~repro.fault.fsim.FaultSimulator.simulate_stuck`.
+
+        The result is identical to the serial call -- same masks, with
+        faults listed in submission order (fault-order-stable merge).
+        """
+        self._ensure_started()
+        faults = list(faults)
+        patterns = list(patterns)
+        if self._serial is not None:
+            return self._serial.simulate_stuck(faults, patterns,
+                                               drop_detected)
+        merged = self._fanout(shard_faults(faults, len(self._workers)),
+                              ("patterns", patterns), drop_detected)
+        return FaultSimResult(
+            detected={f: merged[f] for f in faults},
+            n_patterns=len(patterns),
+        )
+
+    def simulate_stuck_packed(self, faults: Sequence[StuckFault],
+                              words: Mapping[str, int], n_patterns: int,
+                              drop_detected: bool = False,
+                              ) -> FaultSimResult:
+        """Sharded simulate from pre-packed per-net input words."""
+        self._ensure_started()
+        faults = list(faults)
+        if self._serial is not None:
+            return self._serial.simulate_stuck_packed(
+                faults, words, n_patterns, drop_detected
+            )
+        merged = self._fanout(shard_faults(faults, len(self._workers)),
+                              ("words", dict(words), n_patterns),
+                              drop_detected)
+        return FaultSimResult(
+            detected={f: merged[f] for f in faults},
+            n_patterns=n_patterns,
+        )
+
+    # -- session API (multi-round fault dropping) ----------------------
+    @property
+    def n_active(self) -> int:
+        """Faults still active in the loaded session."""
+        return len(self._active)
+
+    @property
+    def active_faults(self) -> List[StuckFault]:
+        """The session's active faults, in load order (a copy)."""
+        return list(self._active)
+
+    def load_faults(self, faults: Sequence[StuckFault]) -> None:
+        """Load (or replace) the session fault list, sharded across
+        workers; subsequent rounds simulate only the active remainder."""
+        self._ensure_started()
+        self._active = list(faults)
+        if self._serial is not None:
+            return
+        for worker_id, shard in enumerate(
+                shard_faults(self._active, len(self._workers))):
+            self._send(worker_id, ("load", shard))
+
+    def drop_faults(self, faults: Sequence[StuckFault]) -> None:
+        """Retire faults resolved outside the simulator (cross-shard
+        dropped-fault exchange): removed from the parent's active list
+        and broadcast so every shard converges on the same remainder."""
+        self._ensure_started()
+        retired = set(faults)
+        if not retired:
+            return
+        self._active = [f for f in self._active if f not in retired]
+        if self._serial is not None:
+            return
+        for worker_id in range(len(self._workers)):
+            self._send(worker_id, ("drop", sorted(retired)))
+
+    def _round(self, payload: Tuple, drop: bool) -> Dict[StuckFault, int]:
+        if self._serial is not None:
+            detected = _shard_detect(self._serial, self._active,
+                                     payload, drop)
+            hits = {f: m for f, m in detected.items() if m}
+        else:
+            requests: List[Tuple[int, int]] = []
+            for worker_id in range(len(self._workers)):
+                req_id = next(self._req_ids)
+                self._send(worker_id, ("round", req_id, payload, drop))
+                requests.append((worker_id, req_id))
+            merged: Dict[StuckFault, int] = {}
+            for reply in self._collect(requests):
+                merged.update(reply)
+            # Fault-order-stable view of this round's detections.
+            hits = {f: merged[f] for f in self._active if f in merged}
+        if drop:
+            self._active = [f for f in self._active if f not in hits]
+        return hits
+
+    def round_packed(self, words: Mapping[str, int], n_patterns: int,
+                     drop: bool = True) -> Dict[StuckFault, int]:
+        """Simulate one packed-word batch against the active session
+        faults; returns the newly detected ``{fault: mask}`` (active
+        order) and, in drop mode, retires them from every shard."""
+        self._ensure_started()
+        return self._round(("words", dict(words), n_patterns), drop)
+
+    def round_patterns(self, patterns: Sequence[Mapping[str, int]],
+                       drop: bool = True) -> Dict[StuckFault, int]:
+        """Like :meth:`round_packed`, from per-pattern dict vectors."""
+        self._ensure_started()
+        return self._round(("patterns", list(patterns)), drop)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro fsim
+# ----------------------------------------------------------------------
+def fsim_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro fsim`` -- (sharded) stuck-at fault simulation.
+
+    The CI smoke surface: ``--check-serial`` asserts the sharded run's
+    detection masks are bit-identical to a serial run, and ``--json``
+    emits per-circuit records including compile-cache statistics so a
+    cold-vs-warm pair of runs can assert the disk tier was hit.
+    """
+    import argparse
+    import json as _json
+
+    from ..bench import load_circuit
+    from ..netlist import compile_cache_info
+    from .collapse import collapse_stuck
+    from .fsim import random_pattern_words
+    from .models import all_stuck_faults
+
+    parser = argparse.ArgumentParser(
+        prog="repro fsim",
+        description="Bit-parallel stuck-at fault simulation, optionally "
+                    "sharded fault-parallel across a worker pool.",
+    )
+    parser.add_argument("circuits", nargs="*", default=["s5378"],
+                        help="catalog circuit names (default: s5378)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="worker processes (1 = serial in-process)")
+    parser.add_argument("--patterns", type=int, default=64,
+                        help="random patterns to simulate (default 64)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="pattern RNG seed (default 7)")
+    parser.add_argument("--drop", action="store_true",
+                        help="drop-mode (early-exit) masks")
+    parser.add_argument("--check-serial", action="store_true",
+                        help="also run serially and fail unless the "
+                             "masks are bit-identical")
+    parser.add_argument("--json", action="store_true",
+                        help="one JSON record per circuit (includes "
+                             "compile-cache statistics)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for name in args.circuits:
+        netlist = load_circuit(name)
+        faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+        words = random_pattern_words(netlist, args.patterns, args.seed)
+        start = time.perf_counter()
+        with ShardedFaultSimulator(netlist, args.processes) as pool:
+            result = pool.simulate_stuck_packed(
+                faults, words, args.patterns, drop_detected=args.drop
+            )
+        seconds = time.perf_counter() - start
+        record = {
+            "circuit": name,
+            "processes": args.processes,
+            "n_faults": len(faults),
+            "n_patterns": args.patterns,
+            "drop": args.drop,
+            "coverage": result.coverage,
+            "seconds": seconds,
+        }
+        if args.check_serial:
+            serial = FaultSimulator(netlist).simulate_stuck_packed(
+                faults, words, args.patterns, drop_detected=args.drop
+            )
+            identical = serial.detected == result.detected
+            record["identical_masks"] = identical
+            if not identical:
+                status = 1
+        record["compile_cache"] = compile_cache_info()
+        if args.json:
+            print(_json.dumps(record, sort_keys=True))
+        else:
+            extra = ""
+            if "identical_masks" in record:
+                extra = (" | masks identical to serial"
+                         if record["identical_masks"]
+                         else " | MASK MISMATCH vs serial")
+            print(f"{name}: coverage {result.coverage:.4f} over "
+                  f"{len(faults)} faults / {args.patterns} patterns, "
+                  f"{args.processes} process(es), {seconds:.3f}s{extra}")
+    return status

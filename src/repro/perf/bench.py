@@ -46,13 +46,19 @@ from ..experiments.report import format_table
 from ..fault import (
     AtpgFlow,
     AtpgFlowConfig,
+    ShardedFaultSimulator,
     all_stuck_faults,
     all_transition_faults,
     collapse_stuck,
+    random_pattern_words,
 )
 from ..fault.fsim import FaultSimulator
 from ..fault.podem import X, generate_tests
-from ..netlist import compile_netlist
+from ..netlist import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_netlist,
+)
 from ..power import LogicSimulator
 from ..timing import analyze
 from .reference import ReferenceFaultSimulator, ReferenceThreeValuedSimulator
@@ -164,6 +170,147 @@ def bench_fsim_stuck(quick: bool) -> List[Dict[str, object]]:
             "seconds": None,
             "speedup": speedup,
             "identical_masks": identical,
+        },
+    ]
+
+
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_fsim_stuck_sharded(quick: bool) -> List[Dict[str, object]]:
+    """Sharded worker-pool fault sim vs the serial kernel, same circuit.
+
+    The pool is started (forked, compiled) *outside* the timed region:
+    the row measures steady-state shard throughput, which is what the
+    ATPG flow's inner loop sees.  Hard-asserts bit-identical detection
+    masks and equal coverage against serial.  The speedup floor only
+    applies when the host exposes >= ``processes`` usable cores --
+    on a smaller machine (or a constrained CI runner) real parallel
+    speedup is physically impossible, so the row records the measured
+    ratio with ``min_speedup: 0`` and says why in ``note``.
+    """
+    name = FSIM_CIRCUIT
+    netlist = load_circuit(name)
+    stride = 24 if quick else 8
+    n_patterns = 32 if quick else 64
+    processes = 4
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))[::stride]
+    words = random_pattern_words(netlist, n_patterns, seed=11)
+
+    serial_sim = FaultSimulator(netlist)
+    t_serial = _timed_best(
+        lambda: serial_sim.simulate_stuck_packed(faults, words, n_patterns)
+    )
+    with ShardedFaultSimulator(netlist, processes=processes) as pool:
+        t_sharded = _timed_best(
+            lambda: pool.simulate_stuck_packed(faults, words, n_patterns)
+        )
+
+    serial_result = t_serial["value"]
+    sharded_result = t_sharded["value"]
+    if sharded_result.detected != serial_result.detected:
+        raise AssertionError(
+            f"{name}: sharded fault sim masks differ from serial"
+        )
+    if sharded_result.coverage != serial_result.coverage:
+        raise AssertionError(
+            f"{name}: sharded coverage {sharded_result.coverage:.6f} != "
+            f"serial {serial_result.coverage:.6f}"
+        )
+    speedup = t_serial["seconds"] / max(t_sharded["seconds"], 1e-9)
+    cores = _usable_cores()
+    enough_cores = cores >= processes
+    return [
+        {
+            "kernel": "fsim_stuck_sharded",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_sharded["seconds"],
+            "processes": processes,
+        },
+        {
+            "kernel": "fsim_stuck_sharded_serial",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_serial["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "fsim_stuck_sharded_speedup",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": None,
+            "speedup": speedup,
+            "min_speedup": 2.5 if enough_cores else 0.0,
+            "identical_masks": True,
+            "equal_coverage": sharded_result.coverage,
+            "processes": processes,
+            "usable_cores": cores,
+            "note": (
+                f"speedup {speedup:.2f}x at {processes} workers, "
+                "identical masks"
+                if enough_cores else
+                f"speedup {speedup:.2f}x (floor waived: {cores} usable "
+                f"core(s) < {processes} workers), identical masks"
+            ),
+        },
+    ]
+
+
+def bench_compile_cache(quick: bool) -> List[Dict[str, object]]:
+    """Cold compile vs disk-warm reload of the largest circuit.
+
+    Runs against a private temporary cache root so the measurement
+    neither benefits from nor pollutes the user's persistent cache.
+    """
+    import shutil
+    import tempfile
+
+    name = FSIM_CIRCUIT
+    netlist = load_circuit(name)
+    tmp_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = tmp_root
+    try:
+        clear_compile_cache()
+        t_cold = _timed(lambda: compile_netlist(netlist))
+        clear_compile_cache()     # drop the memory tier, keep disk
+        t_warm = _timed(lambda: compile_netlist(netlist))
+        info = compile_cache_info()
+        if info["disk_hits"] < 1:
+            raise AssertionError(
+                f"{name}: warm compile did not hit the disk cache "
+                f"({info})"
+            )
+        if t_warm["value"].key != t_cold["value"].key:
+            raise AssertionError(
+                f"{name}: disk-loaded compile key differs from cold"
+            )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
+        clear_compile_cache()     # detach from the temp root
+        shutil.rmtree(tmp_root, ignore_errors=True)
+    return [
+        {
+            "kernel": "compile_cold",
+            "circuit": name,
+            "n": 1,
+            "seconds": t_cold["seconds"],
+        },
+        {
+            "kernel": "compile_disk_warm",
+            "circuit": name,
+            "n": 1,
+            "seconds": t_warm["seconds"],
+            "disk_hits": info["disk_hits"],
         },
     ]
 
@@ -375,6 +522,8 @@ def bench_tables(quick: bool) -> List[Dict[str, object]]:
 KERNEL_GROUPS = (
     bench_logicsim,
     bench_fsim_stuck,
+    bench_fsim_stuck_sharded,
+    bench_compile_cache,
     bench_fsim_transition,
     bench_eval3,
     bench_atpg_flow,
@@ -398,7 +547,9 @@ def run_bench(quick: bool = True) -> Dict[str, object]:
         "quick": quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "usable_cores": _usable_cores(),
         "kernels": rows,
+        "compile_cache": compile_cache_info(),
     }
 
 
@@ -415,6 +566,7 @@ def render_report(report: Dict[str, object]) -> str:
                 else f"{row['seconds']:.4f}"
             ),
             "note": (
+                row["note"] if "note" in row else
                 f"speedup {row['speedup']:.2f}x, identical results"
                 if "speedup" in row else ""
             ),

@@ -1,0 +1,225 @@
+"""Tests for the persistent on-disk artifact cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import (
+    DiskCache,
+    default_cache_root,
+    default_max_bytes,
+    disk_cache_enabled,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache("testing", schema_version=1, root=str(tmp_path))
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("k" * 8) is None
+        assert cache.misses == 1
+        assert cache.put("k" * 8, {"a": [1, 2, 3]})
+        assert cache.get("k" * 8) == {"a": [1, 2, 3]}
+        assert cache.hits == 1
+
+    def test_independent_keys(self, cache):
+        cache.put("aaaa", 1)
+        cache.put("bbbb", 2)
+        assert cache.get("aaaa") == 1
+        assert cache.get("bbbb") == 2
+
+    def test_overwrite_same_key(self, cache):
+        cache.put("cccc", "old")
+        cache.put("cccc", "new")
+        assert cache.get("cccc") == "new"
+
+    def test_info_counts_entries_and_bytes(self, cache):
+        cache.put("dddd", list(range(100)))
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+
+    def test_unsafe_keys_rejected(self, cache):
+        for key in ("", ".hidden", f"a{os.sep}b"):
+            with pytest.raises(ValueError):
+                cache.path_for(key)
+
+
+class TestVersioningAndCorruption:
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        old = DiskCache("ns", schema_version=1, root=str(tmp_path))
+        old.put("key1", "payload-v1")
+        new = DiskCache("ns", schema_version=2, root=str(tmp_path))
+        assert new.get("key1") is None
+        # the stale entry was reclaimed, not left to rot
+        assert not os.path.exists(new.path_for("key1"))
+
+    def test_truncated_entry_is_a_miss_and_reclaimed(self, cache):
+        cache.put("key2", {"big": "payload"})
+        path = cache.path_for("key2")
+        with open(path, "r+b") as handle:
+            handle.truncate(4)
+        assert cache.get("key2") is None
+        assert not os.path.exists(path)
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        path = cache.path_for("key3")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert cache.get("key3") is None
+
+    def test_key_echo_mismatch_is_a_miss(self, cache):
+        """An entry renamed to another key must not serve under it."""
+        cache.put("key4", "value4")
+        os.rename(cache.path_for("key4"), cache.path_for("key5"))
+        assert cache.get("key5") is None
+
+    def test_writes_are_atomic_no_temp_residue(self, cache):
+        cache.put("key6", "x" * 1000)
+        names = os.listdir(cache.directory)
+        assert names == ["key6.pkl"]
+
+    def test_unwritable_root_degrades_gracefully(self):
+        cache = DiskCache("ns", schema_version=1,
+                          root="/proc/definitely-not-writable")
+        assert cache.put("key7", "v") is False
+        assert cache.get("key7") is None
+
+
+class TestEviction:
+    def test_lru_eviction_respects_budget(self, tmp_path):
+        cache = DiskCache("ns", schema_version=1, root=str(tmp_path),
+                          max_bytes=1)
+        cache.put("old1", "a" * 100)
+        cache.put("old2", "b" * 100)
+        # over budget: older entries evicted down to the bound
+        assert cache.evictions >= 1
+        assert cache.info()["entries"] <= 1
+
+    def test_zero_budget_disables_eviction(self, tmp_path):
+        cache = DiskCache("ns", schema_version=1, root=str(tmp_path),
+                          max_bytes=0)
+        for i in range(5):
+            cache.put(f"key{i}", "v" * 50)
+        assert cache.info()["entries"] == 5
+        assert cache.evictions == 0
+
+    def test_clear_removes_everything(self, cache):
+        cache.put("aaaa", 1)
+        cache.put("bbbb", 2)
+        assert cache.clear() == 2
+        assert cache.info()["entries"] == 0
+
+
+class TestEnvironmentKnobs:
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == str(tmp_path / "custom")
+
+    def test_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert not disk_cache_enabled()
+        monkeypatch.setenv("REPRO_DISK_CACHE", "off")
+        assert not disk_cache_enabled()
+        monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+        assert disk_cache_enabled()
+        monkeypatch.delenv("REPRO_DISK_CACHE")
+        assert disk_cache_enabled()
+
+    def test_max_bytes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert default_max_bytes() == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+        assert default_max_bytes() > 0
+
+
+class TestCompiledNetlistTier:
+    """The disk tier behind repro.netlist.compile_netlist."""
+
+    def test_fresh_root_misses_then_hits(self, monkeypatch, tmp_path,
+                                         s27_netlist):
+        from repro.netlist import (
+            clear_compile_cache,
+            compile_cache_info,
+            compile_netlist,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_compile_cache()
+        compile_netlist(s27_netlist)
+        info = compile_cache_info()
+        assert info["disk_misses"] == 1
+        assert info["disk_entries"] == 1
+        # a new process would hit disk; simulate by clearing memory only
+        clear_compile_cache()
+        compiled = compile_netlist(s27_netlist)
+        assert compile_cache_info()["disk_hits"] == 1
+        assert compiled.key and compiled.names
+
+    def test_disk_loaded_compile_simulates_identically(
+            self, monkeypatch, tmp_path, s27_netlist):
+        from repro.netlist import clear_compile_cache, compile_netlist
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_compile_cache()
+        fresh = compile_netlist(s27_netlist, use_cache=False)
+        compile_netlist(s27_netlist)      # publish to disk
+        clear_compile_cache()             # drop memory tier
+        loaded = compile_netlist(s27_netlist)  # disk hit
+        assert loaded.names == fresh.names
+        assert loaded.ops == fresh.ops
+        assert loaded.fanins == fresh.fanins
+        mask = (1 << 4) - 1
+        values_a = [i & mask for i in range(len(fresh.names))]
+        values_b = list(values_a)
+        fresh.eval_into(values_a, mask)
+        loaded.eval_into(values_b, mask)
+        assert values_a == values_b
+
+    def test_clear_disk_tier(self, monkeypatch, tmp_path, s27_netlist):
+        from repro.netlist import (
+            clear_compile_cache,
+            compile_cache_info,
+            compile_netlist,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_compile_cache()
+        compile_netlist(s27_netlist)
+        assert compile_cache_info()["disk_entries"] == 1
+        clear_compile_cache(disk=True)
+        info = compile_cache_info()
+        assert info["disk_entries"] == 0
+        assert info["entries"] == 0
+
+    def test_disabled_tier_never_touches_disk(self, monkeypatch,
+                                              tmp_path, s27_netlist):
+        from repro.netlist import clear_compile_cache, compile_netlist
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        clear_compile_cache()
+        compile_netlist(s27_netlist)
+        assert not os.path.exists(str(tmp_path / "compiled"))
+
+
+class TestUnrollTier:
+    def test_unroll_served_from_disk(self, monkeypatch, tmp_path,
+                                     s27_netlist):
+        import repro.fault.broadside as broadside
+        from repro.netlist import content_hash
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        broadside._UNROLL_CACHE.clear()
+        first = broadside.unroll_two_frames(s27_netlist)
+        # memory cleared, disk warm: the reload must be structurally
+        # identical to a fresh unroll
+        broadside._UNROLL_CACHE.clear()
+        reloaded = broadside.unroll_two_frames(s27_netlist)
+        assert reloaded is not first
+        assert content_hash(reloaded) == content_hash(first)

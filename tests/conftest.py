@@ -6,12 +6,31 @@ are session-scoped; tests that mutate netlists must take fresh copies.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench import load_circuit, s27
 from repro.cells import default_library
 from repro.dft import build_all_styles, insert_scan
 from repro.synth import map_netlist
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent disk cache at a per-session temp root.
+
+    Tests still exercise the real disk tier (warm hits within the
+    session), but never read or pollute the developer's ~/.cache.
+    """
+    root = tmp_path_factory.mktemp("repro-disk-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -89,6 +89,32 @@ class TestProcesses:
         # the slow task must not have blocked for its full 30 s
         assert outcomes[1].duration < 10.0
 
+    def test_timeout_path_leaks_no_fds_or_children(self):
+        """Regression: a timed-out worker must be fully cleaned up.
+
+        The timeout path must close the parent's pipe end and join the
+        killed worker; before the fix each timed-out task left an open
+        connection (one FD pair) and an unreaped child behind for the
+        life of the parent process.
+        """
+        import multiprocessing
+
+        def open_fds():
+            return len(os.listdir("/proc/self/fd"))
+
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("requires /proc (Linux)")
+        before_children = multiprocessing.active_children()
+        before_fds = open_fds()
+        outcomes = ParallelRunner(processes=2, timeout=0.2).map(
+            sleep_for, [30.0, 30.0, 0.01]
+        )
+        assert [o.timed_out for o in outcomes] == [True, True, False]
+        # every worker joined: no lingering child processes
+        assert multiprocessing.active_children() == before_children
+        # every pipe end closed: FD count back to the baseline
+        assert open_fds() == before_fds
+
     def test_single_item_runs_inline(self):
         # len(items) <= 1 short-circuits to the serial path
         outcomes = ParallelRunner(processes=4).map(square, [7])

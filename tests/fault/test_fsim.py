@@ -229,6 +229,32 @@ class TestRandomPatternWords:
         assert a == b
         assert a != c
 
+    def test_golden_seed_words_pinned(self, s27_netlist):
+        """Golden seed: the exact packed words for (s27, 16, seed=7).
+
+        The worker-pool rewrite must not perturb the random-pattern
+        stream -- any change to net ordering or RNG consumption shifts
+        every downstream ATPG result.  If this fails, the generator's
+        contract changed; do not just re-pin without a changelog note.
+        """
+        assert random_pattern_words(s27_netlist, 16, seed=7) == {
+            "G0": 21222,
+            "G1": 62119,
+            "G2": 9886,
+            "G3": 25875,
+            "G5": 42659,
+            "G6": 3164,
+            "G7": 4747,
+        }
+
+    def test_golden_seed_words_pinned_s298(self, s298_netlist):
+        words = random_pattern_words(s298_netlist, 8, seed=11)
+        assert words["PI0"] == 115
+        assert words["PI1"] == 221
+        assert words["PI2"] == 143
+        assert words["FF0"] == 219
+        assert words["FF1"] == 236
+
     def test_words_cover_core_inputs(self, s27_netlist):
         words = random_pattern_words(s27_netlist, 16)
         nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)

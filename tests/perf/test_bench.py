@@ -76,6 +76,34 @@ class TestCheckAgainstBaseline:
         )
         assert failures and "not found" in failures[0]
 
+    def test_row_level_floor_overrides_harness_floor(self, tmp_path,
+                                                     report):
+        """A speedup row carrying its own ``min_speedup`` is judged
+        against that, not the harness-wide default."""
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"].append(
+            {"kernel": "fsim_stuck_sharded_speedup", "circuit": "s38584",
+             "n": 100, "seconds": None, "speedup": 3.0,
+             "min_speedup": 4.0}
+        )
+        failures = check_against_baseline(current, path)
+        assert len(failures) == 1
+        assert "fsim_stuck_sharded_speedup" in failures[0]
+        assert "4.0x" in failures[0]
+
+    def test_zero_floor_waives_speedup_check(self, tmp_path, report):
+        """min_speedup 0.0 (host with too few cores for the sharded
+        pool) records the measured ratio without failing the check."""
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"].append(
+            {"kernel": "fsim_stuck_sharded_speedup", "circuit": "s38584",
+             "n": 100, "seconds": None, "speedup": 0.7,
+             "min_speedup": 0.0, "usable_cores": 1}
+        )
+        assert check_against_baseline(current, path) == []
+
     def test_new_kernel_without_baseline_entry_passes(self, tmp_path,
                                                       report):
         path = _write_baseline(tmp_path, report)
@@ -92,3 +120,21 @@ def test_render_report(report):
     assert "logicsim_sequential" in text
     assert "speedup 5.00x" in text
     assert "2026-01-01" in text
+
+
+def test_render_report_prefers_row_note(report):
+    report["kernels"].append(
+        {"kernel": "fsim_stuck_sharded_speedup", "circuit": "s38584",
+         "n": 100, "seconds": None, "speedup": 0.7, "min_speedup": 0.0,
+         "note": "speedup 0.70x (floor waived: 1 usable core(s) < 4 "
+                 "workers), identical masks"}
+    )
+    text = render_report(report)
+    assert "floor waived" in text
+    assert "speedup 0.70x" in text
+
+
+def test_usable_cores_positive():
+    from repro.perf.bench import _usable_cores
+
+    assert _usable_cores() >= 1
