@@ -30,9 +30,13 @@ Usage::
 
     python -m repro table1 --processes 4      # fan circuits across workers
 
+    python -m repro atpg s298 --trace run.json  # structured run trace
+    python -m repro trace run.json              # validate a written trace
+
 See ``python -m repro lint --help`` (and ``docs/lint.md``) for rule
 selection, baselines and output formats; ``python -m repro bench
---help`` (and ``docs/performance.md``) for the benchmark harness.
+--help`` (and ``docs/performance.md``) for the benchmark harness;
+``docs/observability.md`` for the ``--trace`` run artifacts.
 """
 
 from __future__ import annotations
@@ -125,6 +129,10 @@ def main(argv: List[str] | None = None) -> int:
         from .fault.sharded import fsim_main
 
         return fsim_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .obs import trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,6 +161,9 @@ def main(argv: List[str] | None = None) -> int:
         help="per-circuit timeout in seconds when --processes > 1 "
              "(a timed-out circuit becomes an error row)",
     )
+    from .obs import add_trace_argument, trace_session
+
+    add_trace_argument(parser)
     args = parser.parse_args(argv)
 
     requested: List[str] = []
@@ -164,16 +175,22 @@ def main(argv: List[str] | None = None) -> int:
         else:
             requested.append(name)
 
-    for name in requested:
-        if name == "quick":
-            for key in sorted(QUICK):
-                print(f"== {key} (quick) ==")
-                QUICK[key](args.processes, args.task_timeout)
-                print()
-            continue
-        print(f"== {name} ==")
-        EXPERIMENTS[name](args.processes, args.task_timeout)
-        print()
+    with trace_session(args.trace, "experiments", argv=list(argv),
+                       extra={"experiments": requested}) as rec:
+        for name in requested:
+            if name == "quick":
+                for key in sorted(QUICK):
+                    print(f"== {key} (quick) ==")
+                    with rec.span("experiment", cat="experiment",
+                                  experiment=key, quick=True):
+                        QUICK[key](args.processes, args.task_timeout)
+                    print()
+                continue
+            print(f"== {name} ==")
+            with rec.span("experiment", cat="experiment",
+                          experiment=name):
+                EXPERIMENTS[name](args.processes, args.task_timeout)
+            print()
     return 0
 
 

@@ -42,6 +42,8 @@ import pickle
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import get_recorder
+
 #: Default per-namespace size bound: 256 MiB.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
@@ -117,6 +119,7 @@ class DiskCache:
         failure to read or validate the entry -- torn file, stale
         schema, key mismatch -- removes it and counts as a miss.
         """
+        rec = get_recorder()
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
@@ -128,18 +131,30 @@ class DiskCache:
             payload = entry["payload"]
         except FileNotFoundError:
             self.misses += 1
+            rec.incr("cache.misses")
             return None
-        except Exception:
+        except Exception as exc:
             # Corrupt, truncated, or written by an incompatible
             # version: reclaim the slot and treat as a miss.
             self._remove(path)
             self.misses += 1
+            rec.incr("cache.misses")
+            rec.warning("cache.corrupt_entry",
+                        counter="cache.corrupt_entries",
+                        namespace=self.namespace, key=key,
+                        exc_type=type(exc).__name__, detail=str(exc))
             return None
         try:
             os.utime(path)
-        except OSError:
-            pass
+        except OSError as exc:
+            # Non-fatal (a read-only cache just loses LRU accuracy),
+            # but counted: a persistently failing utime means eviction
+            # is flying blind.
+            rec.warning("cache.utime_failed",
+                        namespace=self.namespace, key=key,
+                        exc_type=type(exc).__name__, detail=str(exc))
         self.hits += 1
+        rec.incr("cache.hits")
         return payload
 
     def put(self, key: str, payload) -> bool:
@@ -150,12 +165,16 @@ class DiskCache:
         identical entries wins.  A full disk or unwritable root never
         raises -- the cache is an accelerator, not a dependency.
         """
+        rec = get_recorder()
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=self.directory, prefix=".tmp-", suffix=".pkl"
             )
-        except OSError:
+        except OSError as exc:
+            rec.warning("cache.put_failed", namespace=self.namespace,
+                        key=key, stage="create",
+                        exc_type=type(exc).__name__, detail=str(exc))
             return False
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -165,9 +184,13 @@ class DiskCache:
                     handle, protocol=pickle.HIGHEST_PROTOCOL,
                 )
             os.replace(tmp_path, self.path_for(key))
-        except Exception:
+        except Exception as exc:
             self._remove(tmp_path)
+            rec.warning("cache.put_failed", namespace=self.namespace,
+                        key=key, stage="write",
+                        exc_type=type(exc).__name__, detail=str(exc))
             return False
+        rec.incr("cache.puts")
         self._evict_over_budget()
         return True
 
@@ -234,9 +257,16 @@ class DiskCache:
         if total <= self.max_bytes:
             return
         # Oldest access first; mtime breaks ties deterministically.
+        # A concurrent reader (or another evictor) may have removed an
+        # entry between the stat and the remove: _remove returning
+        # False is the benign race outcome, counted but never raised.
+        rec = get_recorder()
         for _, _, path, size in sorted(stats):
             if total <= self.max_bytes:
                 break
             if self._remove(path):
                 total -= size
                 self.evictions += 1
+                rec.incr("cache.evictions")
+            else:
+                rec.incr("cache.eviction_races")

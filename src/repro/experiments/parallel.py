@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import get_recorder
+
 
 @dataclass(frozen=True)
 class TaskOutcome:
@@ -86,22 +88,31 @@ class ParallelRunner:
 
     # ------------------------------------------------------------------
     def _map_serial(self, fn, items) -> List[TaskOutcome]:
+        rec = get_recorder()
         outcomes: List[TaskOutcome] = []
         for index, item in enumerate(items):
             start = time.perf_counter()
-            try:
-                value = fn(item)
-            except Exception as exc:  # crash isolation, serial flavour
-                outcomes.append(TaskOutcome(
-                    index=index, item=item, ok=False,
-                    error=f"{type(exc).__name__}: {exc}",
-                    duration=time.perf_counter() - start,
-                ))
-            else:
-                outcomes.append(TaskOutcome(
-                    index=index, item=item, ok=True, value=value,
-                    duration=time.perf_counter() - start,
-                ))
+            with rec.span("parallel.task", cat="parallel",
+                          item=str(item), index=index, mode="serial"):
+                try:
+                    value = fn(item)
+                except Exception as exc:  # crash isolation, serial flavour
+                    rec.warning("parallel.task_failed",
+                                counter="parallel.task_errors",
+                                item=str(item),
+                                exc_type=type(exc).__name__,
+                                detail=str(exc))
+                    outcomes.append(TaskOutcome(
+                        index=index, item=item, ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        duration=time.perf_counter() - start,
+                    ))
+                else:
+                    rec.incr("parallel.tasks_ok")
+                    outcomes.append(TaskOutcome(
+                        index=index, item=item, ok=True, value=value,
+                        duration=time.perf_counter() - start,
+                    ))
         return outcomes
 
     # ------------------------------------------------------------------
@@ -129,11 +140,31 @@ class ParallelRunner:
                 proc.kill()
                 proc.join()
 
+        rec = get_recorder()
+
         def finish(index: int, outcome: TaskOutcome) -> None:
             proc, conn, _ = running.pop(index)
             conn.close()
             reap(proc)
             results[index] = outcome
+            if rec.enabled:
+                dur_us = outcome.duration * 1e6
+                rec.complete_event(
+                    "parallel.task", max(rec.now_us() - dur_us, 0.0),
+                    dur_us, cat="parallel", item=str(outcome.item),
+                    index=index, ok=outcome.ok, mode="subprocess",
+                )
+            if outcome.timed_out:
+                rec.warning("parallel.task_timeout",
+                            counter="parallel.task_timeouts",
+                            item=str(outcome.item))
+            elif not outcome.ok:
+                rec.warning("parallel.task_failed",
+                            counter="parallel.task_errors",
+                            item=str(outcome.item),
+                            detail=outcome.error or "")
+            else:
+                rec.incr("parallel.tasks_ok")
 
         try:
             while pending or running:

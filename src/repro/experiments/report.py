@@ -43,9 +43,22 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def mean(values: Iterable[float], empty: float = 0.0) -> float:
+    """Arithmetic mean, defined as ``empty`` for an empty sequence.
+
+    The per-table average properties use this so a run where every
+    circuit errored out (all rows degraded) renders an average of 0.0
+    instead of dying on a ZeroDivisionError.
+    """
+    data = list(values)
+    if not data:
+        return empty
+    return sum(data) / len(data)
+
+
 def summary_line(label: str, values: Iterable[float]) -> str:
     """A one-line average summary like the paper's in-text averages."""
     data = list(values)
     if not data:
         return f"{label}: n/a"
-    return f"{label}: {sum(data) / len(data):.1f}"
+    return f"{label}: {mean(data):.1f}"

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dft import OverheadComparison, compare_area
 from .common import default_circuits, structural_row, styled_designs
 from .parallel import error_row, run_per_circuit
-from .report import format_table, summary_line
+from .report import format_table, mean, summary_line
 
 
 @dataclass(frozen=True)
@@ -31,16 +31,16 @@ class Table1Result:
     @property
     def average_improvement_vs_enhanced(self) -> float:
         """Average % reduction of area overhead vs enhanced scan."""
-        return sum(
+        return mean(
             c.improvement_vs_enhanced for c in self.comparisons
-        ) / len(self.comparisons)
+        )
 
     @property
     def average_improvement_vs_mux(self) -> float:
         """Average % reduction of area overhead vs the MUX method."""
-        return sum(
+        return mean(
             c.improvement_vs_mux for c in self.comparisons
-        ) / len(self.comparisons)
+        )
 
     def render(self) -> str:
         """Paper-style text table."""

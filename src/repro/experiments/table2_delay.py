@@ -18,7 +18,7 @@ from ..dft import OverheadComparison, compare_delay
 from ..timing import analyze
 from .common import default_circuits, styled_designs
 from .parallel import error_row, run_per_circuit
-from .report import format_table, summary_line
+from .report import format_table, mean, summary_line
 
 
 @dataclass(frozen=True)
@@ -31,9 +31,9 @@ class Table2Result:
     @property
     def average_improvement_vs_enhanced(self) -> float:
         """Average % reduction of delay overhead vs enhanced scan."""
-        return sum(
+        return mean(
             c.improvement_vs_enhanced for c in self.comparisons
-        ) / len(self.comparisons)
+        )
 
     def render(self) -> str:
         """Paper-style text table."""

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dft import OverheadComparison, compare_power
 from .common import POWER_VECTORS, SEED, default_circuits, styled_designs
 from .parallel import error_row, run_per_circuit
-from .report import format_table, summary_line
+from .report import format_table, mean, summary_line
 
 
 @dataclass(frozen=True)
@@ -31,9 +31,9 @@ class Table3Result:
     @property
     def average_improvement_vs_enhanced(self) -> float:
         """Average % reduction of power overhead vs enhanced scan."""
-        return sum(
+        return mean(
             c.improvement_vs_enhanced for c in self.comparisons
-        ) / len(self.comparisons)
+        )
 
     @property
     def circuits_below_original(self) -> List[str]:

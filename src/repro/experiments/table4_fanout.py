@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dft import FanoutOptResult, insert_scan, optimize_fanout
 from ..synth import map_netlist
 from .common import SEED, circuit, default_circuits
-from .report import format_table, summary_line
+from .report import format_table, mean, summary_line
 
 
 @dataclass(frozen=True)
@@ -33,14 +33,14 @@ class Table4Result:
     @property
     def average_improvement(self) -> float:
         """Average % reduction of FLH area overhead."""
-        return sum(r.area_improvement_pct for r in self.results) / len(
-            self.results
-        )
+        return mean(r.area_improvement_pct for r in self.results)
 
     @property
     def best_improvement(self) -> float:
-        """Best-case % reduction (paper: up to 37%)."""
-        return max(r.area_improvement_pct for r in self.results)
+        """Best-case % reduction (paper: up to 37%; 0.0 on no results)."""
+        return max(
+            (r.area_improvement_pct for r in self.results), default=0.0
+        )
 
     @property
     def circuits_below_ff_count(self) -> List[str]:

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist import Netlist
+from ..obs import get_recorder
 from .collapse import collapse_stuck, dominance_collapse_stuck
 from .fsim import FaultSimulator
 from .models import StuckFault, all_stuck_faults
@@ -161,11 +162,26 @@ class AtpgFlow:
         faults = list(faults)
         result = AtpgFlowResult(n_faults=len(faults), status={},
                                 detected_via={})
-        with ShardedFaultSimulator(self.netlist,
-                                   self.config.processes) as pool:
-            pool.load_faults(faults)
-            self._random_phase(result, pool)
-            self._podem_phase(pool.active_faults, result, pool)
+        rec = get_recorder()
+        with rec.span("atpg.run", cat="atpg", circuit=self.netlist.name,
+                      n_faults=len(faults),
+                      processes=self.config.processes):
+            with ShardedFaultSimulator(self.netlist,
+                                       self.config.processes) as pool:
+                pool.load_faults(faults)
+                with rec.span("atpg.phase1_random", cat="atpg",
+                              circuit=self.netlist.name):
+                    self._random_phase(result, pool)
+                survivors = pool.active_faults
+                rec.event("atpg.phase_boundary", cat="atpg",
+                          circuit=self.netlist.name,
+                          detected_random=len(result.detected_via),
+                          survivors=len(survivors),
+                          patterns_simulated=result.n_random_simulated)
+                with rec.span("atpg.phase2_podem", cat="atpg",
+                              circuit=self.netlist.name,
+                              survivors=len(survivors)):
+                    self._podem_phase(survivors, result, pool)
         return result
 
     # ------------------------------------------------------------------
@@ -180,9 +196,11 @@ class AtpgFlow:
         per newly dropped fault is kept in ``result.tests``.
         """
         config = self.config
+        rec = get_recorder()
         rng = random.Random(config.seed)
         nets = self._input_nets
         idle = 0
+        batch = 0
         while (pool.n_active
                and result.n_random_simulated < config.n_random_patterns
                and idle < config.max_idle_batches):
@@ -196,6 +214,13 @@ class AtpgFlow:
                 result.status[fault] = "detected"
                 result.detected_via[fault] = VIA_RANDOM
                 keep_bits |= mask & -mask   # one detecting pattern
+            if rec.enabled:
+                rec.event("atpg.random_batch", cat="atpg", batch=batch,
+                          n_patterns=n, detected=len(hits),
+                          remaining=pool.n_active)
+                rec.incr("atpg.detected_random", len(hits))
+                rec.incr("atpg.random_patterns", n)
+            batch += 1
             if not hits:
                 idle += 1
             else:
@@ -242,29 +267,35 @@ class AtpgFlow:
                      + [f for f in survivors if f not in kept])
         else:
             order = list(survivors)
+        rec = get_recorder()
         for fault in order:
             if result.status.get(fault) in ("detected", "untestable"):
                 continue
             atpg = self.podem.generate(fault)
             result.podem_calls += 1
             result.backtracks += atpg.backtracks
+            rec.incr("atpg.podem_calls")
             if atpg.detected:
                 result.tests.append(atpg.test)
                 result.status[fault] = "detected"
                 result.detected_via[fault] = VIA_PODEM
+                rec.incr("atpg.detected_podem")
                 pool.drop_faults([fault])
                 if pool.n_active:
                     dropped = pool.round_patterns([atpg.test], drop=True)
+                    rec.incr("atpg.detected_drop", len(dropped))
                     for other in sorted(dropped):
                         result.status[other] = "detected"
                         result.detected_via[other] = VIA_DROP
             elif atpg.status == "untestable":
                 result.status[fault] = "untestable"
+                rec.incr("atpg.untestable")
                 pool.drop_faults([fault])
             else:
                 # Aborted: stays in the droppable pool -- a later
                 # fault's test may still detect it.
                 result.status[fault] = "aborted"
+                rec.incr("atpg.aborted")
 
 
 def run_flow(netlist: Netlist,
@@ -283,6 +314,7 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
     import json as _json
 
     from ..bench import available_circuits, load_circuit
+    from ..obs import add_trace_argument, trace_session
 
     parser = argparse.ArgumentParser(
         prog="repro atpg",
@@ -310,6 +342,7 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                              "targets")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON object per circuit")
+    add_trace_argument(parser)
     args = parser.parse_args(argv)
 
     names = available_circuits() if args.all else args.circuits
@@ -321,20 +354,27 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
         use_dominance=not args.no_dominance,
         processes=args.processes,
     )
-    for name in names:
-        netlist = load_circuit(name)
-        result = AtpgFlow(netlist, config).run()
-        summary = result.summary()
-        if args.json:
-            print(_json.dumps({"circuit": name, **summary}, sort_keys=True))
-        else:
-            print(f"{name}: coverage {summary['coverage']:.4f} "
-                  f"({summary['detected']}/{summary['n_faults']} detected, "
-                  f"{summary['untestable']} untestable, "
-                  f"{summary['aborted']} aborted) | "
-                  f"{summary['tests']} tests | "
-                  f"random {summary['detected_random']}, "
-                  f"podem {summary['detected_podem']}, "
-                  f"dropped {summary['detected_drop']} | "
-                  f"{summary['podem_calls']} PODEM calls")
+    manifest_extra: Dict[str, object] = {"seed": args.seed,
+                                         "circuits": {}}
+    with trace_session(args.trace, "atpg", argv=list(argv or []),
+                       extra=manifest_extra):
+        for name in names:
+            netlist = load_circuit(name)
+            result = AtpgFlow(netlist, config).run()
+            summary = result.summary()
+            manifest_extra["circuits"][name] = summary
+            if args.json:
+                print(_json.dumps({"circuit": name, **summary},
+                                  sort_keys=True))
+            else:
+                print(f"{name}: coverage {summary['coverage']:.4f} "
+                      f"({summary['detected']}/{summary['n_faults']} "
+                      f"detected, "
+                      f"{summary['untestable']} untestable, "
+                      f"{summary['aborted']} aborted) | "
+                      f"{summary['tests']} tests | "
+                      f"random {summary['detected_random']}, "
+                      f"podem {summary['detected_podem']}, "
+                      f"dropped {summary['detected_drop']} | "
+                      f"{summary['podem_calls']} PODEM calls")
     return 0

@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from ..errors import SimulationError
 from ..netlist import Netlist
+from ..obs import get_recorder
 from ..power.logicsim import LogicSimulator, pack_patterns
 from .models import StuckFault, TransitionFault
 
@@ -264,18 +265,28 @@ class FaultSimulator:
         per-fault masks are computed with early exit (non-zero iff
         detected, not necessarily complete).
         """
-        good, mask = self.good_array(patterns)
-        detected = self.detect_stuck_many(faults, good, mask,
-                                          early_exit=drop_detected)
+        with get_recorder().span("fsim.stuck", cat="fsim",
+                                 circuit=self.netlist.name,
+                                 n_faults=len(faults),
+                                 n_patterns=len(patterns),
+                                 drop=drop_detected):
+            good, mask = self.good_array(patterns)
+            detected = self.detect_stuck_many(faults, good, mask,
+                                              early_exit=drop_detected)
         return FaultSimResult(detected=detected, n_patterns=len(patterns))
 
     def simulate_stuck_packed(self, faults: Sequence[StuckFault],
                               words: Mapping[str, int], n_patterns: int,
                               drop_detected: bool = False) -> FaultSimResult:
         """Like :meth:`simulate_stuck`, from pre-packed input words."""
-        good, mask = self.good_array_from_words(words, n_patterns)
-        detected = self.detect_stuck_many(faults, good, mask,
-                                          early_exit=drop_detected)
+        with get_recorder().span("fsim.stuck_packed", cat="fsim",
+                                 circuit=self.netlist.name,
+                                 n_faults=len(faults),
+                                 n_patterns=n_patterns,
+                                 drop=drop_detected):
+            good, mask = self.good_array_from_words(words, n_patterns)
+            detected = self.detect_stuck_many(faults, good, mask,
+                                              early_exit=drop_detected)
         return FaultSimResult(detected=detected, n_patterns=n_patterns)
 
     # ------------------------------------------------------------------
@@ -300,10 +311,20 @@ class FaultSimulator:
         ``drop_detected`` applies the early-exit mask contract of
         :meth:`simulate_stuck` to the V2 stuck-at detection step.
         """
+        rec = get_recorder()
+        span = rec.span("fsim.transition", cat="fsim",
+                        circuit=self.netlist.name, n_faults=len(faults),
+                        n_pairs=len(pairs), drop=drop_detected)
         v1s = [pair[0] for pair in pairs]
         v2s = [pair[1] for pair in pairs]
-        good1, mask = self.good_array(v1s)
-        good2, _ = self.good_array(v2s)
+        with span:
+            good1, mask = self.good_array(v1s)
+            good2, _ = self.good_array(v2s)
+            return self._transition_masks(faults, good1, good2, mask,
+                                          len(pairs), drop_detected)
+
+    def _transition_masks(self, faults, good1, good2, mask, n_pairs,
+                          drop_detected) -> FaultSimResult:
         compiled = self.compiled
         detected: Dict[object, int] = {}
         for fault in faults:
@@ -327,7 +348,7 @@ class FaultSimulator:
                 early_exit=drop_detected,
             )
             detected[fault] = launch & stuck_mask
-        return FaultSimResult(detected=detected, n_patterns=len(pairs))
+        return FaultSimResult(detected=detected, n_patterns=n_pairs)
 
 
 def random_pattern_words(netlist: Netlist, n_patterns: int,

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
+from ..errors import SimulationError
 from ..netlist import Netlist
 from .fsim import FaultSimulator
 from .models import FALL, RISE, TransitionFault
@@ -46,9 +47,20 @@ def sample_delay_defects(netlist: Netlist, n_defects: int = 50,
     Each defect is a slow-to-rise or slow-to-fall at a random
     combinational net -- the footprint of a gate whose device corner
     came out slow enough to miss the rated clock.
+
+    Raises :class:`~repro.errors.SimulationError` when the netlist has
+    no combinational gates to sample from (an FF-only or input-only
+    circuit cannot host a gate delay defect).
     """
     rng = random.Random(seed)
     nets = [g.name for g in netlist.combinational_gates()]
+    if n_defects <= 0:
+        return []
+    if not nets:
+        raise SimulationError(
+            f"cannot sample delay defects: netlist {netlist.name!r} "
+            "has no combinational gates"
+        )
     defects: List[TransitionFault] = []
     for _ in range(n_defects):
         net = rng.choice(nets)

@@ -43,6 +43,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..netlist import Netlist, from_dict, to_dict
+from ..obs import get_recorder
 from .fsim import FaultSimResult, FaultSimulator
 from .models import StuckFault
 
@@ -50,6 +51,21 @@ from .models import StuckFault
 READY_TIMEOUT = 300.0
 #: Join grace before escalating to terminate/kill at close time.
 _JOIN_GRACE = 5.0
+
+
+def _record_swallowed(where: str, exc: BaseException) -> None:
+    """Make a deliberately-swallowed exception visible.
+
+    Shutdown/backstop paths keep their original control flow (the
+    swallow is correct -- nothing useful can be done with a broken
+    pipe at close time), but each one now emits a warning event and
+    bumps ``pool.swallowed_errors`` so tests and the CI trace check
+    can assert the count is zero on a healthy run.
+    """
+    get_recorder().warning(
+        "pool.swallowed_error", counter="pool.swallowed_errors",
+        where=where, exc_type=type(exc).__name__, detail=str(exc),
+    )
 
 
 def shard_faults(faults: Sequence[StuckFault],
@@ -114,8 +130,10 @@ def _worker_main(conn, worker_id: int, netlist_data: Dict) -> None:
     except BaseException as exc:  # noqa: BLE001 -- must report, not die silently
         try:
             conn.send(("err", -1, type(exc).__name__, str(exc)))
-        except Exception:
-            pass
+        except Exception as send_exc:
+            # The parent's pipe end is gone too: the startup error
+            # cannot be reported, only recorded (worker-process-local).
+            _record_swallowed("worker.err_report", send_exc)
         conn.close()
         return
     active: List[StuckFault] = []
@@ -205,27 +223,35 @@ class ShardedFaultSimulator:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platforms without fork: netlist dict pickles
             ctx = multiprocessing.get_context()
+        rec = get_recorder()
         data = to_dict(self.netlist)
         try:
-            for worker_id in range(self.processes):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, worker_id, data),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._workers.append((proc, parent_conn))
-            for worker_id in range(self.processes):
-                msg = self._recv(worker_id, timeout=READY_TIMEOUT)
-                if msg[0] != "ready":
-                    raise SimulationError(
-                        f"shard worker {worker_id} failed to start: "
-                        f"{msg[2]}: {msg[3]}" if msg[0] == "err"
-                        else f"shard worker {worker_id}: bad handshake "
-                             f"{msg[0]!r}"
+            with rec.span("pool.start", cat="pool",
+                          circuit=self.netlist.name,
+                          processes=self.processes):
+                for worker_id in range(self.processes):
+                    parent_conn, child_conn = ctx.Pipe(duplex=True)
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, worker_id, data),
+                        daemon=True,
                     )
+                    proc.start()
+                    child_conn.close()
+                    self._workers.append((proc, parent_conn))
+                    rec.event("pool.worker_forked", cat="pool",
+                              worker=worker_id, worker_pid=proc.pid)
+                for worker_id in range(self.processes):
+                    msg = self._recv(worker_id, timeout=READY_TIMEOUT)
+                    if msg[0] != "ready":
+                        raise SimulationError(
+                            f"shard worker {worker_id} failed to start: "
+                            f"{msg[2]}: {msg[3]}" if msg[0] == "err"
+                            else f"shard worker {worker_id}: bad handshake "
+                                 f"{msg[0]!r}"
+                        )
+                    rec.event("pool.worker_ready", cat="pool",
+                              worker=worker_id)
         except BaseException:
             self.close()
             raise
@@ -233,40 +259,61 @@ class ShardedFaultSimulator:
         return self
 
     def close(self) -> None:
-        """Stop every worker: polite message, then bounded escalation."""
+        """Stop every worker: polite message, then bounded escalation.
+
+        Pipe failures on the way down are expected (a worker may have
+        died first) and deliberately swallowed -- but each one is
+        recorded as a ``pool.swallowed_error`` warning, so shutdown
+        stays quiet without being invisible.
+        """
         workers, self._workers = self._workers, []
         self._serial = None
         self._started = False
-        for proc, conn in workers:
+        rec = get_recorder()
+        for worker_id, (proc, conn) in enumerate(workers):
             try:
                 conn.send(("stop",))
-            except (OSError, ValueError, BrokenPipeError):
-                pass
-        for proc, conn in workers:
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                _record_swallowed(f"close.stop_send[{worker_id}]", exc)
+        for worker_id, (proc, conn) in enumerate(workers):
             proc.join(timeout=_JOIN_GRACE)
             if proc.is_alive():
+                rec.warning("pool.worker_terminated",
+                            counter="pool.workers_terminated",
+                            worker=worker_id)
                 proc.terminate()
                 proc.join(timeout=_JOIN_GRACE)
             if proc.is_alive():
+                rec.warning("pool.worker_killed",
+                            counter="pool.workers_killed",
+                            worker=worker_id)
                 proc.kill()
                 proc.join()
             try:
                 conn.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                _record_swallowed(f"close.conn_close[{worker_id}]", exc)
+            rec.event("pool.worker_stopped", cat="pool",
+                      worker=worker_id, exit_code=proc.exitcode)
 
     def __enter__(self) -> "ShardedFaultSimulator":
         return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     def __del__(self) -> None:  # best-effort backstop; daemon=True anyway
         try:
             if self._workers:
                 self.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            try:
+                _record_swallowed("del.close", exc)
+            except Exception:
+                # Interpreter teardown can have dismantled the
+                # recorder module itself; at that point there is
+                # nowhere left to record to.
+                pass
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- plumbing ------------------------------------------------------
     def _ensure_started(self) -> None:
@@ -324,18 +371,33 @@ class ShardedFaultSimulator:
         a pipe to desynchronize the next request -- the pool stays
         usable after the raise.
         """
+        rec = get_recorder()
         replies: List[Optional[Dict[StuckFault, int]]] = []
         errors: List[str] = []
         for worker_id, req_id in requests:
+            wait_start = rec.now_us() if rec.enabled else 0.0
             try:
                 msg = self._recv(worker_id, timeout=self.request_timeout)
             except SimulationError as exc:
+                rec.warning("pool.shard_error",
+                            counter="pool.shard_errors",
+                            worker=worker_id, detail=str(exc))
                 errors.append(str(exc))
                 replies.append(None)
                 continue
+            if rec.enabled:
+                rec.complete_event(
+                    "pool.shard_reply", wait_start,
+                    rec.now_us() - wait_start, cat="pool",
+                    worker=worker_id, req_id=req_id, kind=msg[0],
+                )
             if msg[0] == "ok" and msg[1] == req_id:
                 replies.append(msg[2])
             elif msg[0] == "err":
+                rec.warning("pool.shard_error",
+                            counter="pool.shard_errors",
+                            worker=worker_id, exc_type=msg[2],
+                            detail=msg[3])
                 errors.append(
                     f"shard {worker_id} [{msg[2]}]: {msg[3]}"
                 )
@@ -353,15 +415,19 @@ class ShardedFaultSimulator:
     def _fanout(self, shards: List[List[StuckFault]], payload: Tuple,
                 drop: bool) -> Dict[StuckFault, int]:
         """One-shot fan-out: per-shard ``sim`` requests, merged masks."""
-        requests: List[Tuple[int, int]] = []
-        for worker_id, shard in enumerate(shards):
-            req_id = next(self._req_ids)
-            self._send(worker_id, ("sim", req_id, shard, payload, drop))
-            requests.append((worker_id, req_id))
-        merged: Dict[StuckFault, int] = {}
-        for detected in self._collect(requests):
-            merged.update(detected)
-        return merged
+        with get_recorder().span("pool.fanout", cat="pool",
+                                 kind=payload[0], drop=drop,
+                                 n_shards=len(shards)):
+            requests: List[Tuple[int, int]] = []
+            for worker_id, shard in enumerate(shards):
+                req_id = next(self._req_ids)
+                self._send(worker_id,
+                           ("sim", req_id, shard, payload, drop))
+                requests.append((worker_id, req_id))
+            merged: Dict[StuckFault, int] = {}
+            for detected in self._collect(requests):
+                merged.update(detected)
+            return merged
 
     # -- one-shot API --------------------------------------------------
     def simulate_stuck(self, faults: Sequence[StuckFault],
@@ -441,23 +507,28 @@ class ShardedFaultSimulator:
             self._send(worker_id, ("drop", sorted(retired)))
 
     def _round(self, payload: Tuple, drop: bool) -> Dict[StuckFault, int]:
-        if self._serial is not None:
-            detected = _shard_detect(self._serial, self._active,
-                                     payload, drop)
-            hits = {f: m for f, m in detected.items() if m}
-        else:
-            requests: List[Tuple[int, int]] = []
-            for worker_id in range(len(self._workers)):
-                req_id = next(self._req_ids)
-                self._send(worker_id, ("round", req_id, payload, drop))
-                requests.append((worker_id, req_id))
-            merged: Dict[StuckFault, int] = {}
-            for reply in self._collect(requests):
-                merged.update(reply)
-            # Fault-order-stable view of this round's detections.
-            hits = {f: merged[f] for f in self._active if f in merged}
-        if drop:
-            self._active = [f for f in self._active if f not in hits]
+        rec = get_recorder()
+        with rec.span("pool.round", cat="pool", kind=payload[0],
+                      n_active=len(self._active), drop=drop,
+                      processes=self.processes):
+            if self._serial is not None:
+                detected = _shard_detect(self._serial, self._active,
+                                         payload, drop)
+                hits = {f: m for f, m in detected.items() if m}
+            else:
+                requests: List[Tuple[int, int]] = []
+                for worker_id in range(len(self._workers)):
+                    req_id = next(self._req_ids)
+                    self._send(worker_id,
+                               ("round", req_id, payload, drop))
+                    requests.append((worker_id, req_id))
+                merged: Dict[StuckFault, int] = {}
+                for reply in self._collect(requests):
+                    merged.update(reply)
+                # Fault-order-stable view of this round's detections.
+                hits = {f: merged[f] for f in self._active if f in merged}
+            if drop:
+                self._active = [f for f in self._active if f not in hits]
         return hits
 
     def round_packed(self, words: Mapping[str, int], n_patterns: int,
@@ -491,6 +562,7 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
 
     from ..bench import load_circuit
     from ..netlist import compile_cache_info
+    from ..obs import add_trace_argument, trace_session
     from .collapse import collapse_stuck
     from .fsim import random_pattern_words
     from .models import all_stuck_faults
@@ -516,46 +588,56 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="one JSON record per circuit (includes "
                              "compile-cache statistics)")
+    add_trace_argument(parser)
     args = parser.parse_args(argv)
 
     status = 0
-    for name in args.circuits:
-        netlist = load_circuit(name)
-        faults = collapse_stuck(netlist, all_stuck_faults(netlist))
-        words = random_pattern_words(netlist, args.patterns, args.seed)
-        start = time.perf_counter()
-        with ShardedFaultSimulator(netlist, args.processes) as pool:
-            result = pool.simulate_stuck_packed(
-                faults, words, args.patterns, drop_detected=args.drop
-            )
-        seconds = time.perf_counter() - start
-        record = {
-            "circuit": name,
-            "processes": args.processes,
-            "n_faults": len(faults),
-            "n_patterns": args.patterns,
-            "drop": args.drop,
-            "coverage": result.coverage,
-            "seconds": seconds,
-        }
-        if args.check_serial:
-            serial = FaultSimulator(netlist).simulate_stuck_packed(
-                faults, words, args.patterns, drop_detected=args.drop
-            )
-            identical = serial.detected == result.detected
-            record["identical_masks"] = identical
-            if not identical:
-                status = 1
-        record["compile_cache"] = compile_cache_info()
-        if args.json:
-            print(_json.dumps(record, sort_keys=True))
-        else:
-            extra = ""
-            if "identical_masks" in record:
-                extra = (" | masks identical to serial"
-                         if record["identical_masks"]
-                         else " | MASK MISMATCH vs serial")
-            print(f"{name}: coverage {result.coverage:.4f} over "
-                  f"{len(faults)} faults / {args.patterns} patterns, "
-                  f"{args.processes} process(es), {seconds:.3f}s{extra}")
+    manifest_extra: Dict[str, object] = {"seed": args.seed,
+                                         "circuits": {}}
+    with trace_session(args.trace, "fsim", argv=list(argv or []),
+                       extra=manifest_extra):
+        for name in args.circuits:
+            netlist = load_circuit(name)
+            faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+            words = random_pattern_words(netlist, args.patterns,
+                                         args.seed)
+            start = time.perf_counter()
+            with ShardedFaultSimulator(netlist, args.processes) as pool:
+                result = pool.simulate_stuck_packed(
+                    faults, words, args.patterns, drop_detected=args.drop
+                )
+            seconds = time.perf_counter() - start
+            record = {
+                "circuit": name,
+                "processes": args.processes,
+                "n_faults": len(faults),
+                "n_patterns": args.patterns,
+                "drop": args.drop,
+                "coverage": result.coverage,
+                "seconds": seconds,
+            }
+            if args.check_serial:
+                serial = FaultSimulator(netlist).simulate_stuck_packed(
+                    faults, words, args.patterns, drop_detected=args.drop
+                )
+                identical = serial.detected == result.detected
+                record["identical_masks"] = identical
+                if not identical:
+                    status = 1
+            record["compile_cache"] = compile_cache_info()
+            manifest_extra["circuits"][name] = {
+                k: v for k, v in record.items() if k != "compile_cache"
+            }
+            if args.json:
+                print(_json.dumps(record, sort_keys=True))
+            else:
+                extra = ""
+                if "identical_masks" in record:
+                    extra = (" | masks identical to serial"
+                             if record["identical_masks"]
+                             else " | MASK MISMATCH vs serial")
+                print(f"{name}: coverage {result.coverage:.4f} over "
+                      f"{len(faults)} faults / {args.patterns} patterns, "
+                      f"{args.processes} process(es), "
+                      f"{seconds:.3f}s{extra}")
     return status

@@ -30,6 +30,7 @@ from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import NetlistError
+from ..obs import get_recorder
 from .netlist import Netlist
 from .graph import topological_order
 
@@ -653,23 +654,32 @@ def compile_netlist(netlist: Netlist, use_cache: bool = True) -> CompiledNetlist
     fault-simulation worker -- skip recompilation entirely.
     """
     global _CACHE_HITS, _CACHE_MISSES, _DISK_HITS, _DISK_MISSES
+    rec = get_recorder()
     if not use_cache:
-        return CompiledNetlist(netlist)
+        with rec.span("compile.netlist", cat="compile",
+                      circuit=netlist.name, cached=False):
+            return CompiledNetlist(netlist)
     key = content_hash(netlist)
     cached = _COMPILE_CACHE.get(key)
     if cached is not None:
         _CACHE_HITS += 1
+        rec.incr("compile.memory_hits")
         return cached
     _CACHE_MISSES += 1
+    rec.incr("compile.memory_misses")
     disk = _disk_tier()
     if disk is not None:
         loaded = disk.get(key)
         if isinstance(loaded, CompiledNetlist) and loaded.key == key:
             _DISK_HITS += 1
+            rec.incr("compile.disk_hits")
             _COMPILE_CACHE[key] = loaded
             return loaded
         _DISK_MISSES += 1
-    compiled = CompiledNetlist(netlist)
+        rec.incr("compile.disk_misses")
+    with rec.span("compile.netlist", cat="compile",
+                  circuit=netlist.name, key=key[:12]):
+        compiled = CompiledNetlist(netlist)
     _COMPILE_CACHE[key] = compiled
     if disk is not None:
         disk.put(key, compiled)

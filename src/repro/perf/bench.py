@@ -59,6 +59,7 @@ from ..netlist import (
     compile_cache_info,
     compile_netlist,
 )
+from ..obs import add_trace_argument, get_recorder, trace_session
 from ..power import LogicSimulator
 from ..timing import analyze
 from .reference import ReferenceFaultSimulator, ReferenceThreeValuedSimulator
@@ -538,9 +539,12 @@ KERNEL_GROUPS = (
 def run_bench(quick: bool = True) -> Dict[str, object]:
     """Run every kernel group; returns the report dict."""
     clear_caches()
+    rec = get_recorder()
     rows: List[Dict[str, object]] = []
     for group in KERNEL_GROUPS:
-        rows.extend(group(quick))
+        with rec.span("bench.group", cat="bench", group=group.__name__,
+                      quick=quick):
+            rows.extend(group(quick))
     return {
         "schema": 1,
         "date": datetime.date.today().isoformat(),
@@ -650,9 +654,18 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default 2.5)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="also (re)write the baseline file from this run")
+    add_trace_argument(parser)
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    report = run_bench(quick=args.quick)
+    manifest_extra: Dict[str, object] = {"quick": args.quick}
+    with trace_session(args.trace, "bench", argv=list(argv or []),
+                       extra=manifest_extra):
+        report = run_bench(quick=args.quick)
+        manifest_extra["kernels"] = [
+            {k: row.get(k) for k in ("kernel", "seconds", "speedup")
+             if k in row}
+            for row in report["kernels"]
+        ]
     print(render_report(report))
 
     output = args.output or f"BENCH_{report['date']}.json"

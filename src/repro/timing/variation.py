@@ -33,12 +33,17 @@ class VariationReport:
 
     @property
     def mean(self) -> float:
-        """Mean sampled critical delay."""
+        """Mean sampled critical delay (0.0 when no samples were drawn)."""
+        if not self.samples:
+            return 0.0
         return sum(self.samples) / len(self.samples)
 
     @property
     def std(self) -> float:
-        """Standard deviation of the sampled critical delay."""
+        """Standard deviation of the sampled critical delay (0.0 when
+        no samples were drawn)."""
+        if not self.samples:
+            return 0.0
         mu = self.mean
         return math.sqrt(
             sum((s - mu) ** 2 for s in self.samples) / len(self.samples)
@@ -46,11 +51,16 @@ class VariationReport:
 
     @property
     def worst(self) -> float:
-        """Worst sampled critical delay."""
+        """Worst sampled critical delay (0.0 when no samples were drawn)."""
+        if not self.samples:
+            return 0.0
         return max(self.samples)
 
     def failure_probability(self, clock_period: float) -> float:
-        """Fraction of samples missing ``clock_period``."""
+        """Fraction of samples missing ``clock_period`` (0.0 when no
+        samples were drawn)."""
+        if not self.samples:
+            return 0.0
         return sum(
             1 for s in self.samples if s > clock_period
         ) / len(self.samples)

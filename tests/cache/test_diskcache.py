@@ -223,3 +223,93 @@ class TestUnrollTier:
         reloaded = broadside.unroll_two_frames(s27_netlist)
         assert reloaded is not first
         assert content_hash(reloaded) == content_hash(first)
+
+
+class TestDegradedModeObservability:
+    """Degraded cache operation stays non-fatal but leaves a trail on
+    the active recorder: warning events plus named counters."""
+
+    def test_put_failure_is_counted(self):
+        from repro.obs import Recorder, use_recorder
+
+        cache = DiskCache("ns", schema_version=1,
+                          root="/proc/definitely-not-writable")
+        rec = Recorder()
+        with use_recorder(rec):
+            assert cache.put("keyA", "v") is False
+        warnings = [
+            e for e in rec.events if e["name"] == "cache.put_failed"
+        ]
+        assert warnings and warnings[0]["args"]["stage"] == "create"
+        assert rec.counter("cache.put_failed") == 1
+
+    def test_utime_failure_still_serves_the_hit(self, cache, monkeypatch):
+        from repro.obs import Recorder, use_recorder
+
+        cache.put("keyB", {"v": 1})
+
+        def broken_utime(path, *args, **kwargs):
+            raise PermissionError(13, "utime denied", path)
+
+        monkeypatch.setattr(os, "utime", broken_utime)
+        rec = Recorder()
+        with use_recorder(rec):
+            assert cache.get("keyB") == {"v": 1}   # hit survives
+        assert cache.hits == 1
+        assert rec.counter("cache.hits") == 1
+        assert rec.counter("cache.utime_failed") == 1
+        warning = next(
+            e for e in rec.events if e["name"] == "cache.utime_failed"
+        )
+        assert warning["severity"] == "warning"
+        assert warning["args"]["key"] == "keyB"
+
+    def test_corrupt_entry_is_counted(self, cache):
+        from repro.obs import Recorder, use_recorder
+
+        path = cache.path_for("keyC")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        rec = Recorder()
+        with use_recorder(rec):
+            assert cache.get("keyC") is None
+        assert rec.counter("cache.corrupt_entries") == 1
+        assert rec.counter("cache.misses") == 1
+
+    def test_eviction_racing_concurrent_reader(self, tmp_path,
+                                               monkeypatch):
+        from repro.obs import Recorder, use_recorder
+
+        cache = DiskCache("ns", schema_version=1, root=str(tmp_path),
+                          max_bytes=0)     # no eviction yet
+        cache.put("old1", "a" * 100)
+        cache.max_bytes = 1                # next put must evict
+
+        real_remove = DiskCache._remove
+
+        def racing_remove(path):
+            # A concurrent evictor/reader deleted the entry between
+            # our stat and our remove.
+            if os.path.exists(path):
+                os.remove(path)
+            return real_remove(path)
+
+        monkeypatch.setattr(DiskCache, "_remove",
+                            staticmethod(racing_remove))
+        rec = Recorder()
+        with use_recorder(rec):
+            cache.put("old2", "b" * 100)   # triggers eviction, races
+        assert rec.counter("cache.eviction_races") >= 1
+        assert cache.evictions == 0       # the race won every remove
+
+    def test_normal_eviction_is_counted(self, tmp_path):
+        from repro.obs import Recorder, use_recorder
+
+        cache = DiskCache("ns", schema_version=1, root=str(tmp_path),
+                          max_bytes=1)
+        rec = Recorder()
+        with use_recorder(rec):
+            cache.put("old1", "a" * 100)
+            cache.put("old2", "b" * 100)
+        assert rec.counter("cache.evictions") == cache.evictions >= 1

@@ -42,3 +42,36 @@ def test_explicit_columns_subset():
 def test_summary_line():
     assert summary_line("avg", [1.0, 2.0, 3.0]) == "avg: 2.0"
     assert summary_line("avg", []) == "avg: n/a"
+
+
+def test_mean_basic():
+    from repro.experiments.report import mean
+
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_mean_empty_defaults_to_zero():
+    from repro.experiments.report import mean
+
+    assert mean([]) == 0.0
+    assert mean((), empty=-1.0) == -1.0
+
+
+def test_table_averages_survive_empty_comparisons():
+    """All-error runs (every row degraded) must render, not divide by 0."""
+    from repro.experiments.table1_area import Table1Result
+    from repro.experiments.table2_delay import Table2Result
+    from repro.experiments.table3_power import Table3Result
+    from repro.experiments.table4_fanout import Table4Result
+
+    t1 = Table1Result(rows=[], comparisons=[])
+    assert t1.average_improvement_vs_enhanced == 0.0
+    assert t1.average_improvement_vs_mux == 0.0
+    t2 = Table2Result(rows=[], comparisons=[])
+    assert t2.average_improvement_vs_enhanced == 0.0
+    t3 = Table3Result(rows=[], comparisons=[])
+    assert t3.average_improvement_vs_enhanced == 0.0
+    assert t3.circuits_below_original == []
+    t4 = Table4Result(rows=[], results=[])
+    assert t4.average_improvement == 0.0
+    assert t4.best_improvement == 0.0

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import SimulationError
+from repro.netlist import Netlist
 from repro.fault import (
     STYLE_ARBITRARY,
     STYLE_BROADSIDE,
@@ -27,6 +29,36 @@ class TestSampling:
         comb = {g.name for g in s298_netlist.combinational_gates()}
         for defect in sample_delay_defects(s298_netlist, 20, seed=2):
             assert defect.net in comb
+
+    def test_zero_defects_is_empty(self, s298_netlist):
+        assert sample_delay_defects(s298_netlist, n_defects=0) == []
+
+
+class TestDegenerateCircuits:
+    """Circuits with no combinational gates cannot host delay defects."""
+
+    @pytest.fixture
+    def ff_only(self):
+        """One DFF between an input and an output: zero gates."""
+        n = Netlist("ff_only")
+        n.add_input("d")
+        n.add("q", "DFF", ("d",))
+        n.add_output("q")
+        return n
+
+    def test_sampling_raises_structured_error(self, ff_only):
+        with pytest.raises(SimulationError) as excinfo:
+            sample_delay_defects(ff_only, n_defects=5)
+        assert "ff_only" in str(excinfo.value)
+        assert "combinational" in str(excinfo.value)
+
+    def test_zero_defects_still_empty(self, ff_only):
+        """Asking for nothing succeeds even with no sites to pick."""
+        assert sample_delay_defects(ff_only, n_defects=0) == []
+
+    def test_escape_study_propagates_cleanly(self, ff_only):
+        with pytest.raises(SimulationError):
+            escape_study(ff_only, {"none": []}, n_defects=5)
 
 
 class TestEscapeStudy:

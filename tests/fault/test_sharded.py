@@ -248,3 +248,64 @@ class TestShardErrors:
             words = words_for(s27_netlist, n, seed=5)
             pool.simulate_stuck_packed(faults, words, n)
         assert multiprocessing.active_children() == before
+
+
+class TestSwallowedErrorObservability:
+    """Deliberately-swallowed shutdown failures must leave a trail:
+    a ``pool.swallowed_error`` warning event plus a bumped
+    ``pool.swallowed_errors`` counter on the active recorder."""
+
+    def test_close_records_stop_send_failure(self, s27_netlist):
+        from repro.obs import Recorder, use_recorder
+
+        pool = ShardedFaultSimulator(s27_netlist, processes=2)
+        pool.start()
+        # Stop worker 0 ourselves and close our pipe end: the polite
+        # ("stop",) in close() now has nowhere to go and must be
+        # swallowed -- visibly.
+        proc0, conn0 = pool._workers[0]
+        conn0.send(("stop",))
+        proc0.join(timeout=10)
+        conn0.close()
+
+        rec = Recorder()
+        with use_recorder(rec):
+            pool.close()
+        assert rec.counter("pool.swallowed_errors") >= 1
+        warnings = [
+            e for e in rec.events if e["name"] == "pool.swallowed_error"
+        ]
+        assert warnings, "swallowed failure left no warning event"
+        assert any(
+            "close.stop_send" in e["args"]["where"] for e in warnings
+        )
+        assert all(e["severity"] == "warning" for e in warnings)
+
+    def test_clean_close_swallows_nothing(self, s27_netlist):
+        from repro.obs import Recorder, use_recorder
+
+        rec = Recorder()
+        with use_recorder(rec):
+            with ShardedFaultSimulator(s27_netlist, processes=2) as pool:
+                faults = sampled_faults(s27_netlist)
+                words = words_for(s27_netlist, 8, seed=5)
+                pool.simulate_stuck_packed(faults, words, 8)
+        assert rec.counter("pool.swallowed_errors") == 0
+
+    def test_del_backstop_records(self, s27_netlist):
+        from repro.obs import Recorder, use_recorder
+
+        pool = ShardedFaultSimulator.__new__(ShardedFaultSimulator)
+        pool._workers = [("malformed",)]  # close() will blow up on this
+        pool._serial = None
+        pool._started = True
+
+        rec = Recorder()
+        with use_recorder(rec):
+            pool.__del__()
+        assert rec.counter("pool.swallowed_errors") >= 1
+        assert any(
+            e["name"] == "pool.swallowed_error"
+            and e["args"]["where"] == "del.close"
+            for e in rec.events
+        )

@@ -1,0 +1,125 @@
+"""Tests for trace/manifest export."""
+
+import json
+import os
+
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    TRACE_SCHEMA,
+    Recorder,
+    build_manifest,
+    build_trace,
+    trace_path_siblings,
+    write_run,
+)
+
+
+class TestSiblings:
+    def test_json_extension_stripped(self):
+        paths = trace_path_siblings("/tmp/run.json")
+        assert paths["trace"] == "/tmp/run.json"
+        assert paths["events"] == "/tmp/run.events.jsonl"
+        assert paths["manifest"] == "/tmp/run.manifest.json"
+
+    def test_other_extension_kept_whole(self):
+        paths = trace_path_siblings("/tmp/run.out")
+        assert paths["events"] == "/tmp/run.out.events.jsonl"
+        assert paths["manifest"] == "/tmp/run.out.manifest.json"
+
+
+class TestBuildTrace:
+    def test_events_sorted_by_ts(self):
+        rec = Recorder()
+        # nested spans append inner-first: raw order is NOT ts order
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        trace = build_trace(rec)
+        ts = [e["ts"] for e in trace["traceEvents"]]
+        assert ts == sorted(ts)
+        assert [e["name"] for e in trace["traceEvents"]] == [
+            "outer", "inner",
+        ]
+
+    def test_other_data_carries_counters(self):
+        rec = Recorder()
+        rec.incr("c", 3)
+        rec.gauge("g", 1.5)
+        trace = build_trace(rec)
+        other = trace["otherData"]
+        assert other["schema"] == TRACE_SCHEMA
+        assert other["run_id"] == rec.run_id
+        assert other["counters"] == {"c": 3}
+        assert other["gauges"] == {"g": 1.5}
+
+    def test_trace_is_json_serializable(self):
+        rec = Recorder()
+        rec.event("e", payload={"nested": [1, 2]})
+        json.dumps(build_trace(rec))
+
+
+class TestBuildManifest:
+    def test_required_fields(self):
+        rec = Recorder()
+        rec.event("e")
+        rec.incr("c")
+        manifest = build_manifest(rec, command="test",
+                                  argv=["a", "b"], extra={"k": 1})
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["trace_schema"] == TRACE_SCHEMA
+        assert manifest["command"] == "test"
+        assert manifest["argv"] == ["a", "b"]
+        assert manifest["run_id"] == rec.run_id
+        assert manifest["n_events"] == 1
+        assert manifest["counters"] == {"c": 1}
+        assert manifest["wall_seconds"] >= 0
+        assert manifest["cpu_seconds"] >= 0
+        assert manifest["extra"] == {"k": 1}
+        assert manifest["pid"] == os.getpid()
+
+    def test_compile_cache_stats_present(self):
+        rec = Recorder()
+        manifest = build_manifest(rec, command="test")
+        # the lazy import must succeed in-repo and return the dict
+        assert isinstance(manifest["compile_cache"], dict)
+        assert "disk_hits" in manifest["compile_cache"]
+
+    def test_manifest_is_json_serializable(self):
+        rec = Recorder()
+        json.dumps(build_manifest(rec, command="test"))
+
+
+class TestWriteRun:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        rec = Recorder()
+        with rec.span("s"):
+            rec.event("e")
+        rec.warning("w")
+        paths = write_run(rec, str(tmp_path / "run.json"),
+                          command="test", argv=["x"])
+        for path in paths.values():
+            assert os.path.exists(path)
+        trace = json.loads(open(paths["trace"]).read())
+        assert len(trace["traceEvents"]) == 3
+        lines = open(paths["events"]).read().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+        manifest = json.loads(open(paths["manifest"]).read())
+        assert manifest["command"] == "test"
+        assert manifest["counters"]["w"] == 1
+
+    def test_no_temp_residue(self, tmp_path):
+        rec = Recorder()
+        rec.event("e")
+        write_run(rec, str(tmp_path / "run.json"), command="test")
+        residue = [n for n in os.listdir(tmp_path)
+                   if n.startswith(".trace-")]
+        assert residue == []
+
+    def test_creates_missing_directories(self, tmp_path):
+        rec = Recorder()
+        rec.event("e")
+        target = tmp_path / "deep" / "nested" / "run.json"
+        paths = write_run(rec, str(target), command="test")
+        assert os.path.exists(paths["trace"])

@@ -71,3 +71,23 @@ class TestMonteCarlo:
         )
         assert slowed.nominal_delay > base.nominal_delay
         assert slowed.mean > base.mean
+
+
+class TestEmptyReport:
+    """n_samples=0 (or a degenerate sweep) must not divide by zero."""
+
+    def test_zero_samples_statistics(self, report):
+        mapped, _ = report
+        empty = monte_carlo_delay(mapped, n_samples=0)
+        assert empty.samples == ()
+        assert empty.mean == 0.0
+        assert empty.std == 0.0
+        assert empty.worst == 0.0
+        assert empty.failure_probability(1.0) == 0.0
+
+    def test_constructed_empty_report(self):
+        from repro.timing.variation import VariationReport
+
+        empty = VariationReport(circuit="x", nominal_delay=1.0, samples=())
+        assert empty.mean == 0.0
+        assert empty.failure_probability(0.0) == 0.0
