@@ -28,6 +28,9 @@ Usage::
                                               # sharded fault simulation,
                                               # asserted identical to serial
 
+    python -m repro analyze s298              # static testability analysis
+    python -m repro analyze --all --json      # SCOAP + untestable proofs
+
     python -m repro table1 --processes 4      # fan circuits across workers
 
     python -m repro atpg s298 --trace run.json  # structured run trace
@@ -129,6 +132,10 @@ def main(argv: List[str] | None = None) -> int:
         from .fault.sharded import fsim_main
 
         return fsim_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from .analysis import analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "trace":
         from .obs import trace_main
 

@@ -1,0 +1,305 @@
+"""``python -m repro analyze`` -- the static testability-analysis CLI.
+
+Targets are catalog circuit names or ``.bench`` files, ``--all`` runs
+every catalog circuit.  The default text output is a per-circuit
+summary (fault universe sizes, statically-proven-untestable counts by
+reason, constant nets, hardest nets, the scan-cell difficulty table);
+``--json`` emits the full :meth:`TestabilityAnalyzer.report` payload,
+and ``--nets`` / ``--faults`` add the per-net SCOAP table and the
+per-fault proof list to the text output.
+
+``--write-baseline`` / ``--check-baseline`` pin the untestable-fault
+counts per circuit: CI runs the check over the whole catalog so a
+soundness or coverage regression in the prover shows up as a count
+drift, not as silently weaker ATPG pruning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .engine import REPORT_SCHEMA, TestabilityAnalyzer
+from .scoap import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_SEQ_PENALTY,
+    KNOWN_STYLES,
+)
+
+#: Baseline file layout version.
+BASELINE_SCHEMA = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Static testability analysis: SCOAP scores, implication "
+            "learning, and untestable-fault proofs (no simulation)."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*", metavar="CIRCUIT|FILE.bench",
+        help="catalog circuit names and/or .bench files",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="analyze every circuit in the ISCAS89 catalog",
+    )
+    parser.add_argument(
+        "--style", choices=KNOWN_STYLES, default="scan",
+        help="scan style for the SCOAP sequential boundary "
+             "(default: scan)",
+    )
+    parser.add_argument(
+        "--seq-penalty", type=int, default=DEFAULT_SEQ_PENALTY,
+        metavar="N",
+        help="cost of crossing the flip-flop boundary for --style none "
+             f"(default {DEFAULT_SEQ_PENALTY})",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=DEFAULT_MAX_ITERATIONS,
+        metavar="N",
+        help="sequential fixed-point iteration bound "
+             f"(default {DEFAULT_MAX_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON (one object per circuit)",
+    )
+    parser.add_argument(
+        "--nets", action="store_true",
+        help="include the per-net SCOAP table in text output",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="list every statically-proven-untestable fault",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hardest-nets / scan-cell tables (default 10)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk analysis cache",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write per-circuit untestable counts to FILE and exit",
+    )
+    parser.add_argument(
+        "--check-baseline", metavar="FILE", default=None,
+        help="fail (exit 1) if untestable counts drift from FILE",
+    )
+    from ..obs import add_trace_argument
+
+    add_trace_argument(parser)
+    return parser
+
+
+def _load_target(target: str):
+    from ..bench import available_circuits, load_circuit
+    from ..bench.parser import parse_bench_lenient
+
+    if os.path.exists(target) or target.endswith(".bench"):
+        with open(target, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        name = os.path.basename(target)
+        if name.endswith(".bench"):
+            name = name[: -len(".bench")]
+        netlist, _ = parse_bench_lenient(text, name=name, path=target)
+        return netlist
+    if target in available_circuits():
+        return load_circuit(target)
+    raise ReproError(
+        f"unknown analyze target {target!r}: not a file and not one of "
+        f"{', '.join(available_circuits())}"
+    )
+
+
+def _format_counts(section: Dict[str, object]) -> str:
+    by_reason = section["by_reason"]
+    detail = ", ".join(
+        f"{reason} {count}" for reason, count in sorted(by_reason.items())
+    )
+    suffix = f" ({detail})" if detail else ""
+    return (
+        f"{section['total']} faults, "
+        f"{section['untestable']} untestable{suffix}"
+    )
+
+
+def render_report(report: Dict[str, object], top: int = 10,
+                  show_nets: bool = False, show_faults: bool = False,
+                  scores=None) -> str:
+    """Human-readable text rendering of one analysis report."""
+    lines = [
+        f"== {report['circuit']} [{report['style']}] ==",
+        f"nets {report['n_nets']}, gates {report['n_gates']}, "
+        f"flip-flops {report['n_flip_flops']}",
+        f"stuck-at:    {_format_counts(report['stuck'])}",
+        f"transition:  {_format_counts(report['transition'])}",
+    ]
+    constants = report["constant_nets"]
+    if constants:
+        rendered = ", ".join(
+            f"{net}={value}" for net, value in sorted(constants.items())
+        )
+        lines.append(f"constant nets: {rendered}")
+    hardest = report["hardest_nets"][:top]
+    if hardest:
+        lines.append("hardest nets:")
+        for row in hardest:
+            score = row["difficulty"]
+            shown = "inf" if score is None else f"{score:.1f}"
+            lines.append(f"  {row['net']:<20} {shown}")
+    cells = report["scan_cells"][:top]
+    if cells:
+        lines.append("scan-cell difficulty (hardest first):")
+        lines.append(
+            f"  {'cell':<20} {'first-level':>11} "
+            f"{'difficulty':>10} {'launch-gap':>10}"
+        )
+        for row in cells:
+            difficulty = row["difficulty"]
+            gap = row["launch_gap"]
+            lines.append(
+                f"  {row['cell']:<20} {row['n_first_level']:>11} "
+                f"{('inf' if difficulty is None else f'{difficulty:.1f}'):>10} "
+                f"{('inf' if gap is None else f'{gap:.1f}'):>10}"
+            )
+    if show_faults:
+        for key, title in (("untestable_stuck", "untestable stuck-at"),
+                           ("untestable_transition",
+                            "untestable transition")):
+            rows = report[key]
+            if rows:
+                lines.append(f"{title} faults:")
+                for row in rows:
+                    lines.append(f"  {row['fault']:<28} {row['reason']}")
+    if show_nets and scores is not None:
+        lines.append("per-net SCOAP (cc0/cc1/co):")
+        for row in scores.to_rows():
+            def shown(v):
+                return "inf" if v is None else f"{v:.0f}"
+            lines.append(
+                f"  {row['net']:<20} {shown(row['cc0']):>6} "
+                f"{shown(row['cc1']):>6} {shown(row['co']):>6}"
+            )
+    return "\n".join(lines)
+
+
+def _baseline_entry(report: Dict[str, object]) -> Dict[str, int]:
+    return {
+        "stuck_untestable": report["stuck"]["untestable"],
+        "transition_untestable": report["transition"]["untestable"],
+    }
+
+
+def _check_baseline(path: str,
+                    entries: Dict[str, Dict[str, int]]) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported analysis baseline schema "
+            f"{baseline.get('schema')!r}"
+        )
+    problems: List[str] = []
+    pinned = baseline.get("circuits", {})
+    for circuit, entry in sorted(entries.items()):
+        expected = pinned.get(circuit)
+        if expected is None:
+            problems.append(f"{circuit}: not pinned in baseline")
+            continue
+        for key, value in entry.items():
+            if expected.get(key) != value:
+                problems.append(
+                    f"{circuit}: {key} = {value}, "
+                    f"baseline pins {expected.get(key)}"
+                )
+    return problems
+
+
+def analyze_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro analyze``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if args.all:
+        from ..bench import available_circuits
+
+        targets.extend(
+            name for name in available_circuits() if name not in targets
+        )
+    if not targets:
+        parser.error("no targets given (name circuits/files or pass --all)")
+
+    from ..obs import trace_session
+
+    entries: Dict[str, Dict[str, int]] = {}
+    exit_code = 0
+    with trace_session(args.trace, "analyze", argv=list(argv or []),
+                       extra={"targets": targets,
+                              "style": args.style}) as rec:
+        outputs: List[str] = []
+        for target in targets:
+            try:
+                netlist = _load_target(target)
+                with rec.span("analyze.circuit", circuit=netlist.name,
+                              style=args.style):
+                    analyzer = TestabilityAnalyzer(
+                        netlist, style=args.style,
+                        seq_penalty=args.seq_penalty,
+                        max_iterations=args.max_iterations,
+                        use_cache=not args.no_cache,
+                    )
+                    report = analyzer.report(top=max(args.top, 1))
+            except ReproError as exc:
+                print(f"error: {target}: {exc}", file=sys.stderr)
+                return 2
+            entries[report["circuit"]] = _baseline_entry(report)
+            if args.json:
+                outputs.append(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                outputs.append(render_report(
+                    report, top=args.top, show_nets=args.nets,
+                    show_faults=args.faults,
+                    scores=analyzer.scores if args.nets else None,
+                ))
+
+        if args.write_baseline:
+            payload = {"schema": BASELINE_SCHEMA, "circuits": entries}
+            with open(args.write_baseline, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(
+                f"analysis baseline written to {args.write_baseline} "
+                f"({len(entries)} circuits)"
+            )
+            return 0
+
+        print("\n\n".join(outputs) if args.json else "\n\n".join(outputs))
+
+        if args.check_baseline:
+            try:
+                problems = _check_baseline(args.check_baseline, entries)
+            except (OSError, ValueError, ReproError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if problems:
+                print("analysis baseline check FAILED:", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                exit_code = 1
+            else:
+                print(
+                    f"analysis baseline check passed "
+                    f"({len(entries)} circuits)"
+                )
+    return exit_code

@@ -1,0 +1,221 @@
+"""Testability-analysis facade: SCOAP + implications + proofs, cached.
+
+:class:`TestabilityAnalyzer` is the one entry point the CLI, the TA
+lint rules and the ATPG flow share.  It lazily computes
+
+* SCOAP scores under the requested scan style (cheap -- two linear
+  passes, recomputed per process);
+* the untestable-fault sets for the full stuck-at and transition
+  fault universes (the expensive part -- one implication-closure
+  sweep over every net), persisted through the ``analysis`` namespace
+  of :mod:`repro.cache.diskcache` keyed on the netlist content hash.
+
+Untestability proofs are *style-independent* (see
+:mod:`repro.analysis.untestable`), so one cache entry serves every
+style; SCOAP scores are style-dependent but never cached.  All passes
+are wrapped in ``obs`` spans, and proof counts land in counters
+(``analysis.proofs.<reason>``) so run manifests record what static
+analysis contributed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cache.diskcache import DiskCache, disk_cache_enabled
+from ..fault.models import (
+    StuckFault,
+    TransitionFault,
+    all_stuck_faults,
+    all_transition_faults,
+)
+from ..netlist import Netlist, compile_netlist
+from ..obs import get_recorder
+from .implications import ImplicationEngine
+from .scoap import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_SEQ_PENALTY,
+    ScoapScores,
+    compute_scoap,
+    scan_cell_difficulty,
+)
+from .untestable import REASONS, UntestabilityProver
+
+#: Bump when the cached proof payload layout changes.
+ANALYSIS_CACHE_SCHEMA = 1
+
+#: Report dict layout version (CLI JSON / CI baseline files).
+REPORT_SCHEMA = 1
+
+_PROOF_CACHE: Dict[str, Dict[str, object]] = {}
+
+
+def clear_analysis_cache() -> None:
+    """Drop the in-process proof cache (tests)."""
+    _PROOF_CACHE.clear()
+
+
+class TestabilityAnalyzer:
+    """Static testability analysis of one netlist under one scan style."""
+
+    #: The ``Test`` prefix is domain vocabulary, not a pytest case.
+    __test__ = False
+
+    def __init__(self, netlist: Netlist, style: str = "scan",
+                 seq_penalty: int = DEFAULT_SEQ_PENALTY,
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                 use_cache: bool = True):
+        self.netlist = netlist
+        self.style = style
+        self.seq_penalty = seq_penalty
+        self.max_iterations = max_iterations
+        self.use_cache = use_cache
+        self.compiled = compile_netlist(netlist)
+        self._scores: Optional[ScoapScores] = None
+        self._engine: Optional[ImplicationEngine] = None
+        self._proofs: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def scores(self) -> ScoapScores:
+        """SCOAP scores (computed once per analyzer)."""
+        if self._scores is None:
+            with get_recorder().span("analysis.scoap",
+                                     circuit=self.netlist.name,
+                                     style=self.style):
+                self._scores = compute_scoap(
+                    self.netlist, style=self.style,
+                    seq_penalty=self.seq_penalty,
+                    max_iterations=self.max_iterations,
+                )
+        return self._scores
+
+    @property
+    def implication_engine(self) -> ImplicationEngine:
+        if self._engine is None:
+            self._engine = ImplicationEngine(self.compiled)
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def untestable_stuck(self) -> Dict[StuckFault, str]:
+        """Statically-proven-untestable stuck-at faults -> proof reason."""
+        proofs = self._proof_sweep()
+        return {
+            StuckFault(net, value): reason
+            for net, value, reason in proofs["stuck"]  # type: ignore
+        }
+
+    def untestable_transition(self) -> Dict[TransitionFault, str]:
+        """Statically-proven-untestable transition faults -> reason."""
+        proofs = self._proof_sweep()
+        return {
+            TransitionFault(net, direction): reason
+            for net, direction, reason in proofs["transition"]  # type: ignore
+        }
+
+    def constant_nets(self) -> Dict[str, int]:
+        """Nets provably stuck at a constant value (net -> value).
+
+        Derived from the unexcitable stuck proofs: a net whose
+        stuck-at-``v`` fault is unexcitable provably never leaves
+        ``v``.
+        """
+        constants: Dict[str, int] = {}
+        for net, value, reason in self._proof_sweep()["stuck"]:  # type: ignore
+            if reason == "unexcitable":
+                constants[net] = value
+        return constants
+
+    # ------------------------------------------------------------------
+    def _proof_sweep(self) -> Dict[str, object]:
+        """Run (or load) the untestability sweep over both fault universes."""
+        if self._proofs is not None:
+            return self._proofs
+        rec = get_recorder()
+        key = f"{self.compiled.key}-proofs"
+        cached = _PROOF_CACHE.get(key)
+        if cached is None and self.use_cache and disk_cache_enabled():
+            cached = DiskCache("analysis", ANALYSIS_CACHE_SCHEMA).get(key)
+        if cached is not None:
+            _PROOF_CACHE[key] = cached
+            self._proofs = cached
+            return cached
+
+        prover = UntestabilityProver(self.compiled,
+                                     self.implication_engine)
+        stuck: List[tuple] = []
+        transition: List[tuple] = []
+        with rec.span("analysis.proof_sweep", circuit=self.netlist.name):
+            for fault in all_stuck_faults(self.netlist):
+                reason = prover.stuck_proof(fault.net, fault.value)
+                if reason is not None:
+                    stuck.append((fault.net, fault.value, reason))
+            for fault in all_transition_faults(self.netlist):
+                reason = prover.transition_proof(fault.net,
+                                                fault.initial_value)
+                if reason is not None:
+                    transition.append((fault.net, fault.direction, reason))
+        engine = self.implication_engine
+        rec.incr("analysis.implication_queries", engine.queries)
+        rec.incr("analysis.contradictions", engine.contradictions)
+        for _, _, reason in stuck:
+            rec.incr(f"analysis.proofs.{reason}")
+
+        payload: Dict[str, object] = {
+            "stuck": stuck,
+            "transition": transition,
+        }
+        _PROOF_CACHE[key] = payload
+        if self.use_cache and disk_cache_enabled():
+            DiskCache("analysis", ANALYSIS_CACHE_SCHEMA).put(key, payload)
+        self._proofs = payload
+        return payload
+
+    # ------------------------------------------------------------------
+    def report(self, top: int = 20) -> Dict[str, object]:
+        """JSON-ready analysis report (the ``repro analyze`` payload)."""
+        proofs = self._proof_sweep()
+        stuck = proofs["stuck"]
+        transition = proofs["transition"]
+        scores = self.scores
+
+        def by_reason(rows) -> Dict[str, int]:
+            counts = {reason: 0 for reason in REASONS}
+            for row in rows:
+                counts[row[2]] += 1
+            return {k: v for k, v in counts.items() if v}
+
+        n_stuck = len(all_stuck_faults(self.netlist))
+        return {
+            "schema": REPORT_SCHEMA,
+            "circuit": self.netlist.name,
+            "style": self.style,
+            "n_nets": len(self.compiled.names),
+            "n_gates": len(self.compiled.ops),
+            "n_flip_flops": len(self.compiled.dff_names),
+            "stuck": {
+                "total": n_stuck,
+                "untestable": len(stuck),
+                "by_reason": by_reason(stuck),
+            },
+            "transition": {
+                "total": len(all_transition_faults(self.netlist)),
+                "untestable": len(transition),
+                "by_reason": by_reason(transition),
+            },
+            "untestable_stuck": [
+                {"fault": f"{net}/sa{value}", "reason": reason}
+                for net, value, reason in stuck
+            ],
+            "untestable_transition": [
+                {"fault": f"{net}/slow-to-{direction}", "reason": reason}
+                for net, direction, reason in transition
+            ],
+            "constant_nets": self.constant_nets(),
+            "hardest_nets": [
+                {"net": net, "difficulty": None if score == float("inf")
+                 else score}
+                for net, score in scores.hardest_nets(top)
+            ],
+            "scan_cells": scan_cell_difficulty(self.netlist, scores),
+        }

@@ -1,0 +1,380 @@
+"""Static implication learning over the compiled flat arrays.
+
+For a single net assignment (``slot = value``) the engine computes the
+set of assignments *every* consistent input vector must satisfy: the
+direct implications of the assigned net's gates plus their transitive
+closure, run to a fixed point over the fanin/fanout cones.  Two
+propagation directions feed the fixed point:
+
+* **forward** -- a gate whose three-valued evaluation becomes known
+  from its (partially) known fanins fixes its output;
+* **backward justification** -- a gate whose output is known forces
+  fanin values whenever only one justification remains (an AND at 1
+  forces all fanins to 1; an AND at 0 with all-but-one fanin at 1
+  forces the last to 0; an XOR with one unknown fanin forces it to the
+  residual parity; and the matching decompositions for the AOI/OAI/MUX
+  complex cells).
+
+A *contradiction* during propagation proves the assignment impossible
+-- the net provably cannot take that value, which is what the
+untestability prover (:mod:`repro.analysis.untestable`) consumes.
+Results are memoized per literal (two per net), so the whole-netlist
+sweeps of the analysis CLI and the TA lint rules pay each cone walk
+once.  The engine is scalar (one pattern), three-valued, and
+event-driven: work is proportional to the nets whose values actually
+become known, not to cone sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.compiled import (
+    CompiledNetlist,
+    OP_AND,
+    OP_AOI21,
+    OP_AOI22,
+    OP_BUF,
+    OP_MUX2,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OAI21,
+    OP_OAI22,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    _TWO_INPUT_OFFSET,
+)
+
+X = 2  # unknown
+
+
+class _Contradiction(Exception):
+    """Internal: the current assignment is unsatisfiable."""
+
+
+def _norm(op: int) -> int:
+    return op - _TWO_INPUT_OFFSET if op >= _TWO_INPUT_OFFSET else op
+
+
+def _eval3(code: int, vals: List[int]) -> int:
+    """Scalar three-valued evaluation of a generic opcode."""
+    if code == OP_AND or code == OP_NAND:
+        out = 1
+        for v in vals:
+            if v == 0:
+                out = 0
+                break
+            if v == X:
+                out = X
+        if out == X:
+            return X
+        return (1 - out) if code == OP_NAND else out
+    if code == OP_OR or code == OP_NOR:
+        out = 0
+        for v in vals:
+            if v == 1:
+                out = 1
+                break
+            if v == X:
+                out = X
+        if out == X:
+            return X
+        return (1 - out) if code == OP_NOR else out
+    if code == OP_NOT:
+        v = vals[0]
+        return X if v == X else 1 - v
+    if code == OP_BUF:
+        return vals[0]
+    if code == OP_XOR or code == OP_XNOR:
+        parity = 0
+        for v in vals:
+            if v == X:
+                return X
+            parity ^= v
+        return (1 - parity) if code == OP_XNOR else parity
+    if code == OP_AOI21:
+        a, b, c = vals
+        t = _eval3(OP_AND, [a, b])
+        return _eval3(OP_NOR, [t, c]) if t != X or c == 1 else X
+    if code == OP_AOI22:
+        t = _eval3(OP_AND, vals[:2])
+        u = _eval3(OP_AND, vals[2:])
+        if t == 1 or u == 1:
+            return 0
+        if t == 0 and u == 0:
+            return 1
+        return X
+    if code == OP_OAI21:
+        a, b, c = vals
+        t = _eval3(OP_OR, [a, b])
+        return _eval3(OP_NAND, [t, c]) if t != X or c == 0 else X
+    if code == OP_OAI22:
+        t = _eval3(OP_OR, vals[:2])
+        u = _eval3(OP_OR, vals[2:])
+        if t == 0 or u == 0:
+            return 1
+        if t == 1 and u == 1:
+            return 0
+        return X
+    # OP_MUX2
+    s, d0, d1 = vals
+    if s == 0:
+        return d0
+    if s == 1:
+        return d1
+    if d0 == d1 and d0 != X:
+        return d0
+    return X
+
+
+def _backward(code: int, out: int, vals: List[int]) -> List[Tuple[int, int]]:
+    """Fanin assignments forced by a known output value.
+
+    Returns ``(fanin_index, value)`` pairs; only *forced* assignments
+    (unique justifications) are produced -- anything ambiguous is left
+    unknown, which keeps the closure sound.
+    """
+    forced: List[Tuple[int, int]] = []
+    if code in (OP_AND, OP_NAND, OP_OR, OP_NOR):
+        # Normalize to an AND view: need = value the inputs must all
+        # take for the non-controlled output; ctrl = controlling value.
+        if code in (OP_AND, OP_NAND):
+            ctrl, all_value = 0, 1
+            non_controlled = 1 if code == OP_AND else 0
+        else:
+            ctrl, all_value = 1, 0
+            non_controlled = 0 if code == OP_OR else 1
+        if out == non_controlled:
+            for j, v in enumerate(vals):
+                if v == X:
+                    forced.append((j, all_value))
+        else:
+            unknown = -1
+            for j, v in enumerate(vals):
+                if v == X:
+                    if unknown >= 0:
+                        return forced
+                    unknown = j
+                elif v == ctrl:
+                    return forced  # already justified
+            if unknown >= 0:
+                forced.append((unknown, ctrl))
+    elif code == OP_NOT:
+        if vals[0] == X:
+            forced.append((0, 1 - out))
+    elif code == OP_BUF:
+        if vals[0] == X:
+            forced.append((0, out))
+    elif code in (OP_XOR, OP_XNOR):
+        unknown = -1
+        parity = 0
+        for j, v in enumerate(vals):
+            if v == X:
+                if unknown >= 0:
+                    return forced
+                unknown = j
+            else:
+                parity ^= v
+        if unknown >= 0:
+            target = out if code == OP_XOR else 1 - out
+            forced.append((unknown, target ^ parity))
+    elif code == OP_AOI21:
+        a, b, c = vals
+        if out == 1:
+            if c == X:
+                forced.append((2, 0))
+            if a == 1 and b == X:
+                forced.append((1, 0))
+            elif b == 1 and a == X:
+                forced.append((0, 0))
+        else:
+            if c == 0:
+                if a == X:
+                    forced.append((0, 1))
+                if b == X:
+                    forced.append((1, 1))
+            elif (a == 0 or b == 0) and c == X:
+                forced.append((2, 1))
+    elif code == OP_AOI22:
+        a, b, c, d = vals
+        if out == 1:
+            if a == 1 and b == X:
+                forced.append((1, 0))
+            elif b == 1 and a == X:
+                forced.append((0, 0))
+            if c == 1 and d == X:
+                forced.append((3, 0))
+            elif d == 1 and c == X:
+                forced.append((2, 0))
+        else:
+            if a == 0 or b == 0:
+                if c == X:
+                    forced.append((2, 1))
+                if d == X:
+                    forced.append((3, 1))
+            if c == 0 or d == 0:
+                if a == X:
+                    forced.append((0, 1))
+                if b == X:
+                    forced.append((1, 1))
+    elif code == OP_OAI21:
+        a, b, c = vals
+        if out == 0:
+            if c == X:
+                forced.append((2, 1))
+            if a == 0 and b == X:
+                forced.append((1, 1))
+            elif b == 0 and a == X:
+                forced.append((0, 1))
+        else:
+            if c == 1:
+                if a == X:
+                    forced.append((0, 0))
+                if b == X:
+                    forced.append((1, 0))
+            elif (a == 1 or b == 1) and c == X:
+                forced.append((2, 0))
+    elif code == OP_OAI22:
+        a, b, c, d = vals
+        if out == 0:
+            if a == 0 and b == X:
+                forced.append((1, 1))
+            elif b == 0 and a == X:
+                forced.append((0, 1))
+            if c == 0 and d == X:
+                forced.append((3, 1))
+            elif d == 0 and c == X:
+                forced.append((2, 1))
+        else:
+            if a == 1 or b == 1:
+                if c == X:
+                    forced.append((2, 0))
+                if d == X:
+                    forced.append((3, 0))
+            if c == 1 or d == 1:
+                if a == X:
+                    forced.append((0, 0))
+                if b == X:
+                    forced.append((1, 0))
+    else:  # OP_MUX2
+        s, d0, d1 = vals
+        if s == 0 and d0 == X:
+            forced.append((1, out))
+        elif s == 1 and d1 == X:
+            forced.append((2, out))
+        elif s == X:
+            if d0 != X and d0 != out:
+                forced.append((0, 1))
+                if d1 == X:
+                    forced.append((2, out))
+            elif d1 != X and d1 != out:
+                forced.append((0, 0))
+                if d0 == X:
+                    forced.append((1, out))
+    return forced
+
+
+class ImplicationEngine:
+    """Per-literal static implication closure for one compiled netlist."""
+
+    def __init__(self, compiled: CompiledNetlist):
+        self.compiled = compiled
+        self._codes = [_norm(op) for op in compiled.ops]
+        self._val: List[int] = [X] * len(compiled.names)
+        #: literal (2*slot + value) -> implied {slot: value} or None
+        #: (None = the assignment is provably impossible).
+        self._cache: Dict[int, Optional[Dict[int, int]]] = {}
+        self.queries = 0
+        self.contradictions = 0
+
+    # ------------------------------------------------------------------
+    def implications(self, slot: int,
+                     value: int) -> Optional[Dict[int, int]]:
+        """All assignments implied by ``slot = value`` (incl. itself).
+
+        Returns ``None`` when propagation derives a contradiction --
+        i.e. no input vector can set the net to that value.
+        """
+        lit = 2 * slot + value
+        cached = self._cache.get(lit, _MISS)
+        if cached is not _MISS:
+            return cached
+        self.queries += 1
+        result = self._propagate(slot, value)
+        if result is None:
+            self.contradictions += 1
+        self._cache[lit] = result
+        return result
+
+    def can_take(self, slot: int, value: int) -> bool:
+        """Whether the net can (as far as the closure knows) take ``value``."""
+        return self.implications(slot, value) is not None
+
+    def constant_value(self, slot: int) -> Optional[int]:
+        """0/1 if the net is provably constant, else ``None``."""
+        if not self.can_take(slot, 1):
+            return 0
+        if not self.can_take(slot, 0):
+            return 1
+        return None
+
+    # ------------------------------------------------------------------
+    def _assign(self, slot: int, value: int, trail: List[int],
+                work: List[int], pending: set) -> None:
+        val = self._val
+        current = val[slot]
+        if current == value:
+            return
+        if current != X:
+            raise _Contradiction
+        val[slot] = value
+        trail.append(slot)
+        base = self.compiled.n_prefix
+        if slot >= base:
+            p = slot - base
+            if p not in pending:
+                pending.add(p)
+                work.append(p)
+        for p in self.compiled._fanout_pos[slot]:
+            if p not in pending:
+                pending.add(p)
+                work.append(p)
+
+    def _propagate(self, slot: int, value: int) -> Optional[Dict[int, int]]:
+        val = self._val
+        codes = self._codes
+        fanins = self.compiled.fanins
+        base = self.compiled.n_prefix
+        trail: List[int] = []
+        work: List[int] = []
+        pending: set = set()
+        try:
+            self._assign(slot, value, trail, work, pending)
+            while work:
+                p = work.pop()
+                pending.discard(p)
+                fanin = fanins[p]
+                code = codes[p]
+                vals = [val[f] for f in fanin]
+                out_slot = base + p
+                computed = _eval3(code, vals)
+                if computed != X:
+                    self._assign(out_slot, computed, trail, work, pending)
+                out = val[out_slot]
+                if out != X:
+                    for j, forced in _backward(code, out, vals):
+                        self._assign(fanin[j], forced, trail, work,
+                                     pending)
+        except _Contradiction:
+            for s in trail:
+                val[s] = X
+            return None
+        result = {s: val[s] for s in trail}
+        for s in trail:
+            val[s] = X
+        return result
+
+
+_MISS = object()

@@ -1,0 +1,133 @@
+"""Structural untestability proofs for stuck-at and transition faults.
+
+Everything here is *sound but incomplete*: a returned proof is a
+guarantee that no test exists (cross-checked exhaustively in the test
+suite), while ``None`` merely means the analysis could not decide --
+the fault goes to PODEM as before.  Three proof shapes:
+
+``unexcitable``
+    Setting the fault site to the activation value contradicts under
+    static implication closure (:class:`ImplicationEngine`), i.e. the
+    net provably cannot leave the stuck value.  For transition faults
+    this also covers the V1 half: a site that cannot take the initial
+    value has no launchable transition.
+
+``unobservable``
+    The site drives no eval position and is not itself an observed
+    slot (primary output or flip-flop data input) -- structurally
+    dangling.
+
+``blocked``
+    A forward walk over the fanout cone shows the fault effect cannot
+    reach any observed slot.  A gate passes the effect only if its
+    output is *not* already fixed by the implied values of its side
+    inputs: fanins inside the effect-reach set are evaluated as X
+    (good and faulty machines may differ there), fanins outside it at
+    their implied value under the activation assignment (good and
+    faulty machines agree there, and the implication holds for every
+    exciting vector).  If that three-valued evaluation is a constant,
+    both machines produce it and the gate masks the effect -- this is
+    where reconvergent-fanout masking is caught, because implications
+    learned across one branch of a reconvergent stem fix side inputs
+    on the other.  Positions are re-examined whenever a new fanin
+    joins the reach set, so the walk is monotone and order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netlist.compiled import CompiledNetlist
+from .implications import X, ImplicationEngine, _eval3
+
+#: Proof reasons, in the order reported by summaries.
+REASONS = ("unexcitable", "unobservable", "blocked")
+
+
+class UntestabilityProver:
+    """Static untestability proofs over one compiled netlist."""
+
+    def __init__(self, compiled: CompiledNetlist,
+                 engine: Optional[ImplicationEngine] = None):
+        self.compiled = compiled
+        self.engine = engine if engine is not None \
+            else ImplicationEngine(compiled)
+        self._observed = frozenset(compiled.observe_idx)
+        #: (slot, stuck_value) -> reason or None, memoized across the
+        #: stuck sweep and the transition sweep (which shares sites).
+        self._stuck_cache: Dict[int, Optional[str]] = {}
+
+    # ------------------------------------------------------------------
+    def stuck_proof(self, net: str, stuck_value: int) -> Optional[str]:
+        """Proof reason if ``net`` stuck-at ``stuck_value`` is untestable."""
+        slot = self.compiled.index.get(net)
+        if slot is None:
+            return None
+        key = 2 * slot + stuck_value
+        cached = self._stuck_cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        reason = self._prove_stuck(slot, stuck_value)
+        self._stuck_cache[key] = reason
+        return reason
+
+    def transition_proof(self, net: str, initial_value: int) -> Optional[str]:
+        """Proof reason if the transition fault at ``net`` is untestable.
+
+        ``initial_value`` is the value V1 must establish (0 for
+        slow-to-rise, 1 for slow-to-fall); the equivalent stuck fault
+        V2 must detect is stuck-at-``initial_value``.  Both proof
+        halves are style-independent: V1 only needs the site to take
+        the initial value at all, and an untestable equivalent stuck
+        fault kills V2 under every test-application style.
+        """
+        slot = self.compiled.index.get(net)
+        if slot is None:
+            return None
+        if self.engine.implications(slot, initial_value) is None:
+            return "unexcitable"
+        return self.stuck_proof(net, initial_value)
+
+    # ------------------------------------------------------------------
+    def _prove_stuck(self, slot: int, stuck_value: int) -> Optional[str]:
+        activation = 1 - stuck_value
+        imps = self.engine.implications(slot, activation)
+        if imps is None:
+            return "unexcitable"
+        if slot in self._observed:
+            return None  # excitable and directly observed
+        fanout = self.compiled._fanout_pos
+        if not fanout[slot]:
+            return "unobservable"
+        return "blocked" if self._propagation_blocked(slot, imps) else None
+
+    def _propagation_blocked(self, slot: int,
+                             imps: Dict[int, int]) -> bool:
+        """True if the fault effect provably reaches no observed slot."""
+        compiled = self.compiled
+        base = compiled.n_prefix
+        fanins = compiled.fanins
+        fanout = compiled._fanout_pos
+        codes = self.engine._codes
+        observed = self._observed
+        reach = {slot}
+        work: List[int] = list(fanout[slot])
+        while work:
+            p = work.pop()
+            out_slot = base + p
+            if out_slot in reach:
+                continue
+            vals = [
+                X if f in reach else imps.get(f, X)
+                for f in fanins[p]
+            ]
+            if _eval3(codes[p], vals) != X:
+                continue  # side inputs fix the output: effect masked
+            if out_slot in observed:
+                return False
+            reach.add(out_slot)
+            work.extend(fanout[out_slot])
+        return True
+
+
+_MISS = object()

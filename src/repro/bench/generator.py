@@ -224,7 +224,10 @@ def generate(spec_or_name: "CircuitSpec | str") -> Netlist:
             fanin: List[str] = []
             if j == 0:
                 fanin.append(spine)  # guarantee full-depth path
-            while len(fanin) < arity:
+            # A tiny pool can hold fewer distinct nets than the drawn
+            # arity; cap the target so the sampling loop terminates.
+            pool_size = sum(len(earlier) for earlier in layers)
+            while len(fanin) < min(arity, pool_size):
                 net = _choose_fanin_pool(layers, len(layers) - 1, rng)
                 if net not in fanin:
                     fanin.append(net)

@@ -58,6 +58,7 @@ from .sharded import ShardedFaultSimulator
 VIA_RANDOM = "random"    # phase-1 random pattern
 VIA_PODEM = "podem"      # phase-2 PODEM target
 VIA_DROP = "drop"        # dropped by another fault's deterministic test
+VIA_STATIC = "static"    # proven untestable by static analysis
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,9 @@ class AtpgFlowConfig:
     backtrack_limit: int = 100     # PODEM abort threshold (per fault)
     seed: int = 7                  # phase-1 RNG seed
     use_dominance: bool = True     # dominance-order phase-2 targets
+    use_analysis: bool = False     # static testability analysis: prune
+                                   # statically-proven-untestable faults
+                                   # and SCOAP-guide the PODEM search
     processes: int = 1             # fault-sim worker pool size
                                    # (1 = serial in-process)
 
@@ -90,6 +94,9 @@ class AtpgFlowResult:
     status: Dict[StuckFault, str]
     #: detected fault -> VIA_RANDOM | VIA_PODEM | VIA_DROP
     detected_via: Dict[StuckFault, str]
+    #: untestable fault -> VIA_STATIC (pruned by static analysis) |
+    #: VIA_PODEM (exhausted PODEM search space)
+    untestable_via: Dict[StuckFault, str] = field(default_factory=dict)
     #: the generated test set (full input vectors)
     tests: List[Dict[str, int]] = field(default_factory=list)
     n_random_simulated: int = 0    # phase-1 patterns fault-simulated
@@ -116,12 +123,23 @@ class AtpgFlowResult:
         return len(self.detected_faults) / self.n_faults
 
     def summary(self) -> Dict[str, object]:
-        """Flat scalar summary (JSON-friendly)."""
+        """Flat scalar summary (JSON-friendly).
+
+        ``untestable`` counts every proven-untestable fault;
+        ``untestable_static`` / ``untestable_podem`` split it by how
+        the proof was obtained, so static-pruning wins stay visible
+        next to the (expensive) PODEM exhaustion proofs.
+        """
         via = self.detected_via
+        uvia = self.untestable_via
         return {
             "n_faults": self.n_faults,
             "detected": len(self.detected_faults),
             "untestable": len(self.untestable_faults),
+            "untestable_static": sum(1 for v in uvia.values()
+                                     if v == VIA_STATIC),
+            "untestable_podem": sum(1 for v in uvia.values()
+                                    if v == VIA_PODEM),
             "aborted": len(self.aborted_faults),
             "coverage": self.coverage,
             "tests": len(self.tests),
@@ -144,7 +162,18 @@ class AtpgFlow:
         self.netlist = netlist
         self.config = config or AtpgFlowConfig()
         self.sim = FaultSimulator(netlist)
-        self.podem = Podem(netlist, self.config.backtrack_limit)
+        self._static_untestable: Dict[StuckFault, str] = {}
+        guidance = None
+        if self.config.use_analysis:
+            # Deferred import: repro.analysis pulls in fault.models,
+            # so a module-level import would cycle through the package.
+            from ..analysis import TestabilityAnalyzer
+
+            analyzer = TestabilityAnalyzer(netlist, style="scan")
+            self._static_untestable = analyzer.untestable_stuck()
+            guidance = analyzer.scores
+        self.podem = Podem(netlist, self.config.backtrack_limit,
+                           guidance=guidance)
         self._input_nets = list(netlist.inputs) + list(netlist.state_inputs)
 
     # ------------------------------------------------------------------
@@ -163,12 +192,33 @@ class AtpgFlow:
         result = AtpgFlowResult(n_faults=len(faults), status={},
                                 detected_via={})
         rec = get_recorder()
+        # Statically-proven-untestable faults never enter the pipeline:
+        # no random pattern can detect them and PODEM would only burn
+        # its backtrack budget re-proving (or aborting on) them.  The
+        # proofs are sound, so pruning cannot change final coverage --
+        # the pruned faults stay in the denominator as "untestable".
+        active = faults
+        if self._static_untestable:
+            active = []
+            n_pruned = 0
+            for fault in faults:
+                if fault in self._static_untestable:
+                    result.status[fault] = "untestable"
+                    result.untestable_via[fault] = VIA_STATIC
+                    n_pruned += 1
+                else:
+                    active.append(fault)
+            if n_pruned:
+                rec.incr("atpg.untestable_static", n_pruned)
+                rec.event("atpg.static_prune", cat="atpg",
+                          circuit=self.netlist.name, pruned=n_pruned,
+                          remaining=len(active))
         with rec.span("atpg.run", cat="atpg", circuit=self.netlist.name,
                       n_faults=len(faults),
                       processes=self.config.processes):
             with ShardedFaultSimulator(self.netlist,
                                        self.config.processes) as pool:
-                pool.load_faults(faults)
+                pool.load_faults(active)
                 with rec.span("atpg.phase1_random", cat="atpg",
                               circuit=self.netlist.name):
                     self._random_phase(result, pool)
@@ -289,6 +339,7 @@ class AtpgFlow:
                         result.detected_via[other] = VIA_DROP
             elif atpg.status == "untestable":
                 result.status[fault] = "untestable"
+                result.untestable_via[fault] = VIA_PODEM
                 rec.incr("atpg.untestable")
                 pool.drop_faults([fault])
             else:
@@ -340,6 +391,10 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-dominance", action="store_true",
                         help="disable dominance ordering of phase-2 "
                              "targets")
+    parser.add_argument("--analysis", action="store_true",
+                        help="static testability analysis: prune "
+                             "statically-proven-untestable faults and "
+                             "SCOAP-guide the PODEM search")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON object per circuit")
     add_trace_argument(parser)
@@ -352,6 +407,7 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
         backtrack_limit=args.backtrack_limit,
         seed=args.seed,
         use_dominance=not args.no_dominance,
+        use_analysis=args.analysis,
         processes=args.processes,
     )
     manifest_extra: Dict[str, object] = {"seed": args.seed,
@@ -370,7 +426,9 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                 print(f"{name}: coverage {summary['coverage']:.4f} "
                       f"({summary['detected']}/{summary['n_faults']} "
                       f"detected, "
-                      f"{summary['untestable']} untestable, "
+                      f"{summary['untestable']} untestable "
+                      f"[static {summary['untestable_static']}, "
+                      f"podem {summary['untestable_podem']}], "
                       f"{summary['aborted']} aborted) | "
                       f"{summary['tests']} tests | "
                       f"random {summary['detected_random']}, "

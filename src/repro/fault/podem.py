@@ -167,11 +167,21 @@ class AtpgResult:
 
 
 class Podem:
-    """PODEM engine bound to one netlist (compiled-array internals)."""
+    """PODEM engine bound to one netlist (compiled-array internals).
 
-    def __init__(self, netlist, backtrack_limit: int = 100):
+    ``guidance`` (a :class:`repro.analysis.ScoapScores` over the same
+    netlist) switches backtrace and objective selection from static
+    depth to SCOAP costs: backtrace descends into the fanin that is
+    cheapest to set to the needed value, and the D-frontier is worked
+    most-observable gate first.  With ``guidance=None`` (the default)
+    the search is bit-identical to the unguided engine.
+    """
+
+    def __init__(self, netlist, backtrack_limit: int = 100,
+                 guidance=None):
         self.netlist = netlist
         self.backtrack_limit = backtrack_limit
+        self._guidance = guidance
         self.compiled = compile_netlist(netlist)
         compiled = self.compiled
         self.order: List[str] = list(compiled.order)
@@ -354,13 +364,21 @@ class Podem:
         if not (g0[site] | g1[site]):
             return site, 1 - fault_value
         fanins = self.compiled.fanins
+        guidance = self._guidance
+        if guidance is not None and len(frontier) > 1:
+            base = self._n_prefix
+            co = guidance.co
+            frontier = sorted(frontier, key=lambda p: (co[base + p], p))
         for p in frontier:
             ctrl = self._ctrl[p]
-            for f in fanins[p]:
-                if not (g0[f] | g1[f]):
-                    if ctrl is None:
-                        return f, 0
-                    return f, 1 - ctrl
+            value = 0 if ctrl is None else 1 - ctrl
+            candidates = [f for f in fanins[p] if not (g0[f] | g1[f])]
+            if not candidates:
+                continue
+            if guidance is None:
+                return candidates[0], value
+            cc = guidance.cc1 if value else guidance.cc0
+            return min(candidates, key=lambda f: (cc[f], f)), value
         return None
 
     def _backtrace(self, slot: int, value: int) -> Tuple[int, int]:
@@ -375,12 +393,20 @@ class Podem:
             if self._inv[p]:
                 target = 1 - target
             fanin = fanins[p]
-            # Choose the X input closest to the inputs (easiest set).
+            # Choose the X input closest to the inputs (easiest set);
+            # with SCOAP guidance, the one cheapest to drive to the
+            # target value (depth breaks ties).
             candidates = [f for f in fanin if not (g0[f] | g1[f])]
             if not candidates:
                 # Everything justified already; pick any input to move on.
                 candidates = list(fanin)
-            current = min(candidates, key=lambda f: depth[f])
+            guidance = self._guidance
+            if guidance is None:
+                current = min(candidates, key=lambda f: depth[f])
+            else:
+                cc = guidance.cc1 if target else guidance.cc0
+                current = min(candidates,
+                              key=lambda f: (cc[f], depth[f]))
             # Complex gates (XOR/MUX/AOI/OAI) have no simple polarity:
             # aim for 'target' as-is; implication corrects wrong guesses.
         return current, target

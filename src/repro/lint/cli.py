@@ -18,7 +18,12 @@ from ..errors import ReproError
 from .baseline import Baseline
 from .engine import LintEngine, LintReport
 from .formats import render_text, report_to_json, report_to_sarif
-from .rules import DEFAULT_MAX_FANOUT, LintContext, all_rules
+from .rules import (
+    DEFAULT_HOTSPOT_THRESHOLD,
+    DEFAULT_MAX_FANOUT,
+    LintContext,
+    all_rules,
+)
 
 #: Holding styles ``--style`` can build on top of scan insertion.
 _STYLE_CHOICES = ("scan", "enhanced", "mux", "flh", "partial")
@@ -62,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-fanout", type=int, default=DEFAULT_MAX_FANOUT,
         metavar="N", help="fanout-limit threshold for NL008 "
         f"(default {DEFAULT_MAX_FANOUT}; 0 disables)",
+    )
+    parser.add_argument(
+        "--hotspot-threshold", type=float,
+        default=DEFAULT_HOTSPOT_THRESHOLD, metavar="D",
+        help="SCOAP difficulty threshold for TA003 "
+        f"(default {DEFAULT_HOTSPOT_THRESHOLD:.0f}; 0 disables)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -182,6 +193,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
                 design=design,
                 records=records,
                 max_fanout=args.max_fanout,
+                ta_hotspot_threshold=args.hotspot_threshold,
             )
             reports.append(engine.run(ctx, baseline=baseline))
         except ReproError as exc:

@@ -23,8 +23,9 @@ from .rules import (
 )
 
 # Importing the packs registers their rules.
-from . import structural as _structural  # noqa: F401
-from . import dft_rules as _dft_rules    # noqa: F401
+from . import structural as _structural      # noqa: F401
+from . import dft_rules as _dft_rules        # noqa: F401
+from . import testability as _testability    # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..dft.styles import DftDesign

@@ -86,11 +86,21 @@ def report_from_json(text: str) -> LintReport:
 # ---------------------------------------------------------------------------
 # SARIF
 # ---------------------------------------------------------------------------
+#: Documentation base for rules that declare no ``help_uri``; each
+#: rule's docs live under its lower-cased ID anchor in ``docs/lint.md``.
+RULE_DOC_BASE = "https://example.invalid/repro-flh/docs/lint.md"
+
+
 def _sarif_rule(rule_id: str) -> Dict[str, object]:
     rule = REGISTRY.get(rule_id)
     record: Dict[str, object] = {"id": rule_id}
     if rule is not None:
         record["shortDescription"] = {"text": rule.title}
+        if rule.description:
+            record["fullDescription"] = {"text": rule.description}
+        record["helpUri"] = (
+            rule.help_uri or f"{RULE_DOC_BASE}#{rule_id.lower()}"
+        )
         record["properties"] = {"category": rule.category}
         record["defaultConfiguration"] = {
             "level": _SEVERITY_TO_LEVEL[rule.severity]

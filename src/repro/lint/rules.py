@@ -37,6 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: buffer tree; anything above this is flagged (warning severity).
 DEFAULT_MAX_FANOUT = 32
 
+#: Default SCOAP difficulty above which TA003 flags a net as a
+#: testability hotspot.  SCOAP measures grow roughly with logic depth;
+#: a combined CC0+CC1+CO of 200 is far beyond anything the catalog's
+#: well-structured circuits reach on ordinary nets.
+DEFAULT_HOTSPOT_THRESHOLD = 200.0
+
 
 @dataclass
 class LintContext:
@@ -57,6 +63,9 @@ class LintContext:
     records: Optional[Sequence["BenchRecord"]] = None
     #: Threshold for the fanout-limit rule.
     max_fanout: int = DEFAULT_MAX_FANOUT
+    #: SCOAP difficulty threshold for the TA003 hotspot rule
+    #: (``<= 0`` disables the rule).
+    ta_hotspot_threshold: float = DEFAULT_HOTSPOT_THRESHOLD
     #: Source file the netlist came from, for ``file:line`` locations.
     source_file: Optional[str] = None
 
@@ -86,9 +95,14 @@ class Rule:
     rule_id: str = ""
     #: One-line summary shown by ``--list-rules`` and in SARIF metadata.
     title: str = ""
+    #: Longer explanation for SARIF ``fullDescription`` (optional).
+    description: str = ""
+    #: Documentation link for SARIF ``helpUri`` (optional; the emitter
+    #: derives a ``docs/lint.md`` anchor when empty).
+    help_uri: str = ""
     #: Default severity of findings.
     severity: Severity = Severity.ERROR
-    #: Pack tag: ``"structural"`` or ``"dft"``.
+    #: Pack tag: ``"structural"``, ``"dft"`` or ``"testability"``.
     category: str = "structural"
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:

@@ -1,0 +1,200 @@
+"""Testability rule pack (TA*): static-analysis findings as lint.
+
+Built on :mod:`repro.analysis`: SCOAP scores and the untestable-fault
+prover run over the context netlist (under the design's scan style
+when one is attached, plain ``scan`` otherwise).  The heavy proof
+sweep is content-hash cached by the analysis engine, so the three
+rules share one sweep per design -- and repeated lint runs (CI) share
+it through the disk cache.
+
+Rules:
+
+``TA001`` (warning)
+    Statically-untestable stuck-at fault sites: no test exists, so the
+    fault inflates every coverage denominator and burns ATPG budget.
+``TA002`` (warning)
+    Redundant constant logic: the net provably never leaves one value;
+    its driving cone is dead weight (area, power, fault sites).
+``TA003`` (info)
+    Testability hotspots: nets whose combined SCOAP difficulty
+    (CC0 + CC1 + CO) crosses ``LintContext.ta_hotspot_threshold`` --
+    the places test points or hold cells pay off first.
+``TA004`` (info)
+    Transition-only untestable sites: at least one stuck-at fault at
+    the site is still testable, but a transition fault provably is not
+    (the initial value cannot be established or the late value cannot
+    be observed) -- exactly the faults the paper's two-pattern style
+    comparison must exclude.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..analysis import TestabilityAnalyzer
+from ..analysis.scoap import INF, KNOWN_STYLES
+from ..errors import ReproError
+from .diagnostics import Diagnostic, Severity
+from .rules import LintContext, Rule, register
+
+_DOC_BASE = "https://example.invalid/repro-flh/docs/lint.md"
+
+
+def _analyzer(ctx: LintContext) -> Optional[TestabilityAnalyzer]:
+    style = "scan"
+    if ctx.design is not None and ctx.design.style in KNOWN_STYLES:
+        style = ctx.design.style
+    try:
+        return TestabilityAnalyzer(ctx.netlist, style=style)
+    except (ReproError, KeyError):
+        # A netlist that fails to compile (undriven fanins or
+        # outputs, loops, ...) is the structural pack's finding; the
+        # TA rules no-op.  Compile surfaces undriven outputs as a
+        # bare KeyError.
+        return None
+
+
+@register
+class UntestableStuckSites(Rule):
+    rule_id = "TA001"
+    title = "net carries statically-untestable stuck-at faults"
+    description = (
+        "Static implication analysis proves no test exists for a "
+        "stuck-at fault on this net (the activation value is "
+        "unachievable, the site is unobservable, or every propagation "
+        "path is blocked).  Untestable faults inflate the coverage "
+        "denominator and waste ATPG effort."
+    )
+    help_uri = f"{_DOC_BASE}#ta001"
+    severity = Severity.WARNING
+    category = "testability"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        analyzer = _analyzer(ctx)
+        if analyzer is None:
+            return
+        constants = analyzer.constant_nets()
+        by_net: dict = {}
+        for fault, reason in analyzer.untestable_stuck().items():
+            by_net.setdefault(fault.net, []).append(
+                (fault.value, reason))
+        for net in sorted(by_net):
+            if net in constants:
+                continue  # TA002 owns fully-constant nets
+            faults = sorted(by_net[net])
+            detail = ", ".join(
+                f"sa{value} ({reason})" for value, reason in faults
+            )
+            yield self.diag(
+                ctx,
+                f"stuck-at fault(s) on {net!r} are statically "
+                f"untestable: {detail}",
+                net=net,
+                hint="exclude from the fault list or add a test point",
+            )
+
+
+@register
+class RedundantConstantLogic(Rule):
+    rule_id = "TA002"
+    title = "net is provably constant (redundant logic)"
+    description = (
+        "Implication closure proves this net can never take one of "
+        "its two values, so the gate driving it and any logic that "
+        "only it justifies are redundant: they cost area and power "
+        "and contribute only untestable fault sites."
+    )
+    help_uri = f"{_DOC_BASE}#ta002"
+    severity = Severity.WARNING
+    category = "testability"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        analyzer = _analyzer(ctx)
+        if analyzer is None:
+            return
+        for net, value in sorted(analyzer.constant_nets().items()):
+            yield self.diag(
+                ctx,
+                f"net {net!r} is provably constant {value}",
+                net=net,
+                hint="fold the constant and remove the driving cone",
+            )
+
+
+@register
+class TestabilityHotspot(Rule):
+    rule_id = "TA003"
+    title = "testability hotspot (extreme SCOAP difficulty)"
+    description = (
+        "The net's combined SCOAP difficulty (CC0 + CC1 + CO) exceeds "
+        "the hotspot threshold: among the hardest nets to control and "
+        "observe, and the first candidates for test points or hold "
+        "cells."
+    )
+    help_uri = f"{_DOC_BASE}#ta003"
+    severity = Severity.INFO
+    category = "testability"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        threshold = ctx.ta_hotspot_threshold
+        if threshold <= 0:
+            return
+        analyzer = _analyzer(ctx)
+        if analyzer is None:
+            return
+        scores = analyzer.scores
+        for slot, net in enumerate(scores.names):
+            difficulty = (scores.cc0[slot] + scores.cc1[slot]
+                          + scores.co[slot])
+            if difficulty != INF and difficulty >= threshold:
+                yield self.diag(
+                    ctx,
+                    f"net {net!r} SCOAP difficulty {difficulty:.0f} "
+                    f">= hotspot threshold {threshold:.0f}",
+                    net=net,
+                    hint="consider a test point or hold cell here",
+                )
+
+
+@register
+class TransitionOnlyUntestable(Rule):
+    rule_id = "TA004"
+    title = "transition fault untestable though a stuck-at is testable"
+    description = (
+        "A stuck-at fault at this site is still testable, but a "
+        "transition fault is statically untestable (its initial value "
+        "cannot be established, or the late value cannot be "
+        "observed).  Such faults must be excluded when comparing "
+        "two-pattern test-application styles or transition coverage "
+        "is understated."
+    )
+    help_uri = f"{_DOC_BASE}#ta004"
+    severity = Severity.INFO
+    category = "testability"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        analyzer = _analyzer(ctx)
+        if analyzer is None:
+            return
+        dead_count: dict = {}
+        for fault in analyzer.untestable_stuck():
+            dead_count[fault.net] = dead_count.get(fault.net, 0) + 1
+        by_net: dict = {}
+        for fault, reason in analyzer.untestable_transition().items():
+            # Fully-dead sites (both stuck polarities untestable) are
+            # TA001/TA002 territory.
+            if dead_count.get(fault.net, 0) < 2:
+                by_net.setdefault(fault.net, []).append(
+                    (fault.direction, reason))
+        for net in sorted(by_net):
+            detail = ", ".join(
+                f"slow-to-{direction} ({reason})"
+                for direction, reason in sorted(by_net[net])
+            )
+            yield self.diag(
+                ctx,
+                f"transition fault(s) on {net!r} are statically "
+                f"untestable: {detail}",
+                net=net,
+                hint="drop from the two-pattern fault list",
+            )

@@ -487,6 +487,99 @@ def bench_atpg_flow(quick: bool) -> List[Dict[str, object]]:
     ]
 
 
+def bench_atpg_analysis(quick: bool) -> List[Dict[str, object]]:
+    """Static-analysis-assisted ATPG vs the plain two-phase flow.
+
+    Workload: a strided slice of the s5378 collapsed fault list,
+    restricted to (a) faults both the unguided and the SCOAP-guided
+    PODEM detect without aborting -- where guidance can only change
+    *effort*, not outcome -- plus (b) the statically-proven-untestable
+    faults, which no flow can ever detect (the prover is exhaustively
+    cross-checked in the test suite), so equal final coverage holds by
+    construction rather than by abort luck.  The baseline flow burns
+    backtracks (or aborts) re-discovering (b) fault by fault; the
+    analysis flow prunes them upfront and spends SCOAP-guided searches
+    on the rest.  The recorded row gates the *effort* ratio -- total
+    PODEM backtracks plus aborted faults -- with a committed 3x floor
+    (measured ~8-14x).
+    """
+    from dataclasses import replace
+
+    from ..analysis import TestabilityAnalyzer
+    from ..fault.podem import Podem
+
+    name = "s5378"
+    netlist = load_circuit(name)
+    stride = 12 if quick else 8
+    backtrack_limit = 60
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))[::stride]
+
+    analyzer = TestabilityAnalyzer(netlist, style="scan")
+    static_untestable = analyzer.untestable_stuck()
+    unguided = Podem(netlist, backtrack_limit)
+    guided = Podem(netlist, backtrack_limit, guidance=analyzer.scores)
+    workload = []
+    n_untestable = 0
+    for fault in faults:
+        if fault in static_untestable:
+            workload.append(fault)
+            n_untestable += 1
+        elif (unguided.generate(fault).detected
+              and guided.generate(fault).detected):
+            workload.append(fault)
+
+    config = AtpgFlowConfig(n_random_patterns=2048 if quick else 1024,
+                            batch_size=256,
+                            max_idle_batches=4 if quick else 3,
+                            backtrack_limit=backtrack_limit)
+    t_plain = _timed_best(lambda: AtpgFlow(netlist, config).run(workload))
+    config_analysis = replace(config, use_analysis=True)
+    t_analysis = _timed_best(
+        lambda: AtpgFlow(netlist, config_analysis).run(workload)
+    )
+
+    plain = t_plain["value"].summary()
+    assisted = t_analysis["value"].summary()
+    if plain["coverage"] != assisted["coverage"]:
+        raise AssertionError(
+            f"{name}: analysis flow coverage {assisted['coverage']:.4f} "
+            f"!= plain flow coverage {plain['coverage']:.4f}"
+        )
+    effort_plain = plain["backtracks"] + plain["aborted"]
+    effort_assisted = assisted["backtracks"] + assisted["aborted"]
+    reduction = effort_plain / max(effort_assisted, 1)
+    return [
+        {
+            "kernel": "atpg_analysis_flow",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": t_analysis["seconds"],
+        },
+        {
+            "kernel": "atpg_plain_flow",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": t_plain["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "atpg_analysis_effort",
+            "circuit": name,
+            "n": len(workload),
+            "seconds": None,
+            "speedup": reduction,
+            "min_speedup": 3.0,
+            "equal_coverage": assisted["coverage"],
+            "note": (
+                f"backtracks+aborted {effort_plain} -> {effort_assisted} "
+                f"({n_untestable} statically-pruned untestable, "
+                f"{assisted['podem_calls']} vs {plain['podem_calls']} "
+                f"PODEM calls)"
+            ),
+        },
+    ]
+
+
 def bench_sta(quick: bool) -> List[Dict[str, object]]:
     """STA arrival propagation over a mapped scan design."""
     name = "s382" if quick else "s5378"
@@ -528,6 +621,7 @@ KERNEL_GROUPS = (
     bench_fsim_transition,
     bench_eval3,
     bench_atpg_flow,
+    bench_atpg_analysis,
     bench_sta,
     bench_tables,
 )

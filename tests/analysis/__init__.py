@@ -1,0 +1,1 @@
+"""Tests for the static testability-analysis subsystem."""

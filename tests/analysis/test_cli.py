@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro analyze`` command line."""
+
+import json
+
+from repro.analysis import analyze_main
+from repro.analysis.cli import BASELINE_SCHEMA
+from repro.analysis.engine import REPORT_SCHEMA
+
+
+class TestTextOutput:
+    def test_summary(self, capsys):
+        assert analyze_main(["s27"]) == 0
+        out = capsys.readouterr().out
+        assert "== s27 [scan] ==" in out
+        assert "stuck-at:" in out
+        assert "transition:" in out
+        assert "scan-cell difficulty" in out
+
+    def test_faults_and_nets_flags(self, capsys):
+        assert analyze_main(["s298", "--faults", "--nets", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "untestable stuck-at faults:" in out
+        assert "per-net SCOAP (cc0/cc1/co):" in out
+
+    def test_style_selection(self, capsys):
+        assert analyze_main(["s27", "--style", "flh"]) == 0
+        assert "== s27 [flh] ==" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert analyze_main(["definitely-not-a-circuit"]) == 2
+        assert "unknown analyze target" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_report_payload(self, capsys):
+        assert analyze_main(["s27", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["circuit"] == "s27"
+        assert report["stuck"]["total"] > 0
+        assert report["stuck"]["untestable"] == len(
+            report["untestable_stuck"])
+        assert report["transition"]["untestable"] == len(
+            report["untestable_transition"])
+        assert all(set(row) == {"fault", "reason"}
+                   for row in report["untestable_stuck"])
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "analysis_baseline.json"
+        assert analyze_main(["s27", "--write-baseline", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert "s27" in payload["circuits"]
+        capsys.readouterr()
+        assert analyze_main(["s27", "--check-baseline", str(path)]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_drift_fails(self, tmp_path, capsys):
+        path = tmp_path / "analysis_baseline.json"
+        assert analyze_main(["s27", "--write-baseline", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        payload["circuits"]["s27"]["stuck_untestable"] += 1
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert analyze_main(["s27", "--check-baseline", str(path)]) == 1
+        assert "baseline check FAILED" in capsys.readouterr().err
+
+    def test_unpinned_circuit_fails(self, tmp_path, capsys):
+        path = tmp_path / "analysis_baseline.json"
+        assert analyze_main(["s27", "--write-baseline", str(path)]) == 0
+        capsys.readouterr()
+        assert analyze_main(["s27", "s298",
+                             "--check-baseline", str(path)]) == 1
+        assert "not pinned in baseline" in capsys.readouterr().err

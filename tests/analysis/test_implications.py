@@ -1,0 +1,122 @@
+"""Tests for the static implication-learning engine."""
+
+from repro.analysis import ImplicationEngine
+from repro.bench import s27
+from repro.netlist import Gate, Netlist, compile_netlist
+
+from .exhaustive import exhaustive_good
+
+
+def _and_netlist():
+    n = Netlist("impl_and")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("y", "AND", ("a", "b")))
+    n.add_gate(Gate("w", "NOT", ("y",)))
+    n.add_output("w")
+    return n
+
+
+def _const_netlist():
+    """``c = a AND NOT a`` is provably constant 0."""
+    n = Netlist("impl_const")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("an", "NOT", ("a",)))
+    n.add_gate(Gate("c", "AND", ("a", "an")))
+    n.add_gate(Gate("out", "OR", ("c", "b")))
+    n.add_output("out")
+    return n
+
+
+def _engine(netlist):
+    compiled = compile_netlist(netlist)
+    return ImplicationEngine(compiled), compiled
+
+
+class TestDirectImplications:
+    def test_and_output_high_forces_all_inputs(self):
+        engine, compiled = _engine(_and_netlist())
+        imps = engine.implications(compiled.index["y"], 1)
+        assert imps == {
+            compiled.index["y"]: 1,
+            compiled.index["a"]: 1,
+            compiled.index["b"]: 1,
+            compiled.index["w"]: 0,
+        }
+
+    def test_and_output_low_forces_nothing_backward(self):
+        engine, compiled = _engine(_and_netlist())
+        imps = engine.implications(compiled.index["y"], 0)
+        assert imps[compiled.index["y"]] == 0
+        assert compiled.index["a"] not in imps
+        assert compiled.index["b"] not in imps
+        assert imps[compiled.index["w"]] == 1
+
+    def test_forward_controlling_value(self):
+        engine, compiled = _engine(_and_netlist())
+        imps = engine.implications(compiled.index["a"], 0)
+        assert imps[compiled.index["y"]] == 0
+        assert imps[compiled.index["w"]] == 1
+
+
+class TestContradictions:
+    def test_constant_net_cannot_go_high(self):
+        engine, compiled = _engine(_const_netlist())
+        slot = compiled.index["c"]
+        assert engine.implications(slot, 1) is None
+        assert engine.can_take(slot, 0)
+        assert engine.constant_value(slot) == 0
+
+    def test_non_constant_nets(self):
+        engine, compiled = _engine(_const_netlist())
+        for net in ("a", "an", "b", "out"):
+            assert engine.constant_value(compiled.index[net]) is None
+
+    def test_scratch_state_survives_contradiction(self):
+        """A contradiction must not poison later unrelated queries."""
+        engine, compiled = _engine(_const_netlist())
+        fresh, _ = _engine(_const_netlist())
+        assert engine.implications(compiled.index["c"], 1) is None
+        for net in compiled.names:
+            slot = compiled.index[net]
+            for value in (0, 1):
+                assert engine.implications(slot, value) == \
+                    fresh.implications(slot, value)
+
+
+class TestCaching:
+    def test_repeat_queries_hit_cache(self):
+        engine, compiled = _engine(_and_netlist())
+        slot = compiled.index["y"]
+        first = engine.implications(slot, 1)
+        queries = engine.queries
+        assert engine.implications(slot, 1) == first
+        assert engine.queries == queries
+
+    def test_contradiction_counter(self):
+        engine, compiled = _engine(_const_netlist())
+        engine.implications(compiled.index["c"], 1)
+        assert engine.contradictions == 1
+
+
+class TestSoundnessExhaustive:
+    def test_every_implication_holds_on_s27(self):
+        """Each learned implication must hold in every consistent pattern."""
+        netlist = s27()
+        compiled = compile_netlist(netlist)
+        good, mask = exhaustive_good(compiled)
+        engine = ImplicationEngine(compiled)
+        for slot in range(len(compiled.names)):
+            word = good[slot] & mask
+            for value in (0, 1):
+                premise = word if value else ~word & mask
+                imps = engine.implications(slot, value)
+                if imps is None:
+                    assert premise == 0, (slot, value)
+                    continue
+                for islot, ivalue in imps.items():
+                    iword = good[islot] & mask
+                    holds = iword if ivalue else ~iword & mask
+                    # premise-patterns must be a subset of holds-patterns
+                    assert premise & ~holds & mask == 0, (slot, value, islot)

@@ -1,0 +1,150 @@
+"""Unit tests for the SCOAP controllability/observability passes."""
+
+import pytest
+
+from repro.analysis import compute_scoap, scan_cell_difficulty
+from repro.analysis.scoap import INF, KNOWN_STYLES, SCAN_STYLES
+from repro.bench import load_circuit, s27
+from repro.errors import ReproError
+from repro.netlist import Gate, Netlist, compile_netlist
+
+
+def _comb():
+    """Tiny combinational core with one gate of each formula family."""
+    n = Netlist("scoap_unit")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("y", "AND", ("a", "b")))
+    n.add_gate(Gate("z", "XOR", ("a", "b")))
+    n.add_gate(Gate("w", "NOT", ("y",)))
+    n.add_output("w")
+    n.add_output("z")
+    return n
+
+
+class TestFormulas:
+    def test_primary_inputs_cost_one(self):
+        scores = compute_scoap(_comb())
+        assert scores.controllability("a") == (1.0, 1.0)
+        assert scores.controllability("b") == (1.0, 1.0)
+
+    def test_and_gate(self):
+        scores = compute_scoap(_comb())
+        # cc0 = min(cc0 inputs) + 1, cc1 = sum(cc1 inputs) + 1
+        assert scores.controllability("y") == (2.0, 3.0)
+
+    def test_not_gate_swaps(self):
+        scores = compute_scoap(_comb())
+        cc0_y, cc1_y = scores.controllability("y")
+        assert scores.controllability("w") == (cc1_y + 1, cc0_y + 1)
+
+    def test_xor_parity(self):
+        scores = compute_scoap(_comb())
+        # even parity (00 or 11) and odd parity (01 or 10) both cost 2
+        assert scores.controllability("z") == (3.0, 3.0)
+
+    def test_output_observability_zero(self):
+        scores = compute_scoap(_comb())
+        assert scores.observability("w") == 0.0
+        assert scores.observability("z") == 0.0
+
+    def test_observability_takes_cheapest_path(self):
+        scores = compute_scoap(_comb())
+        # a through AND+NOT costs co(y)+cc1(b)+1 = 1+1+1 = 3; through
+        # XOR it costs co(z)+min(cc(b))+1 = 0+1+1 = 2.
+        assert scores.observability("y") == 1.0
+        assert scores.observability("a") == 2.0
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ReproError):
+            compute_scoap(_comb(), style="bogus")
+
+
+class TestScanBoundary:
+    def test_scan_state_inputs_cost_one(self):
+        netlist = s27()
+        scores = compute_scoap(netlist, style="scan")
+        for gate in netlist.dffs():
+            assert scores.controllability(gate.name) == (1.0, 1.0)
+
+    def test_scan_data_nets_observable(self):
+        netlist = s27()
+        scores = compute_scoap(netlist, style="scan")
+        for gate in netlist.dffs():
+            assert scores.observability(gate.fanin[0]) == 0.0
+
+    def test_all_measures_finite_under_scan(self):
+        netlist = load_circuit("s298")
+        scores = compute_scoap(netlist, style="scan")
+        assert all(v != INF for v in scores.cc0)
+        assert all(v != INF for v in scores.cc1)
+
+    def test_plain_scan_launch_is_harder(self):
+        """Under plain scan V2 is captured, not shifted: launch cc > 1."""
+        netlist = s27()
+        scores = compute_scoap(netlist, style="scan")
+        compiled = compile_netlist(netlist)
+        for i in range(len(compiled.dff_names)):
+            slot = compiled.n_inputs + i
+            assert scores.launch_cc0[slot] > scores.cc0[slot]
+            assert scores.launch_cc1[slot] > scores.cc1[slot]
+
+    def test_arbitrary_launch_styles_keep_scan_costs(self):
+        netlist = s27()
+        for style in ("enhanced", "mux", "flh"):
+            scores = compute_scoap(netlist, style=style)
+            assert scores.launch_cc0 == scores.cc0
+            assert scores.launch_cc1 == scores.cc1
+
+    def test_no_scan_pays_sequential_penalty(self):
+        netlist = s27()
+        cheap = compute_scoap(netlist, style="none", seq_penalty=1)
+        costly = compute_scoap(netlist, style="none", seq_penalty=100)
+        compiled = compile_netlist(netlist)
+        for i in range(len(compiled.dff_names)):
+            slot = compiled.n_inputs + i
+            assert costly.cc0[slot] >= cheap.cc0[slot]
+            assert costly.cc0[slot] > 1.0
+
+
+class TestReporting:
+    def test_hardest_nets_sorted_descending(self):
+        scores = compute_scoap(load_circuit("s298"))
+        hardest = scores.hardest_nets(10)
+        values = [score for _, score in hardest]
+        assert values == sorted(values, reverse=True)
+
+    def test_to_rows_serializes_inf_as_none(self):
+        scores = compute_scoap(s27(), style="none", max_iterations=1)
+        rows = scores.to_rows()
+        assert all(set(row) == {"net", "cc0", "cc1", "co"} for row in rows)
+        for row in rows:
+            for key in ("cc0", "cc1", "co"):
+                assert row[key] is None or row[key] < INF
+
+    def test_known_styles_cover_dft_styles(self):
+        assert set(SCAN_STYLES) <= set(KNOWN_STYLES)
+        assert "none" in KNOWN_STYLES
+
+
+class TestScanCellDifficulty:
+    def test_one_row_per_cell_sorted_hardest_first(self):
+        netlist = load_circuit("s298")
+        scores = compute_scoap(netlist, style="scan")
+        rows = scan_cell_difficulty(netlist, scores)
+        assert len(rows) == len(compile_netlist(netlist).dff_names)
+        assert {row["cell"] for row in rows} == set(
+            compile_netlist(netlist).dff_names)
+        values = [row["difficulty"] or 0.0 for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_launch_gap_positive_under_plain_scan(self):
+        netlist = s27()
+        rows = scan_cell_difficulty(netlist, compute_scoap(netlist, "scan"))
+        assert all(row["launch_gap"] > 0 for row in rows)
+
+    def test_launch_gap_zero_under_enhanced(self):
+        netlist = s27()
+        rows = scan_cell_difficulty(
+            netlist, compute_scoap(netlist, "enhanced"))
+        assert all(row["launch_gap"] == 0 for row in rows)

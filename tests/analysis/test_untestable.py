@@ -1,0 +1,138 @@
+"""Zero-false-proof guarantees for the untestability prover.
+
+The acceptance bar: every statically-proven-untestable fault must be
+*genuinely* untestable.  Small circuits are checked against exhaustive
+bit-parallel simulation of the whole input space; mid-size catalog
+circuits are cross-checked against PODEM with a generous backtrack
+budget (PODEM must never find a test for a proven fault).
+"""
+
+import pytest
+
+from repro.analysis import TestabilityAnalyzer, UntestabilityProver
+from repro.analysis.untestable import REASONS
+from repro.bench import available_circuits, load_circuit, s27
+from repro.fault import Podem
+from repro.netlist import Gate, Netlist, compile_netlist
+
+from .exhaustive import can_reach, exhaustive_good, stuck_detectable
+
+
+def _const_netlist():
+    n = Netlist("prover_const")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("an", "NOT", ("a",)))
+    n.add_gate(Gate("c", "AND", ("a", "an")))
+    n.add_gate(Gate("out", "OR", ("c", "b")))
+    n.add_output("out")
+    return n
+
+
+def _load(name):
+    return s27() if name == "s27" else load_circuit(name)
+
+
+class TestProofReasons:
+    def test_constant_zero_net_unexcitable(self):
+        compiled = compile_netlist(_const_netlist())
+        prover = UntestabilityProver(compiled)
+        # detecting c/sa0 needs c = 1, which is impossible
+        assert prover.stuck_proof("c", 0) == "unexcitable"
+        assert prover.stuck_proof("c", 1) is None
+
+    def test_testable_sites_get_no_proof(self):
+        compiled = compile_netlist(_const_netlist())
+        prover = UntestabilityProver(compiled)
+        for net in ("a", "b", "out"):
+            for value in (0, 1):
+                assert prover.stuck_proof(net, value) is None
+
+    def test_dead_end_net_unobservable(self):
+        n = Netlist("prover_dead")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate(Gate("dead", "AND", ("a", "b")))
+        n.add_gate(Gate("out", "OR", ("a", "b")))
+        n.add_output("out")
+        prover = UntestabilityProver(compile_netlist(n))
+        assert prover.stuck_proof("dead", 0) == "unobservable"
+        assert prover.stuck_proof("dead", 1) == "unobservable"
+
+    def test_transition_proof_needs_initial_value(self):
+        """A constant-0 net can never launch a falling transition."""
+        compiled = compile_netlist(_const_netlist())
+        prover = UntestabilityProver(compiled)
+        # slow-to-fall needs initial value 1 at the site: impossible
+        assert prover.transition_proof("c", 1) is not None
+        # slow-to-rise needs initial 0 (fine) and then c/sa0 detection
+        assert prover.transition_proof("c", 0) is not None
+
+    def test_reason_vocabulary(self):
+        analyzer = TestabilityAnalyzer(_const_netlist(), use_cache=False)
+        for reason in analyzer.untestable_stuck().values():
+            assert reason in REASONS
+        for reason in analyzer.untestable_transition().values():
+            assert reason in REASONS
+
+
+@pytest.mark.parametrize("name", ["s27", "s298"])
+class TestZeroFalseProofsExhaustive:
+    def test_stuck_proofs(self, name):
+        netlist = _load(name)
+        compiled = compile_netlist(netlist)
+        analyzer = TestabilityAnalyzer(netlist, use_cache=False)
+        untestable = analyzer.untestable_stuck()
+        if name == "s298":
+            assert untestable, "s298 is known to carry untestable faults"
+        good, mask = exhaustive_good(compiled)
+        for fault in untestable:
+            assert not stuck_detectable(
+                compiled, good, mask, fault.net, fault.value), fault
+
+    def test_transition_proofs(self, name):
+        """Untestable transition => V1 or V2 requirement is impossible."""
+        netlist = _load(name)
+        compiled = compile_netlist(netlist)
+        analyzer = TestabilityAnalyzer(netlist, use_cache=False)
+        good, mask = exhaustive_good(compiled)
+        for fault in analyzer.untestable_transition():
+            equivalent = fault.equivalent_stuck
+            impossible_launch = not can_reach(
+                compiled, good, mask, fault.net, fault.initial_value)
+            impossible_capture = not stuck_detectable(
+                compiled, good, mask, equivalent.net, equivalent.value)
+            assert impossible_launch or impossible_capture, fault
+
+    def test_constant_nets_exhaustive(self, name):
+        netlist = _load(name)
+        compiled = compile_netlist(netlist)
+        analyzer = TestabilityAnalyzer(netlist, use_cache=False)
+        good, mask = exhaustive_good(compiled)
+        for net, value in analyzer.constant_nets().items():
+            word = good[compiled.index[net]] & mask
+            assert word == (mask if value else 0), (net, value)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in ("s344", "s526", "s641", "s1423")
+     if n in available_circuits()],
+)
+def test_podem_never_detects_proven_untestable(name):
+    netlist = load_circuit(name)
+    analyzer = TestabilityAnalyzer(netlist, use_cache=False)
+    untestable = analyzer.untestable_stuck()
+    podem = Podem(netlist, backtrack_limit=1000)
+    for fault in untestable:
+        result = podem.generate(fault)
+        assert not result.detected, fault
+
+
+def test_proofs_are_cached_and_stable():
+    netlist = s27()
+    first = TestabilityAnalyzer(netlist).untestable_stuck()
+    second = TestabilityAnalyzer(netlist).untestable_stuck()
+    assert first == second
+    assert first == TestabilityAnalyzer(netlist,
+                                        use_cache=False).untestable_stuck()

@@ -1,0 +1,131 @@
+"""Tests for the testability rule pack (TA001-TA004)."""
+
+import json
+
+from repro.lint.engine import LintEngine
+from repro.lint.formats import report_to_sarif
+from repro.lint.rules import DEFAULT_HOTSPOT_THRESHOLD, REGISTRY, LintContext
+from repro.netlist import Gate, Netlist
+
+
+def _const0_netlist():
+    """``c = a AND NOT a`` is constant 0; everything else is testable."""
+    n = Netlist("ta_const0")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("an", "NOT", ("a",)))
+    n.add_gate(Gate("c", "AND", ("a", "an")))
+    n.add_gate(Gate("out", "OR", ("c", "b")))
+    n.add_output("out")
+    return n
+
+
+def _const1_netlist():
+    """``c1 = a OR NOT a`` is constant 1 but still observable via out."""
+    n = Netlist("ta_const1")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("an", "NOT", ("a",)))
+    n.add_gate(Gate("c1", "OR", ("a", "an")))
+    n.add_gate(Gate("out", "AND", ("c1", "b")))
+    n.add_output("out")
+    return n
+
+
+def _clean_netlist():
+    n = Netlist("ta_clean")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate(Gate("y", "NAND", ("a", "b")))
+    n.add_output("y")
+    return n
+
+
+def _run(netlist, enable, **ctx_kwargs):
+    engine = LintEngine(enable=enable)
+    return engine.run(LintContext(netlist=netlist, **ctx_kwargs))
+
+
+class TestTA002Constants:
+    def test_constant_net_reported(self):
+        report = _run(_const0_netlist(), ["TA002"])
+        assert len(report.diagnostics) == 1
+        diag = report.diagnostics[0]
+        assert diag.location.net == "c"
+        assert "constant 0" in diag.message
+
+    def test_clean_circuit_silent(self):
+        assert not _run(_clean_netlist(), ["TA002"]).diagnostics
+
+
+class TestTA001UntestableSites:
+    def test_constant_nets_left_to_ta002(self):
+        report = _run(_const0_netlist(), ["TA001"])
+        assert all(d.location.net != "c" for d in report.diagnostics)
+
+    def test_clean_circuit_silent(self):
+        assert not _run(_clean_netlist(), ["TA001"]).diagnostics
+
+
+class TestTA003Hotspots:
+    def test_low_threshold_fires(self):
+        report = _run(_clean_netlist(), ["TA003"], ta_hotspot_threshold=1.0)
+        assert report.diagnostics
+        assert all("SCOAP difficulty" in d.message
+                   for d in report.diagnostics)
+
+    def test_zero_threshold_disables(self):
+        report = _run(_clean_netlist(), ["TA003"], ta_hotspot_threshold=0.0)
+        assert not report.diagnostics
+
+    def test_default_threshold_quiet_on_tiny_circuits(self):
+        assert DEFAULT_HOTSPOT_THRESHOLD > 0
+        assert not _run(_clean_netlist(), ["TA003"]).diagnostics
+
+
+class TestTA004TransitionOnly:
+    def test_observable_constant_one_site(self):
+        """c1/sa0 is testable, yet both transitions on c1 are untestable."""
+        report = _run(_const1_netlist(), ["TA004"])
+        nets = {d.location.net for d in report.diagnostics}
+        assert "c1" in nets
+        (diag,) = [d for d in report.diagnostics if d.location.net == "c1"]
+        assert "slow-to" in diag.message
+
+    def test_observable_constant_zero_site(self):
+        """c (constant 0 but observable): sa1 testable, transitions not."""
+        report = _run(_const0_netlist(), ["TA004"])
+        assert "c" in {d.location.net for d in report.diagnostics}
+
+    def test_fully_dead_sites_excluded(self):
+        """A constant *and* unobservable net is TA001/TA002 territory."""
+        n = Netlist("ta_dead")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate(Gate("an", "NOT", ("a",)))
+        n.add_gate(Gate("dead", "AND", ("a", "an")))  # constant 0, no fanout
+        n.add_gate(Gate("out", "OR", ("a", "b")))
+        n.add_output("out")
+        report = _run(n, ["TA004"])
+        assert all(d.location.net != "dead" for d in report.diagnostics)
+
+
+class TestRuleMetadata:
+    def test_ta_pack_registered_with_descriptions(self):
+        for rule_id in ("TA001", "TA002", "TA003", "TA004"):
+            rule = REGISTRY.get(rule_id)
+            assert rule is not None
+            assert rule.category == "testability"
+            assert rule.description
+            assert rule.help_uri.startswith("https://")
+
+    def test_sarif_carries_rule_metadata(self):
+        report = _run(_const0_netlist(), ["testability"])
+        document = json.loads(report_to_sarif(report))
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        ta_rules = {r["id"]: r for r in rules if r["id"].startswith("TA")}
+        assert set(ta_rules) == {"TA001", "TA002", "TA003", "TA004"}
+        for record in ta_rules.values():
+            assert record["shortDescription"]["text"]
+            assert record["fullDescription"]["text"]
+            assert record["helpUri"].startswith("https://")
