@@ -14,7 +14,7 @@ from .catalog import (
     spec,
 )
 from .embedded import S27_BENCH, s27
-from .generator import available_circuits, generate, load_circuit
+from .generator import available_circuits, generate, load_circuit, stress_spec
 from .parser import load_bench, parse_bench, parse_bench_lines
 from .verilog import verilog_text, write_verilog
 from .writer import bench_text, write_bench
@@ -34,6 +34,7 @@ __all__ = [
     "parse_bench_lines",
     "s27",
     "spec",
+    "stress_spec",
     "verilog_text",
     "write_bench",
     "write_verilog",

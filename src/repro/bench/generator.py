@@ -361,6 +361,37 @@ def _absorb_unused_inputs(netlist: Netlist, rng: random.Random) -> None:
         netlist.replace_gate(gate.with_fanin(gate.fanin + (net,)))
 
 
+def stress_spec(scale: int, depth: "int | None" = None) -> CircuitSpec:
+    """A synthetic stress circuit ``scale``x beyond s38584.
+
+    Scales the s38584 flip-flop and gate counts by ``scale`` while
+    keeping the I/O profile and fanout statistics, producing wide-batch
+    simulation workloads well past the largest catalog circuit.  The
+    default depth grows logarithmically with the scale (deeper logic,
+    like real designs of that size); pass ``depth`` to pin it.  Stress
+    circuits are deliberately *not* added to :data:`CATALOG` -- they are
+    benchmark/stress targets, not reconstructions of published circuits.
+    """
+    if scale < 1:
+        raise ValueError(f"stress scale must be >= 1, got {scale}")
+    base = lookup_spec("s38584")
+    if depth is None:
+        import math
+        depth = int(round(base.depth * (1.0 + math.log10(scale))))
+    return CircuitSpec(
+        f"stress{scale}x",
+        base.n_pi,
+        base.n_po,
+        base.n_ff * scale,
+        base.n_gates * scale,
+        depth,
+        base.fanout_per_ff,
+        base.unique_ratio,
+        hub_fraction=base.hub_fraction,
+        hub_fanout=base.hub_fanout,
+    )
+
+
 def load_circuit(name: str) -> Netlist:
     """Public entry point: reconstruct (or fetch embedded) circuit ``name``."""
     return generate(name)

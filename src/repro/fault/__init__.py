@@ -7,9 +7,19 @@ Public surface::
     from repro.fault import collapse_stuck, collapse_transition
     from repro.fault import FaultSimulator, Podem, TransitionAtpg
     from repro.fault import AtpgFlow, run_flow
+    from repro.fault import available_backends, resolve_backend
 """
 
 from .atpg_flow import AtpgFlow, AtpgFlowConfig, AtpgFlowResult, run_flow
+from .backends import (
+    BACKEND_AUTO,
+    BACKEND_INT,
+    BACKEND_NUMPY,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+    select_backend,
+)
 from .collapse import (
     collapse_stuck,
     collapse_transition,
@@ -60,6 +70,13 @@ from .transition import (
 )
 
 __all__ = [
+    "BACKEND_AUTO",
+    "BACKEND_INT",
+    "BACKEND_NUMPY",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
+    "select_backend",
     "AtpgFlow",
     "AtpgFlowConfig",
     "AtpgFlowResult",

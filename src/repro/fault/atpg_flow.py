@@ -77,12 +77,20 @@ class AtpgFlowConfig:
                                    # and SCOAP-guide the PODEM search
     processes: int = 1             # fault-sim worker pool size
                                    # (1 = serial in-process)
+    backend: str = "auto"          # fault-sim backend ("auto" | "int" |
+                                   # "numpy"); bit-identical either way,
+                                   # see repro.fault.backends
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.processes < 1:
             raise ValueError("processes must be >= 1")
+        if self.backend not in ("auto", "int", "numpy"):
+            raise ValueError(
+                f"backend must be 'auto', 'int' or 'numpy', "
+                f"got {self.backend!r}"
+            )
 
 
 @dataclass
@@ -161,7 +169,7 @@ class AtpgFlow:
                  config: Optional[AtpgFlowConfig] = None):
         self.netlist = netlist
         self.config = config or AtpgFlowConfig()
-        self.sim = FaultSimulator(netlist)
+        self.sim = FaultSimulator(netlist, backend=self.config.backend)
         self._static_untestable: Dict[StuckFault, str] = {}
         guidance = None
         if self.config.use_analysis:
@@ -217,7 +225,9 @@ class AtpgFlow:
                       n_faults=len(faults),
                       processes=self.config.processes):
             with ShardedFaultSimulator(self.netlist,
-                                       self.config.processes) as pool:
+                                       self.config.processes,
+                                       backend=self.config.backend,
+                                       ) as pool:
                 pool.load_faults(active)
                 with rec.span("atpg.phase1_random", cat="atpg",
                               circuit=self.netlist.name):
@@ -388,6 +398,11 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                         help="fault-simulation worker processes (a "
                              "persistent sharded pool; 1 = serial "
                              "in-process, identical results)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "int", "numpy"],
+                        help="fault-simulation backend for the phase-1 "
+                             "random patterns (bit-identical results; "
+                             "default auto)")
     parser.add_argument("--no-dominance", action="store_true",
                         help="disable dominance ordering of phase-2 "
                              "targets")
@@ -409,6 +424,7 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
         use_dominance=not args.no_dominance,
         use_analysis=args.analysis,
         processes=args.processes,
+        backend=args.backend,
     )
     manifest_extra: Dict[str, object] = {"seed": args.seed,
                                          "circuits": {}}

@@ -39,6 +39,7 @@ from ..errors import SimulationError
 from ..netlist import Netlist
 from ..obs import get_recorder
 from ..power.logicsim import LogicSimulator, pack_patterns
+from .backends import BACKEND_INT, BACKEND_NUMPY, get_wide_engine, select_backend
 from .models import StuckFault, TransitionFault
 
 #: A good-machine state: either the net -> packed-word mapping of
@@ -73,13 +74,44 @@ class FaultSimResult:
 
 
 class FaultSimulator:
-    """Compiled fault simulator for one netlist's combinational core."""
+    """Compiled fault simulator for one netlist's combinational core.
 
-    def __init__(self, netlist: Netlist):
+    ``backend`` selects the evaluation engine for the bulk entry points
+    (:meth:`simulate_stuck`, :meth:`simulate_stuck_packed`,
+    :meth:`simulate_transition`): ``"int"`` (the default) runs the
+    packed-int kernels, ``"numpy"`` the wide-batch engine of
+    :mod:`repro.netlist.wide`, and ``"auto"`` picks numpy for
+    multi-word batches when it is importable (see
+    :mod:`repro.fault.backends`).  Both backends are bit-identical;
+    the low-level per-fault methods (:meth:`detect_stuck_arr`,
+    :meth:`detect_stuck_many`) always run the integer kernels.
+    """
+
+    def __init__(self, netlist: Netlist, backend: str = BACKEND_INT):
         self.netlist = netlist
         self.sim = LogicSimulator(netlist)
         self.compiled = self.sim.compiled
         self.observe: Tuple[str, ...] = tuple(netlist.core_outputs)
+        self.backend = backend
+        self._wide_engine = None
+
+    def _wide(self):
+        """The shared wide-batch engine (built lazily, cached)."""
+        if self._wide_engine is None:
+            self._wide_engine = get_wide_engine(self.compiled)
+        return self._wide_engine
+
+    def _effective_backend(self, n_patterns: int) -> str:
+        """Backend actually used for a batch of ``n_patterns``.
+
+        Empty batches always run the integer kernels: there is nothing
+        to vectorize and the int path handles a zero mask natively.
+        """
+        if n_patterns <= 0:
+            return BACKEND_INT
+        compiled = self.compiled
+        n_gates = len(compiled.names) - compiled.n_prefix
+        return select_backend(self.backend, n_patterns, n_gates)
 
     # ------------------------------------------------------------------
     def _cone_order(self, net: str) -> Tuple[str, ...]:
@@ -112,9 +144,22 @@ class FaultSimulator:
         packing cost once per pattern set instead of once per fault.
         """
         compiled = self.compiled
+        arr = [0] * len(compiled.names)
+        arr[:compiled.n_prefix] = self._prefix_from_patterns(patterns)
+        mask = (1 << len(patterns)) - 1 if patterns else 0
+        compiled.eval_into(arr, mask)
+        return arr, mask
+
+    def _prefix_from_patterns(self, patterns: Sequence[Mapping[str, int]],
+                              ) -> List[int]:
+        """Strictly packed input words, one per prefix slot.
+
+        Shared by both backends so strict-packing failures raise the
+        same error regardless of the engine in use.
+        """
+        compiled = self.compiled
         names = compiled.names
-        arr = [0] * len(names)
-        n = len(patterns)
+        prefix = [0] * compiled.n_prefix
         for slot in range(compiled.n_prefix):
             net = names[slot]
             word = 0
@@ -127,10 +172,25 @@ class FaultSimulator:
                     )
                 if bit & 1:
                     word |= 1 << i
-            arr[slot] = word
-        mask = (1 << n) - 1 if n else 0
-        compiled.eval_into(arr, mask)
-        return arr, mask
+            prefix[slot] = word
+        return prefix
+
+    def _prefix_from_words(self, words: Mapping[str, int],
+                           mask: int) -> List[int]:
+        """Strictly gathered pre-packed input words per prefix slot."""
+        compiled = self.compiled
+        names = compiled.names
+        prefix = [0] * compiled.n_prefix
+        for slot in range(compiled.n_prefix):
+            net = names[slot]
+            word = words.get(net)
+            if word is None:
+                raise SimulationError(
+                    f"packed words assign no value to net {net!r} "
+                    f"(strict packing)"
+                )
+            prefix[slot] = word & mask
+        return prefix
 
     def good_array_from_words(self, words: Mapping[str, int],
                               n_patterns: int) -> Tuple[List[int], int]:
@@ -142,18 +202,9 @@ class FaultSimulator:
         dicts.  Missing nets raise (strict packing).
         """
         compiled = self.compiled
-        names = compiled.names
-        arr = [0] * len(names)
+        arr = [0] * len(compiled.names)
         mask = (1 << n_patterns) - 1 if n_patterns else 0
-        for slot in range(compiled.n_prefix):
-            net = names[slot]
-            word = words.get(net)
-            if word is None:
-                raise SimulationError(
-                    f"packed words assign no value to net {net!r} "
-                    f"(strict packing)"
-                )
-            arr[slot] = word & mask
+        arr[:compiled.n_prefix] = self._prefix_from_words(words, mask)
         compiled.eval_into(arr, mask)
         return arr, mask
 
@@ -256,6 +307,68 @@ class FaultSimulator:
             ) from exc
         return self.detect_stuck_arr(fault, arr, mask)
 
+    # -- wide-batch (numpy) paths --------------------------------------
+    def _wide_good(self, prefix: List[int], n_patterns: int):
+        """Pack + evaluate the good machine on the wide engine."""
+        engine = self._wide()
+        maskw = engine.mask_words(n_patterns)
+        values = engine.pack_prefix(prefix, n_patterns)
+        engine.eval_good(values, maskw)
+        return engine, values, maskw
+
+    def _wide_detect_stuck(self, faults: Sequence[StuckFault],
+                           prefix: List[int], n_patterns: int,
+                           drop_detected: bool) -> Dict[object, int]:
+        engine, good, maskw = self._wide_good(prefix, n_patterns)
+        zero = maskw ^ maskw
+        index = self.compiled.index
+        sites = []
+        for fault in faults:
+            slot = index.get(fault.net)
+            if slot is None:
+                raise SimulationError(
+                    f"fault site {fault.net!r} not in netlist"
+                )
+            sites.append((slot, maskw if fault.value else zero, None))
+        masks = engine.detect_many(sites, good, maskw,
+                                   early_exit=drop_detected)
+        return dict(zip(faults, masks))
+
+    def _wide_transition_masks(self, faults, prefix1, prefix2, n_pairs,
+                               drop_detected) -> FaultSimResult:
+        from ..netlist.wide import word_from_row
+        engine, good1, maskw = self._wide_good(prefix1, n_pairs)
+        _, good2, _ = self._wide_good(prefix2, n_pairs)
+        zero = maskw ^ maskw
+        index = self.compiled.index
+        detected: Dict[object, int] = {}
+        pending = []   # (fault, launch_int, site tuple)
+        for fault in faults:
+            slot = index.get(fault.net)
+            if slot is None:
+                raise SimulationError(
+                    f"fault site {fault.net!r} not in netlist"
+                )
+            site1 = good1[slot]
+            # Launch bit set where V1's value equals the required initial.
+            launch = site1 if fault.initial_value == 1 else site1 ^ maskw
+            if not launch.any():
+                detected[fault] = 0
+                continue
+            stuck = fault.equivalent_stuck
+            site_row = maskw if stuck.value else zero
+            limit = launch if drop_detected else None
+            detected[fault] = None
+            pending.append((fault, word_from_row(launch),
+                            (slot, site_row, limit)))
+        if pending:
+            masks = engine.detect_many([p[2] for p in pending], good2,
+                                       maskw, early_exit=drop_detected)
+            for (fault, launch_int, _), stuck_mask in zip(pending, masks):
+                detected[fault] = launch_int & stuck_mask
+        return FaultSimResult(detected=detected, n_patterns=n_pairs)
+
+    # -- bulk entry points ---------------------------------------------
     def simulate_stuck(self, faults: Sequence[StuckFault],
                        patterns: Sequence[Mapping[str, int]],
                        drop_detected: bool = False) -> FaultSimResult:
@@ -270,9 +383,14 @@ class FaultSimulator:
                                  n_faults=len(faults),
                                  n_patterns=len(patterns),
                                  drop=drop_detected):
-            good, mask = self.good_array(patterns)
-            detected = self.detect_stuck_many(faults, good, mask,
-                                              early_exit=drop_detected)
+            if self._effective_backend(len(patterns)) == BACKEND_NUMPY:
+                detected = self._wide_detect_stuck(
+                    faults, self._prefix_from_patterns(patterns),
+                    len(patterns), drop_detected)
+            else:
+                good, mask = self.good_array(patterns)
+                detected = self.detect_stuck_many(faults, good, mask,
+                                                  early_exit=drop_detected)
         return FaultSimResult(detected=detected, n_patterns=len(patterns))
 
     def simulate_stuck_packed(self, faults: Sequence[StuckFault],
@@ -284,9 +402,15 @@ class FaultSimulator:
                                  n_faults=len(faults),
                                  n_patterns=n_patterns,
                                  drop=drop_detected):
-            good, mask = self.good_array_from_words(words, n_patterns)
-            detected = self.detect_stuck_many(faults, good, mask,
-                                              early_exit=drop_detected)
+            if self._effective_backend(n_patterns) == BACKEND_NUMPY:
+                mask = (1 << n_patterns) - 1 if n_patterns else 0
+                detected = self._wide_detect_stuck(
+                    faults, self._prefix_from_words(words, mask),
+                    n_patterns, drop_detected)
+            else:
+                good, mask = self.good_array_from_words(words, n_patterns)
+                detected = self.detect_stuck_many(faults, good, mask,
+                                                  early_exit=drop_detected)
         return FaultSimResult(detected=detected, n_patterns=n_patterns)
 
     # ------------------------------------------------------------------
@@ -318,6 +442,11 @@ class FaultSimulator:
         v1s = [pair[0] for pair in pairs]
         v2s = [pair[1] for pair in pairs]
         with span:
+            if self._effective_backend(len(pairs)) == BACKEND_NUMPY:
+                return self._wide_transition_masks(
+                    faults, self._prefix_from_patterns(v1s),
+                    self._prefix_from_patterns(v2s), len(pairs),
+                    drop_detected)
             good1, mask = self.good_array(v1s)
             good2, _ = self.good_array(v2s)
             return self._transition_masks(faults, good1, good2, mask,

@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..netlist import Netlist, from_dict, to_dict
 from ..obs import get_recorder
+from .backends import BACKEND_INT, resolve_backend
 from .fsim import FaultSimResult, FaultSimulator
 from .models import StuckFault
 
@@ -102,7 +103,8 @@ def _shard_detect(sim: FaultSimulator, faults: Sequence[StuckFault],
     return result.detected
 
 
-def _worker_main(conn, worker_id: int, netlist_data: Dict) -> None:
+def _worker_main(conn, worker_id: int, netlist_data: Dict,
+                 backend: str = BACKEND_INT) -> None:
     """Worker entry: compile once, then stream shard requests forever.
 
     Protocol (parent -> worker):
@@ -125,7 +127,7 @@ def _worker_main(conn, worker_id: int, netlist_data: Dict) -> None:
         netlist = from_dict(netlist_data)
         # compile_netlist inside: memory tier (inherited on fork),
         # then the shared disk tier, then a local compile.
-        sim = FaultSimulator(netlist)
+        sim = FaultSimulator(netlist, backend=backend)
         conn.send(("ready", worker_id))
     except BaseException as exc:  # noqa: BLE001 -- must report, not die silently
         try:
@@ -195,15 +197,22 @@ class ShardedFaultSimulator:
     drop mode, retires them everywhere -- plus :meth:`drop_faults` to
     retire faults resolved outside the simulator (a PODEM-detected
     target, an untestability proof).
+
+    ``backend`` selects each worker's evaluation engine (see
+    :mod:`repro.fault.backends`): wide pattern words *within* a worker
+    compose with fault shards *across* workers.  Both backends merge
+    bit-identically, so the choice never changes results.
     """
 
     def __init__(self, netlist: Netlist, processes: int = 1,
-                 request_timeout: Optional[float] = None):
+                 request_timeout: Optional[float] = None,
+                 backend: str = BACKEND_INT):
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         self.netlist = netlist
         self.processes = processes
         self.request_timeout = request_timeout
+        self.backend = backend
         self._workers: List[Tuple] = []       # (proc, conn) per shard
         self._serial: Optional[FaultSimulator] = None
         self._req_ids = itertools.count()
@@ -215,8 +224,13 @@ class ShardedFaultSimulator:
         """Fork the pool (idempotent); workers compile before returning."""
         if self._started:
             return self
+        # Fail fast in the parent on an unsatisfiable backend request
+        # (e.g. explicit "numpy" without numpy) instead of shipping the
+        # failure to every worker.
+        resolve_backend(self.backend)
         if self.processes == 1:
-            self._serial = FaultSimulator(self.netlist)
+            self._serial = FaultSimulator(self.netlist,
+                                          backend=self.backend)
             self._started = True
             return self
         try:
@@ -233,7 +247,7 @@ class ShardedFaultSimulator:
                     parent_conn, child_conn = ctx.Pipe(duplex=True)
                     proc = ctx.Process(
                         target=_worker_main,
-                        args=(child_conn, worker_id, data),
+                        args=(child_conn, worker_id, data, self.backend),
                         daemon=True,
                     )
                     proc.start()
@@ -576,6 +590,12 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
                         help="catalog circuit names (default: s5378)")
     parser.add_argument("--processes", type=int, default=1,
                         help="worker processes (1 = serial in-process)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "int", "numpy"],
+                        help="simulation backend: packed-int kernels, "
+                             "numpy wide-batch engine, or auto "
+                             "(numpy for multi-word batches when "
+                             "importable; default)")
     parser.add_argument("--patterns", type=int, default=64,
                         help="random patterns to simulate (default 64)")
     parser.add_argument("--seed", type=int, default=7,
@@ -602,7 +622,8 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
             words = random_pattern_words(netlist, args.patterns,
                                          args.seed)
             start = time.perf_counter()
-            with ShardedFaultSimulator(netlist, args.processes) as pool:
+            with ShardedFaultSimulator(netlist, args.processes,
+                                       backend=args.backend) as pool:
                 result = pool.simulate_stuck_packed(
                     faults, words, args.patterns, drop_detected=args.drop
                 )
@@ -610,6 +631,7 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
             record = {
                 "circuit": name,
                 "processes": args.processes,
+                "backend": args.backend,
                 "n_faults": len(faults),
                 "n_patterns": args.patterns,
                 "drop": args.drop,

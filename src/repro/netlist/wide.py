@@ -1,0 +1,285 @@
+"""Numpy wide-batch evaluation engine over the compiled flat arrays.
+
+The packed-int kernels in :mod:`repro.netlist.compiled` carry one
+arbitrary-width Python integer per net, so a whole pattern set rides in
+one value.  This module is the multi-word counterpart: values live in a
+contiguous ``(n_slots, n_words)`` uint64 array (bit *i* of word *w* is
+pattern ``64*w + i``), and evaluation runs as sliced array operations
+over the same flat opcode/fanin arrays.
+
+Two structural ideas make the engine fast on large circuits:
+
+* **One shared level plan per netlist.**  Evaluation positions are
+  grouped by logic level, and inside a level sorted by ``(op, arity)``
+  so each homogeneous run evaluates as a single fancy-indexed numpy
+  expression.  There are no per-fault-cone plans to build or store --
+  the full-core plan is scanned for every fault.
+
+* **Changed-set pruning.**  Per-fault cone re-evaluation keeps a
+  boolean ``changed`` vector and only evaluates gates with at least one
+  changed fanin (``logical_or.reduceat`` over the level's concatenated
+  pin array).  A gate whose re-evaluated words equal the good-machine
+  words is marked unchanged, so masked fault effects die instead of
+  re-evaluating the whole structural cone.  The packed-int kernels
+  always evaluate the full cone; on circuits 10-100x beyond s38584
+  (where cones are huge and fault effects narrow) this is where the
+  wide backend pulls ahead.
+
+Results are **bit-identical** to the integer kernels: same excitation
+check, same observation-point order, same early-exit contract
+(:mod:`repro.fault.fsim` pins this on every catalog circuit).
+
+This module imports numpy at module scope; callers go through
+:mod:`repro.fault.backends`, which degrades to the integer kernels when
+the import fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from . import compiled as _c
+from .compiled import CompiledNetlist
+
+#: Opcode classes sharing one evaluation expression.
+_AND_OPS = frozenset({_c.OP_AND, _c.OP_NAND, _c.OP_AND2, _c.OP_NAND2})
+_OR_OPS = frozenset({_c.OP_OR, _c.OP_NOR, _c.OP_OR2, _c.OP_NOR2})
+_XOR_OPS = frozenset({_c.OP_XOR, _c.OP_XNOR, _c.OP_XOR2, _c.OP_XNOR2})
+#: Opcodes whose raw result is complemented (within the pattern mask).
+_INVERTING_OPS = frozenset({
+    _c.OP_NAND, _c.OP_NAND2, _c.OP_NOR, _c.OP_NOR2, _c.OP_XNOR,
+    _c.OP_XNOR2, _c.OP_NOT, _c.OP_AOI21, _c.OP_AOI22, _c.OP_OAI21,
+    _c.OP_OAI22,
+})
+
+
+def words_per_batch(n_patterns: int) -> int:
+    """Number of 64-bit words holding ``n_patterns`` pattern lanes."""
+    return (n_patterns + 63) // 64
+
+
+def row_from_word(word: int, n_words: int) -> "np.ndarray":
+    """Packed Python int -> uint64 row (bit *i* of word *w* = lane 64w+i)."""
+    return np.frombuffer(
+        word.to_bytes(n_words * 8, "little"), dtype="<u8"
+    ).astype(np.uint64)
+
+
+def word_from_row(row: "np.ndarray") -> int:
+    """uint64 row -> packed Python int (inverse of :func:`row_from_word`)."""
+    return int.from_bytes(row.astype("<u8").tobytes(), "little")
+
+
+class WideEngine:
+    """Wide-batch simulation engine for one :class:`CompiledNetlist`.
+
+    The engine is pattern-width agnostic: the level plan depends only on
+    the circuit, while per-call state (value arrays, mask words) is
+    sized by ``n_patterns``.  Build one per compiled netlist and reuse
+    it across calls -- plan construction is O(gates) and runs once.
+    """
+
+    def __init__(self, compiled: CompiledNetlist):
+        self.compiled = compiled
+        self._plan: Optional[List[tuple]] = None
+        self._observe_arr: Optional["np.ndarray"] = None
+
+    # -- plan ----------------------------------------------------------
+    def _build_plan(self) -> None:
+        compiled = self.compiled
+        base = compiled.n_prefix
+        ops = compiled.ops
+        fanins = compiled.fanins
+        level = [0] * len(compiled.names)
+        by_level: Dict[int, List[int]] = {}
+        for p, fanin in enumerate(fanins):
+            lvl = 1 + max(level[f] for f in fanin)
+            level[base + p] = lvl
+            by_level.setdefault(lvl, []).append(p)
+        plan = []
+        for lvl in sorted(by_level):
+            ps = sorted(by_level[lvl], key=lambda p: (ops[p], len(fanins[p])))
+            out = np.array([base + p for p in ps], dtype=np.intp)
+            pins: List[int] = []
+            offsets = [0]
+            for p in ps:
+                pins.extend(fanins[p])
+                offsets.append(len(pins))
+            pin_arr = np.array(pins, dtype=np.intp)
+            off_arr = np.array(offsets[:-1], dtype=np.intp)
+            subgroups = []
+            bounds = []
+            i = 0
+            while i < len(ps):
+                op = ops[ps[i]]
+                ar = len(fanins[ps[i]])
+                j = i
+                while (j < len(ps) and ops[ps[j]] == op
+                       and len(fanins[ps[j]]) == ar):
+                    j += 1
+                fin = np.array(
+                    [[fanins[p][k] for p in ps[i:j]] for k in range(ar)],
+                    dtype=np.intp,
+                )
+                subgroups.append((op, i, fin))
+                bounds.append(i)
+                i = j
+            bounds.append(len(ps))
+            plan.append((out, pin_arr, off_arr, subgroups,
+                         np.array(bounds, dtype=np.intp)))
+        self._plan = plan
+        self._observe_arr = np.array(compiled.observe_idx, dtype=np.intp)
+
+    @property
+    def plan(self) -> List[tuple]:
+        if self._plan is None:
+            self._build_plan()
+        return self._plan
+
+    @property
+    def observe_arr(self) -> "np.ndarray":
+        if self._observe_arr is None:
+            self._build_plan()
+        return self._observe_arr
+
+    # -- per-call state ------------------------------------------------
+    def mask_words(self, n_patterns: int) -> "np.ndarray":
+        """The all-lanes mask row: ``(1 << n_patterns) - 1`` in words."""
+        n_words = words_per_batch(n_patterns)
+        mask = np.full(n_words, ~np.uint64(0), dtype=np.uint64)
+        rem = n_patterns % 64
+        if rem:
+            mask[-1] = np.uint64((1 << rem) - 1)
+        return mask
+
+    def pack_prefix(self, prefix_words: Sequence[int],
+                    n_patterns: int) -> "np.ndarray":
+        """Value array from per-slot packed input words.
+
+        ``prefix_words[slot]`` is the packed Python int for prefix slot
+        ``slot`` (already masked to ``n_patterns`` lanes); internal
+        slots start zeroed and are filled by :meth:`eval_good`.
+        """
+        n_words = words_per_batch(n_patterns)
+        n_bytes = n_words * 8
+        values = np.zeros((len(self.compiled.names), n_words),
+                          dtype=np.uint64)
+        for slot, word in enumerate(prefix_words):
+            if word:
+                values[slot] = np.frombuffer(
+                    word.to_bytes(n_bytes, "little"), dtype="<u8")
+        return values
+
+    # -- evaluation ----------------------------------------------------
+    def _eval_subgroup(self, values: "np.ndarray", op: int,
+                       fin: "np.ndarray", maskw: "np.ndarray",
+                       ) -> "np.ndarray":
+        if op in _AND_OPS:
+            v = np.bitwise_and.reduce(values[fin], axis=0)
+        elif op in _OR_OPS:
+            v = np.bitwise_or.reduce(values[fin], axis=0)
+        elif op in _XOR_OPS:
+            v = np.bitwise_xor.reduce(values[fin], axis=0)
+        elif op == _c.OP_NOT or op == _c.OP_BUF:
+            v = values[fin[0]].copy()
+        elif op == _c.OP_AOI21:
+            v = (values[fin[0]] & values[fin[1]]) | values[fin[2]]
+        elif op == _c.OP_AOI22:
+            v = ((values[fin[0]] & values[fin[1]])
+                 | (values[fin[2]] & values[fin[3]]))
+        elif op == _c.OP_OAI21:
+            v = (values[fin[0]] | values[fin[1]]) & values[fin[2]]
+        elif op == _c.OP_OAI22:
+            v = ((values[fin[0]] | values[fin[1]])
+                 & (values[fin[2]] | values[fin[3]]))
+        elif op == _c.OP_MUX2:
+            sel = values[fin[0]]
+            v = ((values[fin[1]] & ~sel) | (values[fin[2]] & sel)) & maskw
+        else:
+            raise SimulationError(f"wide backend: unknown opcode {op}")
+        if op in _INVERTING_OPS:
+            # Values are always masked, so mask & ~v == v ^ maskw.
+            v ^= maskw
+        return v
+
+    def eval_good(self, values: "np.ndarray", maskw: "np.ndarray") -> None:
+        """Full-core good-machine evaluation, in place."""
+        for out, _pins, _offs, subgroups, _bounds in self.plan:
+            for op, start, fin in subgroups:
+                values[out[start:start + fin.shape[1]]] = \
+                    self._eval_subgroup(values, op, fin, maskw)
+
+    # -- fault detection ----------------------------------------------
+    def detect_many(
+        self,
+        sites: Sequence[Tuple[int, "np.ndarray", Optional["np.ndarray"]]],
+        good: "np.ndarray",
+        maskw: "np.ndarray",
+        early_exit: bool = False,
+    ) -> List[int]:
+        """Detection words for a list of forced-site faults.
+
+        ``sites`` holds ``(slot, site_row, limit_row)`` per fault: the
+        site is forced to ``site_row`` and differences are observed
+        under ``limit_row`` (``None`` means the full pattern mask --
+        transition faults pass their launch mask here in drop mode,
+        mirroring the integer kernels).  Returns one packed detection
+        int per site, in order, with the :meth:`detect order
+        <repro.fault.fsim.FaultSimulator.detect_stuck_arr>` contract:
+        ``early_exit`` stops at the first observation point showing a
+        difference.
+        """
+        plan = self.plan
+        observe_arr = self.observe_arr
+        n_words = good.shape[1]
+        faulty = good.copy()
+        changed = np.zeros(good.shape[0], dtype=bool)
+        results: List[int] = []
+        for slot, site_row, limit_row in sites:
+            limit = maskw if limit_row is None else limit_row
+            # Fault not excited where the good value equals the site value.
+            if not ((good[slot] ^ site_row) & limit).any():
+                results.append(0)
+                continue
+            faulty[slot] = site_row
+            changed[slot] = True
+            touched = [np.array([slot], dtype=np.intp)]
+            for out, pins, offs, subgroups, bounds in plan:
+                active = np.logical_or.reduceat(changed[pins], offs)
+                if not active.any():
+                    continue
+                idx = np.flatnonzero(active)
+                locs = np.searchsorted(idx, bounds)
+                for k, (op, start, fin) in enumerate(subgroups):
+                    lo, hi = locs[k], locs[k + 1]
+                    if lo == hi:
+                        continue
+                    sel = idx[lo:hi]
+                    o = out[sel]
+                    v = self._eval_subgroup(faulty, op, fin[:, sel - start],
+                                            maskw)
+                    faulty[o] = v
+                    changed[o] = (v != good[o]).any(axis=1)
+                    touched.append(o)
+            detected = 0
+            obs_changed = changed[observe_arr]
+            if obs_changed.any():
+                candidates = observe_arr[np.flatnonzero(obs_changed)]
+                diffs = (good[candidates] ^ faulty[candidates]) & limit
+                nonzero = diffs.any(axis=1)
+                if early_exit:
+                    if nonzero.any():
+                        detected = word_from_row(diffs[np.argmax(nonzero)])
+                else:
+                    acc = np.zeros(n_words, dtype=np.uint64)
+                    for row in diffs[nonzero]:
+                        acc |= row
+                    detected = word_from_row(acc)
+            results.append(detected)
+            restore = np.concatenate(touched)
+            faulty[restore] = good[restore]
+            changed[restore] = False
+        return results

@@ -263,6 +263,121 @@ def bench_fsim_stuck_sharded(quick: bool) -> List[Dict[str, object]]:
     ]
 
 
+def bench_fsim_numpy(quick: bool) -> List[Dict[str, object]]:
+    """Numpy wide-batch fault sim vs the packed-int kernels.
+
+    Workload: a synthetic stress circuit well beyond s38584
+    (:func:`repro.bench.generator.stress_spec`) under a 4096-pattern
+    batch -- the wide-batch regime the numpy backend exists for.  Both
+    backends run fault-dropping mode on the same fault sample;
+    full-mask mode gets its own (smaller) sample in full runs.
+    Hard-asserts bit-identical detection masks; the speedup rows carry
+    committed floors (measured ~2.4-3.6x on the quick workload, ~8x on
+    the full one).  When numpy is not importable the rows are waived with
+    ``min_speedup: 0`` -- the integer kernels are then the only
+    backend, so there is nothing to compare.
+    """
+    from ..bench.generator import generate, stress_spec
+    from ..fault.backends import numpy_available
+
+    scale, depth, stride, floor = (
+        (3, 36, 160, 1.8) if quick else (10, 48, 600, 3.0)
+    )
+    name = f"stress{scale}x"
+    if not numpy_available():
+        return [{
+            "kernel": "fsim_numpy_speedup",
+            "circuit": name,
+            "n": 0,
+            "seconds": None,
+            "speedup": 0.0,
+            "min_speedup": 0.0,
+            "note": "floor waived: numpy not importable, int backend only",
+        }]
+
+    n_patterns = 4096
+    netlist = generate(stress_spec(scale, depth=depth))
+    faults = all_stuck_faults(netlist)[::stride]
+    words = random_pattern_words(netlist, n_patterns, seed=11)
+
+    int_sim = FaultSimulator(netlist, backend="int")
+    numpy_sim = FaultSimulator(netlist, backend="numpy")
+
+    t_int = _timed_best(
+        lambda: int_sim.simulate_stuck_packed(
+            faults, words, n_patterns, drop_detected=True)
+    )
+    t_numpy = _timed_best(
+        lambda: numpy_sim.simulate_stuck_packed(
+            faults, words, n_patterns, drop_detected=True)
+    )
+    if t_numpy["value"].detected != t_int["value"].detected:
+        raise AssertionError(
+            f"{name}: numpy backend drop-mode masks differ from int"
+        )
+    speedup = t_int["seconds"] / max(t_numpy["seconds"], 1e-9)
+    rows: List[Dict[str, object]] = [
+        {
+            "kernel": "fsim_numpy_drop",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_numpy["seconds"],
+            "n_patterns": n_patterns,
+        },
+        {
+            "kernel": "fsim_numpy_drop_int",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": t_int["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "fsim_numpy_speedup",
+            "circuit": name,
+            "n": len(faults),
+            "seconds": None,
+            "speedup": speedup,
+            "min_speedup": floor,
+            "identical_masks": True,
+            "note": (
+                f"speedup {speedup:.2f}x at {n_patterns} patterns "
+                f"(drop mode), identical masks"
+            ),
+        },
+    ]
+    if not quick:
+        full_faults = faults[::2]
+        t_int_full = _timed_best(
+            lambda: int_sim.simulate_stuck_packed(
+                full_faults, words, n_patterns)
+        )
+        t_numpy_full = _timed_best(
+            lambda: numpy_sim.simulate_stuck_packed(
+                full_faults, words, n_patterns)
+        )
+        if t_numpy_full["value"].detected != t_int_full["value"].detected:
+            raise AssertionError(
+                f"{name}: numpy backend full-mask masks differ from int"
+            )
+        full_speedup = (
+            t_int_full["seconds"] / max(t_numpy_full["seconds"], 1e-9)
+        )
+        rows.append({
+            "kernel": "fsim_numpy_full_speedup",
+            "circuit": name,
+            "n": len(full_faults),
+            "seconds": None,
+            "speedup": full_speedup,
+            "min_speedup": 2.5,
+            "identical_masks": True,
+            "note": (
+                f"speedup {full_speedup:.2f}x at {n_patterns} patterns "
+                f"(full-mask mode), identical masks"
+            ),
+        })
+    return rows
+
+
 def bench_compile_cache(quick: bool) -> List[Dict[str, object]]:
     """Cold compile vs disk-warm reload of the largest circuit.
 
@@ -617,6 +732,7 @@ KERNEL_GROUPS = (
     bench_logicsim,
     bench_fsim_stuck,
     bench_fsim_stuck_sharded,
+    bench_fsim_numpy,
     bench_compile_cache,
     bench_fsim_transition,
     bench_eval3,

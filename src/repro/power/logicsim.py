@@ -120,8 +120,12 @@ def pack_patterns(patterns: Sequence[Mapping[str, int]],
     that net -- convenient for don't-cares, but silently wrong when the
     caller *meant* to supply every bit.  With ``strict=True`` a missing
     net raises :class:`~repro.errors.SimulationError` instead; the fault
-    simulator and ATPG run in strict mode.
+    simulator and ATPG run in strict mode.  The strict error reports
+    *every* missing net of the first underspecified pattern at once, so
+    a hand-written pattern file can be fixed in one pass instead of one
+    whack-a-mole net per run.
     """
+    nets = list(nets)
     values: Dict[str, int] = {}
     n = len(patterns)
     for net in nets:
@@ -130,15 +134,36 @@ def pack_patterns(patterns: Sequence[Mapping[str, int]],
             bit = pattern.get(net)
             if bit is None:
                 if strict:
-                    raise SimulationError(
-                        f"pattern {i} assigns no value to net {net!r} "
-                        f"(strict packing)"
-                    )
+                    _raise_strict_packing(patterns, nets)
                 bit = 0
             if bit & 1:
                 word |= 1 << i
         values[net] = word
     return values, (1 << n) - 1 if n else 0
+
+
+def _raise_strict_packing(patterns: Sequence[Mapping[str, int]],
+                          nets: Sequence[str]) -> None:
+    """Raise for the first underspecified pattern, naming every net it
+    misses (called only once a missing assignment is already known)."""
+    for i, pattern in enumerate(patterns):
+        missing = [net for net in nets if pattern.get(net) is None]
+        if not missing:
+            continue
+        if len(missing) == 1:
+            raise SimulationError(
+                f"pattern {i} assigns no value to net {missing[0]!r} "
+                f"(strict packing)"
+            )
+        listed = ", ".join(repr(net) for net in missing)
+        raise SimulationError(
+            f"pattern {i} assigns no value to nets {listed} "
+            f"(strict packing)"
+        )
+    raise SimulationError(
+        "strict packing failed but no missing net was found "
+        "(inconsistent pattern mappings)"
+    )
 
 
 def unpack_word(word: int, n: int) -> List[int]:

@@ -91,3 +91,45 @@ class TestApi:
     def test_generate_accepts_spec_object(self):
         n = generate(CATALOG["s344"])
         assert n.name == "s344"
+
+
+class TestStressSpec:
+    """Synthetic stress circuits scale s38584 without entering CATALOG."""
+
+    def test_scales_s38584(self):
+        from repro.bench import spec, stress_spec
+
+        base = spec("s38584")
+        stress = stress_spec(10, depth=48)
+        assert stress.name == "stress10x"
+        assert stress.n_ff == base.n_ff * 10
+        assert stress.n_gates == base.n_gates * 10
+        assert stress.depth == 48
+        assert (stress.n_pi, stress.n_po) == (base.n_pi, base.n_po)
+        assert stress.hub_fraction == base.hub_fraction
+
+    def test_default_depth_grows_with_scale(self):
+        from repro.bench import spec, stress_spec
+
+        base = spec("s38584")
+        assert stress_spec(1).depth == base.depth
+        assert stress_spec(10).depth == 2 * base.depth
+        assert stress_spec(3).depth > base.depth
+
+    def test_not_in_catalog(self):
+        from repro.bench import CATALOG, stress_spec
+
+        assert stress_spec(2).name not in CATALOG
+
+    def test_rejects_nonpositive_scale(self):
+        import pytest
+
+        from repro.bench import stress_spec
+
+        with pytest.raises(ValueError, match="scale"):
+            stress_spec(0)
+
+    def test_deterministic_seed(self):
+        from repro.bench import stress_spec
+
+        assert stress_spec(4).seed == stress_spec(4).seed

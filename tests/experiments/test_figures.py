@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="figure experiments run the spice solver")
+
 from repro import units
 from repro.experiments import (
     ablation_sizing,

@@ -309,3 +309,80 @@ class TestSwallowedErrorObservability:
             and e["args"]["where"] == "del.close"
             for e in rec.events
         )
+
+
+class TestMoreWorkersThanFaults:
+    """Regression: a pool with more processes than faults leaves some
+    shards empty; every protocol path must still merge bit-identically
+    to serial (an empty shard contributes nothing, not a crash)."""
+
+    PROCESSES = 8
+
+    def _tiny_faults(self, netlist):
+        return collapse_stuck(netlist, all_stuck_faults(netlist))[:3]
+
+    def test_one_shot_matches_serial(self, s27_netlist):
+        faults = self._tiny_faults(s27_netlist)
+        n = 12
+        words = words_for(s27_netlist, n, seed=4)
+        serial = FaultSimulator(s27_netlist).simulate_stuck_packed(
+            faults, words, n
+        )
+        with ShardedFaultSimulator(
+            s27_netlist, processes=self.PROCESSES
+        ) as pool:
+            sharded = pool.simulate_stuck_packed(faults, words, n)
+            dropped = pool.simulate_stuck_packed(
+                faults, words, n, drop_detected=True
+            )
+        serial_dropped = FaultSimulator(s27_netlist).simulate_stuck_packed(
+            faults, words, n, drop_detected=True
+        )
+        assert sharded.detected == serial.detected
+        assert list(sharded.detected) == list(serial.detected)
+        assert sharded.coverage == serial.coverage
+        assert dropped.detected == serial_dropped.detected
+
+    def test_session_rounds_match_serial(self, s27_netlist):
+        faults = self._tiny_faults(s27_netlist)
+        serial_sim = FaultSimulator(s27_netlist)
+        remaining = list(faults)
+        with ShardedFaultSimulator(
+            s27_netlist, processes=self.PROCESSES
+        ) as pool:
+            pool.load_faults(faults)
+            assert pool.n_active == len(faults)
+            for seed in (1, 2):
+                n = 8
+                words = words_for(s27_netlist, n, seed=seed)
+                hits = pool.round_packed(words, n, drop=True)
+                res = serial_sim.simulate_stuck_packed(
+                    remaining, words, n, drop_detected=True
+                )
+                expected = {f: m for f, m in res.detected.items() if m}
+                assert hits == expected
+                remaining = [f for f in remaining if f not in expected]
+                assert pool.n_active == len(remaining)
+                assert pool.active_faults == remaining
+
+    def test_round_patterns_and_drop_faults(self, s27_netlist):
+        faults = self._tiny_faults(s27_netlist)
+        rng = random.Random(6)
+        nets = list(s27_netlist.inputs) + list(s27_netlist.state_inputs)
+        patterns = [
+            {net: rng.randint(0, 1) for net in nets} for _ in range(6)
+        ]
+        serial = FaultSimulator(s27_netlist).simulate_stuck(
+            faults, patterns
+        )
+        with ShardedFaultSimulator(
+            s27_netlist, processes=self.PROCESSES
+        ) as pool:
+            pool.load_faults(faults)
+            got = pool.round_patterns(patterns, drop=False)
+            assert got == {
+                f: m for f, m in serial.detected.items() if m
+            }
+            pool.drop_faults(faults[:1])
+            assert pool.n_active == len(faults) - 1
+            assert pool.active_faults == faults[1:]

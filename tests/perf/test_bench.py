@@ -138,3 +138,49 @@ def test_usable_cores_positive():
     from repro.perf.bench import _usable_cores
 
     assert _usable_cores() >= 1
+
+
+class TestUsableCores:
+    """``_usable_cores`` must honor the scheduler affinity mask, not the
+    raw host core count (cgroup-restricted CI runners)."""
+
+    def test_prefers_affinity_mask(self, monkeypatch):
+        import os
+
+        from repro.perf import bench
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert bench._usable_cores() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.perf import bench
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert bench._usable_cores() == 6
+
+
+class TestNumpyBenchWaiver:
+    def test_waived_row_without_numpy(self, monkeypatch, tmp_path, report):
+        """Without numpy the kernel emits one zero-floor row that the
+        baseline check accepts (nothing to compare, nothing to fail)."""
+        import repro.fault.backends as backends
+        from repro.perf.bench import bench_fsim_numpy
+
+        monkeypatch.setattr(backends, "_NUMPY_AVAILABLE", False)
+        rows = bench_fsim_numpy(quick=True)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["kernel"] == "fsim_numpy_speedup"
+        assert row["min_speedup"] == 0.0
+        assert "waived" in row["note"]
+
+        path = _write_baseline(tmp_path, report)
+        current = json.loads(json.dumps(report))
+        current["kernels"].extend(rows)
+        assert check_against_baseline(current, path) == []

@@ -88,3 +88,45 @@ class TestPacking:
         packed, mask = pack_patterns([], ["a"])
         assert mask == 0
         assert packed["a"] == 0
+
+
+class TestStrictPacking:
+    def test_non_strict_zero_fills(self):
+        packed, mask = pack_patterns([{"a": 1}, {}], ["a"])
+        assert mask == 0b11
+        assert packed["a"] == 0b01
+
+    def test_single_missing_net_message(self):
+        with pytest.raises(
+            SimulationError,
+            match=r"pattern 1 assigns no value to net 'b' \(strict packing\)",
+        ):
+            pack_patterns(
+                [{"a": 0, "b": 1}, {"a": 1}], ["a", "b"], strict=True
+            )
+
+    def test_all_missing_nets_reported_at_once(self):
+        """The error names every net the offending pattern misses, not
+        just the first one hit by the packing loop."""
+        patterns = [{"a": 0, "b": 0, "c": 0}, {"a": 1}]
+        with pytest.raises(SimulationError) as excinfo:
+            pack_patterns(patterns, ["a", "b", "c"], strict=True)
+        message = str(excinfo.value)
+        assert "pattern 1 assigns no value to nets 'b', 'c'" in message
+        assert "strict packing" in message
+
+    def test_reports_first_underspecified_pattern(self):
+        """Missing nets are attributed to the earliest bad pattern even
+        when a later-iterated net is missing in an earlier pattern."""
+        patterns = [{"a": 0, "b": 0}, {"a": 1}, {"b": 1}]
+        with pytest.raises(
+            SimulationError, match=r"pattern 1 assigns no value to net 'b'"
+        ):
+            pack_patterns(patterns, ["a", "b"], strict=True)
+
+    def test_fully_specified_strict_passes(self):
+        packed, mask = pack_patterns(
+            [{"a": 1, "b": 0}, {"a": 0, "b": 1}], ["a", "b"], strict=True
+        )
+        assert mask == 0b11
+        assert packed == {"a": 0b01, "b": 0b10}

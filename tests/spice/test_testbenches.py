@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="spice transient solver needs numpy")
+
 from repro import units
 from repro.spice import (
     DECAY_LEVEL,

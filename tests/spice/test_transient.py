@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="spice transient solver needs numpy")
+
 from repro import units
 from repro.errors import SimulationError
 from repro.spice import TransientCircuit, simulate, step_wave
@@ -133,3 +135,16 @@ def test_voltages_stay_clamped():
     result = simulate(tb, 2 * units.NS)
     assert result.maximum("out") <= 1.05 * units.VDD_70NM + 1e-9
     assert result.minimum("out") >= -0.05 * units.VDD_70NM - 1e-9
+
+
+def test_simulate_without_numpy_raises(monkeypatch):
+    """When numpy is absent the module still imports; only simulate()
+    fails, loudly (the no-numpy tier-1 suite relies on this)."""
+    from repro.spice import transient
+
+    monkeypatch.setattr(transient, "np", None)
+    tb = TransientCircuit("inv")
+    tb.inverter("i1", "in", "out")
+    tb.drive("in", step_wave({1 * units.NS: units.VDD_70NM}, initial=0.0))
+    with pytest.raises(SimulationError, match="requires numpy"):
+        transient.simulate(tb, 1 * units.NS)
