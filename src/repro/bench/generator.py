@@ -28,6 +28,7 @@ name always yields byte-identical netlists.
 from __future__ import annotations
 
 import random
+import re
 from typing import Dict, List, Sequence, Set
 
 from ..errors import NetlistError
@@ -118,9 +119,16 @@ def generate(spec_or_name: "CircuitSpec | str") -> Netlist:
     """Reconstruct an ISCAS89-like circuit from its catalog statistics.
 
     ``s27`` is returned verbatim (the real netlist is embedded).
+    Synthetic stress circuits resolve by name too: ``"stress3x"`` is
+    :func:`stress_spec` at scale 3 (default depth), so the CLIs can
+    target benchmark-sized circuits without a catalog entry.
     """
     if isinstance(spec_or_name, str):
-        circuit_spec = lookup_spec(spec_or_name)
+        stress = re.fullmatch(r"stress([1-9]\d*)x", spec_or_name)
+        if stress:
+            circuit_spec = stress_spec(int(stress.group(1)))
+        else:
+            circuit_spec = lookup_spec(spec_or_name)
     else:
         circuit_spec = spec_or_name
     if circuit_spec.name == "s27":

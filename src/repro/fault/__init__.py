@@ -15,10 +15,15 @@ from .backends import (
     BACKEND_AUTO,
     BACKEND_INT,
     BACKEND_NUMPY,
+    BATCH_AUTO,
     available_backends,
     numpy_available,
     resolve_backend,
+    resolve_batch_faults,
     select_backend,
+    select_batch_faults,
+    wide_min_gates,
+    wide_min_patterns,
 )
 from .collapse import (
     collapse_stuck,
@@ -73,10 +78,15 @@ __all__ = [
     "BACKEND_AUTO",
     "BACKEND_INT",
     "BACKEND_NUMPY",
+    "BATCH_AUTO",
     "available_backends",
     "numpy_available",
     "resolve_backend",
+    "resolve_batch_faults",
     "select_backend",
+    "select_batch_faults",
+    "wide_min_gates",
+    "wide_min_patterns",
     "AtpgFlow",
     "AtpgFlowConfig",
     "AtpgFlowResult",

@@ -46,8 +46,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..errors import SimulationError
 from ..netlist import Netlist
 from ..obs import get_recorder
+from .backends import resolve_batch_faults
 from .collapse import collapse_stuck, dominance_collapse_stuck
 from .fsim import FaultSimulator
 from .models import StuckFault, all_stuck_faults
@@ -80,6 +82,9 @@ class AtpgFlowConfig:
     backend: str = "auto"          # fault-sim backend ("auto" | "int" |
                                    # "numpy"); bit-identical either way,
                                    # see repro.fault.backends
+    batch_faults: object = "auto"  # faults per wide-engine plan walk
+                                   # ("auto" | int >= 1); bit-identical
+                                   # at every batch size
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -91,6 +96,10 @@ class AtpgFlowConfig:
                 f"backend must be 'auto', 'int' or 'numpy', "
                 f"got {self.backend!r}"
             )
+        try:
+            resolve_batch_faults(self.batch_faults)
+        except SimulationError as exc:
+            raise ValueError(str(exc)) from None
 
 
 @dataclass
@@ -169,7 +178,8 @@ class AtpgFlow:
                  config: Optional[AtpgFlowConfig] = None):
         self.netlist = netlist
         self.config = config or AtpgFlowConfig()
-        self.sim = FaultSimulator(netlist, backend=self.config.backend)
+        self.sim = FaultSimulator(netlist, backend=self.config.backend,
+                                  batch_faults=self.config.batch_faults)
         self._static_untestable: Dict[StuckFault, str] = {}
         guidance = None
         if self.config.use_analysis:
@@ -227,6 +237,7 @@ class AtpgFlow:
             with ShardedFaultSimulator(self.netlist,
                                        self.config.processes,
                                        backend=self.config.backend,
+                                       batch_faults=self.config.batch_faults,
                                        ) as pool:
                 pool.load_faults(active)
                 with rec.span("atpg.phase1_random", cat="atpg",
@@ -403,6 +414,10 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                         help="fault-simulation backend for the phase-1 "
                              "random patterns (bit-identical results; "
                              "default auto)")
+    parser.add_argument("--batch-faults", default="auto",
+                        help="faults per wide-engine plan walk: 'auto' "
+                             "(default) or a positive integer "
+                             "(1 = per-fault; bit-identical results)")
     parser.add_argument("--no-dominance", action="store_true",
                         help="disable dominance ordering of phase-2 "
                              "targets")
@@ -416,16 +431,20 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     names = available_circuits() if args.all else args.circuits
-    config = AtpgFlowConfig(
-        n_random_patterns=args.random_patterns,
-        batch_size=args.batch_size,
-        backtrack_limit=args.backtrack_limit,
-        seed=args.seed,
-        use_dominance=not args.no_dominance,
-        use_analysis=args.analysis,
-        processes=args.processes,
-        backend=args.backend,
-    )
+    try:
+        config = AtpgFlowConfig(
+            n_random_patterns=args.random_patterns,
+            batch_size=args.batch_size,
+            backtrack_limit=args.backtrack_limit,
+            seed=args.seed,
+            use_dominance=not args.no_dominance,
+            use_analysis=args.analysis,
+            processes=args.processes,
+            backend=args.backend,
+            batch_faults=args.batch_faults,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     manifest_extra: Dict[str, object] = {"seed": args.seed,
                                          "circuits": {}}
     with trace_session(args.trace, "atpg", argv=list(argv or []),

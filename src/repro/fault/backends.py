@@ -23,11 +23,20 @@ circuits at ATPG batch widths the integer kernels are at least as
 fast).  Requesting ``"numpy"`` explicitly without numpy installed
 raises :class:`~repro.errors.SimulationError`; everything else
 degrades gracefully to ``"int"``.
+
+The registry also owns the ``batch_faults`` knob: how many faults the
+wide engine packs into one plan walk (``"auto"`` sizes the batch from
+circuit stats so the fault-state array stays within a fixed word
+budget).  The knob is a pure performance lever -- batched results are
+pinned bit-identical to both the per-fault wide path and the integer
+kernels.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import os
+
+from typing import Optional, Tuple, Union
 
 from ..errors import SimulationError
 
@@ -36,6 +45,7 @@ BACKEND_INT = "int"
 BACKEND_NUMPY = "numpy"
 
 #: ``auto`` engages the wide backend only past one word of patterns.
+#: Overridable per-process via ``REPRO_WIDE_MIN_PATTERNS``.
 WIDE_MIN_PATTERNS = 65
 
 #: ... and only on circuits with at least this many evaluated gates.
@@ -43,9 +53,56 @@ WIDE_MIN_PATTERNS = 65
 #: 0.3-0.9x on every catalog circuit (s5378 0.31x, s38417 0.90x,
 #: s38584 1.07x) and only pulls ahead decisively on the synthetic
 #: stress circuits (3.6x at 58k gates, 8x at 207k, 4096 patterns).
+#: Overridable per-process via ``REPRO_WIDE_MIN_GATES``.
 WIDE_MIN_GATES = 25_000
 
+#: Sentinel for "size the fault batch from circuit stats".
+BATCH_AUTO = "auto"
+
+#: Hard ceiling on faults per wide-engine batch.  Past this the
+#: per-level pair bookkeeping stops amortizing the python overhead it
+#: is meant to remove.
+WIDE_MAX_BATCH_FAULTS = 64
+
+#: Word budget for the batched fault-state array (``n_slots * B *
+#: n_words`` uint64 words, ~128 MiB at the default).  ``auto`` batch
+#: sizing divides this by the per-fault footprint.
+WIDE_BATCH_BUDGET_WORDS = 16_000_000
+
 _NUMPY_AVAILABLE: Optional[bool] = None
+
+
+def _env_int(env_name: str, default: int) -> int:
+    """``default`` or a validated positive-int override from ``os.environ``.
+
+    Garbage (non-integers, zero, negatives) raises a loud
+    :class:`~repro.errors.SimulationError` naming the variable -- a
+    mistyped override must never silently re-tune the crossover.
+    """
+    raw = os.environ.get(env_name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise SimulationError(
+            f"invalid {env_name}={raw!r}: must be a positive integer"
+        ) from None
+    if value < 1:
+        raise SimulationError(
+            f"invalid {env_name}={raw!r}: must be a positive integer"
+        )
+    return value
+
+
+def wide_min_patterns() -> int:
+    """Effective ``auto`` pattern-count crossover (env-overridable)."""
+    return _env_int("REPRO_WIDE_MIN_PATTERNS", WIDE_MIN_PATTERNS)
+
+
+def wide_min_gates() -> int:
+    """Effective ``auto`` gate-count crossover (env-overridable)."""
+    return _env_int("REPRO_WIDE_MIN_GATES", WIDE_MIN_GATES)
 
 
 def numpy_available() -> bool:
@@ -108,11 +165,60 @@ def select_backend(name: Optional[str], n_patterns: int,
     """
     name = BACKEND_AUTO if name is None else name
     if name == BACKEND_AUTO:
-        if n_patterns < WIDE_MIN_PATTERNS:
+        if n_patterns < wide_min_patterns():
             return BACKEND_INT
-        if n_gates is not None and n_gates < WIDE_MIN_GATES:
+        if n_gates is not None and n_gates < wide_min_gates():
             return BACKEND_INT
     return resolve_backend(name)
+
+
+def resolve_batch_faults(value: Union[int, str, None]) -> Union[int, str]:
+    """Validate a ``batch_faults`` knob value.
+
+    Returns :data:`BATCH_AUTO` for ``None``/``"auto"``, the integer for
+    a positive int (or a string spelling one, as CLI flags deliver),
+    and raises :class:`~repro.errors.SimulationError` for anything
+    else.  Call this at construction time so a bad knob fails fast
+    instead of deep inside a worker.
+    """
+    if value is None or value == BATCH_AUTO:
+        return BATCH_AUTO
+    if isinstance(value, bool):
+        pass  # bools are ints but never a sensible batch size
+    elif isinstance(value, int):
+        if value >= 1:
+            return value
+    elif isinstance(value, str):
+        try:
+            parsed = int(value.strip())
+        except ValueError:
+            parsed = 0
+        if parsed >= 1:
+            return parsed
+    raise SimulationError(
+        f"invalid batch_faults {value!r}: must be 'auto' or a positive "
+        f"integer"
+    )
+
+
+def select_batch_faults(value: Union[int, str, None], n_patterns: int,
+                        n_slots: int) -> int:
+    """Effective faults-per-batch for one packed call.
+
+    An explicit integer is honoured as-is.  ``"auto"`` divides
+    :data:`WIDE_BATCH_BUDGET_WORDS` by the per-fault footprint
+    (``n_slots`` value slots times the word count for ``n_patterns``
+    lanes), clamped to ``[1, WIDE_MAX_BATCH_FAULTS]`` -- wide pattern
+    batches on huge circuits get small fault batches, the narrow
+    ATPG-regime batches the batching exists for get the full 64.
+    """
+    value = resolve_batch_faults(value)
+    if value != BATCH_AUTO:
+        return value
+    n_words = max(1, (n_patterns + 63) // 64)
+    per_fault = max(1, n_slots) * n_words
+    return max(1, min(WIDE_MAX_BATCH_FAULTS,
+                      WIDE_BATCH_BUDGET_WORDS // per_fault))
 
 
 def get_wide_engine(compiled):

@@ -39,7 +39,16 @@ from ..errors import SimulationError
 from ..netlist import Netlist
 from ..obs import get_recorder
 from ..power.logicsim import LogicSimulator, pack_patterns
-from .backends import BACKEND_INT, BACKEND_NUMPY, get_wide_engine, select_backend
+from .backends import (
+    BACKEND_AUTO,
+    BACKEND_INT,
+    BACKEND_NUMPY,
+    BATCH_AUTO,
+    get_wide_engine,
+    resolve_batch_faults,
+    select_backend,
+    select_batch_faults,
+)
 from .models import StuckFault, TransitionFault
 
 #: A good-machine state: either the net -> packed-word mapping of
@@ -78,21 +87,29 @@ class FaultSimulator:
 
     ``backend`` selects the evaluation engine for the bulk entry points
     (:meth:`simulate_stuck`, :meth:`simulate_stuck_packed`,
-    :meth:`simulate_transition`): ``"int"`` (the default) runs the
-    packed-int kernels, ``"numpy"`` the wide-batch engine of
-    :mod:`repro.netlist.wide`, and ``"auto"`` picks numpy for
-    multi-word batches when it is importable (see
-    :mod:`repro.fault.backends`).  Both backends are bit-identical;
-    the low-level per-fault methods (:meth:`detect_stuck_arr`,
-    :meth:`detect_stuck_many`) always run the integer kernels.
+    :meth:`simulate_transition`): ``"int"`` runs the packed-int
+    kernels, ``"numpy"`` the wide-batch engine of
+    :mod:`repro.netlist.wide`, and ``"auto"`` (the default) picks
+    numpy for multi-word batches on large circuits when it is
+    importable (see :mod:`repro.fault.backends`).  Both backends are
+    bit-identical; the low-level per-fault methods
+    (:meth:`detect_stuck_arr`, :meth:`detect_stuck_many`) always run
+    the integer kernels.
+
+    ``batch_faults`` controls how many faults the wide engine packs
+    into one plan walk (``"auto"`` sizes the batch from circuit stats,
+    an int pins it, ``1`` restores the per-fault wide path).  Purely a
+    performance knob -- results are identical at every batch size.
     """
 
-    def __init__(self, netlist: Netlist, backend: str = BACKEND_INT):
+    def __init__(self, netlist: Netlist, backend: str = BACKEND_AUTO,
+                 batch_faults=BATCH_AUTO):
         self.netlist = netlist
         self.sim = LogicSimulator(netlist)
         self.compiled = self.sim.compiled
         self.observe: Tuple[str, ...] = tuple(netlist.core_outputs)
         self.backend = backend
+        self.batch_faults = resolve_batch_faults(batch_faults)
         self._wide_engine = None
 
     def _wide(self):
@@ -112,6 +129,11 @@ class FaultSimulator:
         compiled = self.compiled
         n_gates = len(compiled.names) - compiled.n_prefix
         return select_backend(self.backend, n_patterns, n_gates)
+
+    def _batch_for(self, n_patterns: int) -> int:
+        """Effective faults-per-batch for one wide call."""
+        return select_batch_faults(self.batch_faults, n_patterns,
+                                   len(self.compiled.names))
 
     # ------------------------------------------------------------------
     def _cone_order(self, net: str) -> Tuple[str, ...]:
@@ -330,8 +352,9 @@ class FaultSimulator:
                     f"fault site {fault.net!r} not in netlist"
                 )
             sites.append((slot, maskw if fault.value else zero, None))
-        masks = engine.detect_many(sites, good, maskw,
-                                   early_exit=drop_detected)
+        masks = engine.detect_batched(sites, good, maskw,
+                                      self._batch_for(n_patterns),
+                                      early_exit=drop_detected)
         return dict(zip(faults, masks))
 
     def _wide_transition_masks(self, faults, prefix1, prefix2, n_pairs,
@@ -362,8 +385,9 @@ class FaultSimulator:
             pending.append((fault, word_from_row(launch),
                             (slot, site_row, limit)))
         if pending:
-            masks = engine.detect_many([p[2] for p in pending], good2,
-                                       maskw, early_exit=drop_detected)
+            masks = engine.detect_batched([p[2] for p in pending], good2,
+                                          maskw, self._batch_for(n_pairs),
+                                          early_exit=drop_detected)
             for (fault, launch_int, _), stuck_mask in zip(pending, masks):
                 detected[fault] = launch_int & stuck_mask
         return FaultSimResult(detected=detected, n_patterns=n_pairs)

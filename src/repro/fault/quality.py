@@ -72,15 +72,18 @@ def sample_delay_defects(netlist: Netlist, n_defects: int = 50,
 def escape_study(netlist: Netlist,
                  test_sets: Mapping[str, Sequence[TwoPatternTest]],
                  n_defects: int = 50, seed: int = 2005,
+                 backend: str = "auto", batch_faults="auto",
                  ) -> Dict[str, EscapeReport]:
     """Escape rate of each labelled test set over one defect sample.
 
     All test sets face the *same* defect population, so the comparison
     isolates the application style (the paper's argument for arbitrary
-    two-pattern capability).
+    two-pattern capability).  The simulation backend never changes the
+    report.
     """
     defects = sample_delay_defects(netlist, n_defects, seed)
-    sim = FaultSimulator(netlist)
+    sim = FaultSimulator(netlist, backend=backend,
+                         batch_faults=batch_faults)
     reports: Dict[str, EscapeReport] = {}
     for label, tests in test_sets.items():
         if tests:

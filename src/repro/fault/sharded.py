@@ -44,7 +44,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..netlist import Netlist, from_dict, to_dict
 from ..obs import get_recorder
-from .backends import BACKEND_INT, resolve_backend
+from .backends import (
+    BACKEND_AUTO,
+    BACKEND_INT,
+    BATCH_AUTO,
+    resolve_backend,
+    resolve_batch_faults,
+    select_batch_faults,
+)
 from .fsim import FaultSimResult, FaultSimulator
 from .models import StuckFault
 
@@ -69,20 +76,33 @@ def _record_swallowed(where: str, exc: BaseException) -> None:
     )
 
 
-def shard_faults(faults: Sequence[StuckFault],
-                 n_shards: int) -> List[List[StuckFault]]:
+def shard_faults(faults: Sequence[StuckFault], n_shards: int,
+                 block: int = 1) -> List[List[StuckFault]]:
     """Deterministic round-robin partition of a fault list.
 
-    Shard ``i`` gets ``faults[i::n_shards]``; relative order inside a
-    shard follows the input list.  Round-robin statistically balances
-    expensive (large-cone) and cheap faults across shards, and the
-    assignment depends only on ``(faults, n_shards)`` -- never on
-    timing -- so repeated runs shard identically.
+    With the default ``block=1``, shard ``i`` gets ``faults[i::n_shards]``;
+    relative order inside a shard follows the input list.  Round-robin
+    statistically balances expensive (large-cone) and cheap faults
+    across shards, and the assignment depends only on ``(faults,
+    n_shards, block)`` -- never on timing -- so repeated runs shard
+    identically.
+
+    ``block > 1`` deals contiguous runs of ``block`` faults round-robin
+    instead of single faults, so a worker whose simulator batches B
+    faults per wide-engine plan walk receives whole batches (blocks
+    aligned to its batch size) rather than an interleaved sample.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
     faults = list(faults)
-    return [faults[i::n_shards] for i in range(n_shards)]
+    if block == 1:
+        return [faults[i::n_shards] for i in range(n_shards)]
+    shards: List[List[StuckFault]] = [[] for _ in range(n_shards)]
+    for j in range(0, len(faults), block):
+        shards[(j // block) % n_shards].extend(faults[j:j + block])
+    return shards
 
 
 # ----------------------------------------------------------------------
@@ -98,13 +118,17 @@ def _shard_detect(sim: FaultSimulator, faults: Sequence[StuckFault],
         )
     elif kind == "patterns":
         result = sim.simulate_stuck(faults, payload[1], drop_detected=drop)
+    elif kind == "pairs":
+        result = sim.simulate_transition(faults, payload[1],
+                                         drop_detected=drop)
     else:
         raise SimulationError(f"unknown payload kind {kind!r}")
     return result.detected
 
 
 def _worker_main(conn, worker_id: int, netlist_data: Dict,
-                 backend: str = BACKEND_INT) -> None:
+                 backend: str = BACKEND_INT,
+                 batch_faults=BATCH_AUTO) -> None:
     """Worker entry: compile once, then stream shard requests forever.
 
     Protocol (parent -> worker):
@@ -127,7 +151,8 @@ def _worker_main(conn, worker_id: int, netlist_data: Dict,
         netlist = from_dict(netlist_data)
         # compile_netlist inside: memory tier (inherited on fork),
         # then the shared disk tier, then a local compile.
-        sim = FaultSimulator(netlist, backend=backend)
+        sim = FaultSimulator(netlist, backend=backend,
+                             batch_faults=batch_faults)
         conn.send(("ready", worker_id))
     except BaseException as exc:  # noqa: BLE001 -- must report, not die silently
         try:
@@ -202,22 +227,38 @@ class ShardedFaultSimulator:
     :mod:`repro.fault.backends`): wide pattern words *within* a worker
     compose with fault shards *across* workers.  Both backends merge
     bit-identically, so the choice never changes results.
+
+    ``batch_faults`` is forwarded to each worker's simulator, and the
+    fan-out deals faults to workers in whole blocks of that size
+    (``shard_faults(..., block=...)``) so every worker-side wide-engine
+    batch is a contiguous run of the submitted fault list instead of a
+    round-robin sample.  Like the backend, it never changes results.
     """
 
     def __init__(self, netlist: Netlist, processes: int = 1,
                  request_timeout: Optional[float] = None,
-                 backend: str = BACKEND_INT):
+                 backend: str = BACKEND_AUTO,
+                 batch_faults=BATCH_AUTO):
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         self.netlist = netlist
         self.processes = processes
         self.request_timeout = request_timeout
         self.backend = backend
+        self.batch_faults = resolve_batch_faults(batch_faults)
         self._workers: List[Tuple] = []       # (proc, conn) per shard
         self._serial: Optional[FaultSimulator] = None
         self._req_ids = itertools.count()
         self._active: List[StuckFault] = []   # session faults, in order
         self._started = False
+
+    def _shard_block(self) -> int:
+        """Block size for dealing faults to workers: the worker-side
+        wide-engine batch size at nominal (one-word) pattern width,
+        estimated from cheap netlist stats -- the parent never compiles
+        just to shard.  1 (plain round-robin) when batching is off."""
+        return select_batch_faults(self.batch_faults, 64,
+                                   len(self.netlist))
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ShardedFaultSimulator":
@@ -225,12 +266,14 @@ class ShardedFaultSimulator:
         if self._started:
             return self
         # Fail fast in the parent on an unsatisfiable backend request
-        # (e.g. explicit "numpy" without numpy) instead of shipping the
-        # failure to every worker.
+        # (e.g. explicit "numpy" without numpy) or a garbage batch knob
+        # instead of shipping the failure to every worker.
         resolve_backend(self.backend)
+        resolve_batch_faults(self.batch_faults)
         if self.processes == 1:
             self._serial = FaultSimulator(self.netlist,
-                                          backend=self.backend)
+                                          backend=self.backend,
+                                          batch_faults=self.batch_faults)
             self._started = True
             return self
         try:
@@ -247,7 +290,8 @@ class ShardedFaultSimulator:
                     parent_conn, child_conn = ctx.Pipe(duplex=True)
                     proc = ctx.Process(
                         target=_worker_main,
-                        args=(child_conn, worker_id, data, self.backend),
+                        args=(child_conn, worker_id, data, self.backend,
+                              self.batch_faults),
                         daemon=True,
                     )
                     proc.start()
@@ -458,7 +502,8 @@ class ShardedFaultSimulator:
         if self._serial is not None:
             return self._serial.simulate_stuck(faults, patterns,
                                                drop_detected)
-        merged = self._fanout(shard_faults(faults, len(self._workers)),
+        merged = self._fanout(shard_faults(faults, len(self._workers),
+                                           self._shard_block()),
                               ("patterns", patterns), drop_detected)
         return FaultSimResult(
             detected={f: merged[f] for f in faults},
@@ -476,12 +521,37 @@ class ShardedFaultSimulator:
             return self._serial.simulate_stuck_packed(
                 faults, words, n_patterns, drop_detected
             )
-        merged = self._fanout(shard_faults(faults, len(self._workers)),
+        merged = self._fanout(shard_faults(faults, len(self._workers),
+                                           self._shard_block()),
                               ("words", dict(words), n_patterns),
                               drop_detected)
         return FaultSimResult(
             detected={f: merged[f] for f in faults},
             n_patterns=n_patterns,
+        )
+
+    def simulate_transition(self, faults, pairs,
+                            drop_detected: bool = False) -> FaultSimResult:
+        """Sharded :meth:`~repro.fault.fsim.FaultSimulator.simulate_transition`.
+
+        Transition faults shard exactly like stuck-at faults (each
+        fault's launch/capture masks depend only on the good machines
+        and its own cone); workers receive the (V1, V2) pair list once
+        per call and the merge is fault-order-stable, so sharded and
+        serial runs are interchangeable bit for bit.
+        """
+        self._ensure_started()
+        faults = list(faults)
+        pairs = list(pairs)
+        if self._serial is not None:
+            return self._serial.simulate_transition(faults, pairs,
+                                                    drop_detected)
+        merged = self._fanout(shard_faults(faults, len(self._workers),
+                                           self._shard_block()),
+                              ("pairs", pairs), drop_detected)
+        return FaultSimResult(
+            detected={f: merged[f] for f in faults},
+            n_patterns=len(pairs),
         )
 
     # -- session API (multi-round fault dropping) ----------------------
@@ -503,7 +573,8 @@ class ShardedFaultSimulator:
         if self._serial is not None:
             return
         for worker_id, shard in enumerate(
-                shard_faults(self._active, len(self._workers))):
+                shard_faults(self._active, len(self._workers),
+                             self._shard_block())):
             self._send(worker_id, ("load", shard))
 
     def drop_faults(self, faults: Sequence[StuckFault]) -> None:
@@ -596,8 +667,15 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
                              "numpy wide-batch engine, or auto "
                              "(numpy for multi-word batches when "
                              "importable; default)")
+    parser.add_argument("--batch-faults", default="auto",
+                        help="faults per wide-engine plan walk: 'auto' "
+                             "(sized from circuit stats; default), or a "
+                             "positive integer (1 = per-fault)")
     parser.add_argument("--patterns", type=int, default=64,
                         help="random patterns to simulate (default 64)")
+    parser.add_argument("--max-faults", type=int, default=None,
+                        help="cap the collapsed fault list at the first "
+                             "N faults (smoke runs on stress circuits)")
     parser.add_argument("--seed", type=int, default=7,
                         help="pattern RNG seed (default 7)")
     parser.add_argument("--drop", action="store_true",
@@ -610,6 +688,10 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
                              "compile-cache statistics)")
     add_trace_argument(parser)
     args = parser.parse_args(argv)
+    try:
+        resolve_batch_faults(args.batch_faults)
+    except SimulationError as exc:
+        parser.error(str(exc))
 
     status = 0
     manifest_extra: Dict[str, object] = {"seed": args.seed,
@@ -619,11 +701,15 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
         for name in args.circuits:
             netlist = load_circuit(name)
             faults = collapse_stuck(netlist, all_stuck_faults(netlist))
+            if args.max_faults is not None:
+                faults = faults[:args.max_faults]
             words = random_pattern_words(netlist, args.patterns,
                                          args.seed)
             start = time.perf_counter()
             with ShardedFaultSimulator(netlist, args.processes,
-                                       backend=args.backend) as pool:
+                                       backend=args.backend,
+                                       batch_faults=args.batch_faults,
+                                       ) as pool:
                 result = pool.simulate_stuck_packed(
                     faults, words, args.patterns, drop_detected=args.drop
                 )
@@ -632,6 +718,7 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
                 "circuit": name,
                 "processes": args.processes,
                 "backend": args.backend,
+                "batch_faults": args.batch_faults,
                 "n_faults": len(faults),
                 "n_patterns": args.patterns,
                 "drop": args.drop,
@@ -639,7 +726,12 @@ def fsim_main(argv: Optional[List[str]] = None) -> int:
                 "seconds": seconds,
             }
             if args.check_serial:
-                serial = FaultSimulator(netlist).simulate_stuck_packed(
+                # Pinned to the per-fault integer kernels so the check
+                # stays a genuine cross-backend comparison whatever the
+                # pool ran.
+                serial = FaultSimulator(
+                    netlist, backend=BACKEND_INT,
+                ).simulate_stuck_packed(
                     faults, words, args.patterns, drop_detected=args.drop
                 )
                 identical = serial.detected == result.detected

@@ -26,6 +26,7 @@ dropped via :func:`clear_compile_cache`.
 from __future__ import annotations
 
 import hashlib
+import sys
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -698,6 +699,12 @@ def clear_compile_cache(disk: bool = False) -> None:
     _CACHE_MISSES = 0
     _DISK_HITS = 0
     _DISK_MISSES = 0
+    # The wide engine memoizes level plans per compiled netlist; those
+    # are keyed off this cache's content hashes, so drop them together.
+    # Looked up via sys.modules because repro.netlist.wide needs numpy.
+    wide = sys.modules.get("repro.netlist.wide")
+    if wide is not None:
+        wide.clear_plan_cache()
     if disk:
         tier = _disk_tier()
         if tier is not None:

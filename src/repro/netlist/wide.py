@@ -41,8 +41,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import get_recorder
 from . import compiled as _c
 from .compiled import CompiledNetlist
+
+#: Level plans and observe orders memoized per compiled netlist (keyed
+#: on the content hash, so engines built by different simulators over
+#: the same circuit share one plan instead of rebuilding it per
+#: ``simulate_*`` call).  Cleared alongside the compile cache.
+_PLAN_CACHE: Dict[str, Tuple[List[tuple], "np.ndarray"]] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop every memoized level plan / observe order."""
+    _PLAN_CACHE.clear()
 
 #: Opcode classes sharing one evaluation expression.
 _AND_OPS = frozenset({_c.OP_AND, _c.OP_NAND, _c.OP_AND2, _c.OP_NAND2})
@@ -89,6 +101,11 @@ class WideEngine:
 
     # -- plan ----------------------------------------------------------
     def _build_plan(self) -> None:
+        cached = _PLAN_CACHE.get(self.compiled.key)
+        if cached is not None:
+            self._plan, self._observe_arr = cached
+            get_recorder().incr("wide.observe_order_hits")
+            return
         compiled = self.compiled
         base = compiled.n_prefix
         ops = compiled.ops
@@ -132,6 +149,7 @@ class WideEngine:
                          np.array(bounds, dtype=np.intp)))
         self._plan = plan
         self._observe_arr = np.array(compiled.observe_idx, dtype=np.intp)
+        _PLAN_CACHE[compiled.key] = (self._plan, self._observe_arr)
 
     @property
     def plan(self) -> List[tuple]:
@@ -283,3 +301,152 @@ class WideEngine:
             faulty[restore] = good[restore]
             changed[restore] = False
         return results
+
+    def detect_batched(
+        self,
+        sites: Sequence[Tuple[int, "np.ndarray", Optional["np.ndarray"]]],
+        good: "np.ndarray",
+        maskw: "np.ndarray",
+        batch: int,
+        early_exit: bool = False,
+    ) -> List[int]:
+        """:meth:`detect_many`, but ``batch`` faults per plan walk.
+
+        Fault state lives in a ``(n_slots, B, n_words)`` uint64 array:
+        row ``b`` of each slot is fault ``b``'s machine, good-machine
+        words broadcast once per batch.  Changed-set pruning runs on
+        the fault axis too: the per-level activity reduction keeps the
+        full ``(gate, fault)`` matrix, and a gate is re-evaluated only
+        for the fault rows whose fanins actually changed (fancy pair
+        indexing), so a batch costs one plan walk plus the union of its
+        active cones -- not B full dispatches, and not ``union x B``
+        gate evaluations either.
+
+        A fault's own site is never re-evaluated in its own row (its
+        fanins sit strictly upstream of the fault effect), so the
+        forced value survives the walk even when another fault in the
+        batch drives gates through the site.
+
+        Results are bit-identical to :meth:`detect_many` -- same
+        excitation check, observation order, and early-exit contract.
+        """
+        if batch <= 1 or len(sites) <= 1:
+            return self.detect_many(sites, good, maskw, early_exit)
+        plan = self.plan
+        observe_arr = self.observe_arr
+        n_slots, n_words = good.shape
+        b_cap = min(batch, len(sites))
+        # One allocation per call; per-batch restore keeps the invariant
+        # "row == good unless injected/touched" between batches.
+        faulty = np.repeat(good[:, None, :], b_cap, axis=1)
+        changed = np.zeros((n_slots, b_cap), dtype=bool)
+        results: List[int] = []
+        for start in range(0, len(sites), b_cap):
+            results.extend(self._detect_one_batch(
+                sites[start:start + b_cap], good, maskw,
+                faulty, changed, early_exit))
+        return results
+
+    def _detect_one_batch(self, chunk, good, maskw, faulty, changed,
+                          early_exit):
+        n_words = good.shape[1]
+        nb = len(chunk)
+        fview = faulty[:, :nb]
+        cview = changed[:, :nb]
+        results = [0] * nb
+        injected = []
+        site_slots: List[int] = []
+        site_cols: List[int] = []
+        for b, (slot, site_row, limit_row) in enumerate(chunk):
+            limit = maskw if limit_row is None else limit_row
+            # Same excitation check as the per-fault path.
+            if not ((good[slot] ^ site_row) & limit).any():
+                continue
+            fview[slot, b] = site_row
+            cview[slot, b] = True
+            injected.append((b, limit))
+            site_slots.append(slot)
+            site_cols.append(b)
+        if not injected:
+            return results
+        touched_slots = [np.array(site_slots, dtype=np.intp)]
+        touched_cols = [np.array(site_cols, dtype=np.intp)]
+        for out, pins, offs, subgroups, bounds in self.plan:
+            act = np.logical_or.reduceat(cview[pins], offs, axis=0)
+            rows = act.any(axis=1)
+            if not rows.any():
+                continue
+            idx = np.flatnonzero(rows)
+            locs = np.searchsorted(idx, bounds)
+            for k, (op, start, fin) in enumerate(subgroups):
+                lo, hi = locs[k], locs[k + 1]
+                if lo == hi:
+                    continue
+                sel = idx[lo:hi]
+                gi, bi = np.nonzero(act[sel])
+                fin_pairs = fin[:, sel - start][:, gi]
+                v = self._eval_pairs(fview, op, fin_pairs, bi, maskw)
+                o = out[sel][gi]
+                fview[o, bi] = v
+                cview[o, bi] = (v != good[o]).any(axis=1)
+                touched_slots.append(o)
+                touched_cols.append(bi)
+        obs_changed = cview[self.observe_arr]
+        for b, limit in injected:
+            col = obs_changed[:, b]
+            if col.any():
+                candidates = self.observe_arr[np.flatnonzero(col)]
+                diffs = (good[candidates] ^ fview[candidates, b]) & limit
+                nonzero = diffs.any(axis=1)
+                if early_exit:
+                    if nonzero.any():
+                        results[b] = word_from_row(diffs[np.argmax(nonzero)])
+                else:
+                    acc = np.zeros(n_words, dtype=np.uint64)
+                    for row in diffs[nonzero]:
+                        acc |= row
+                    results[b] = word_from_row(acc)
+        rs = np.concatenate(touched_slots)
+        rb = np.concatenate(touched_cols)
+        fview[rs, rb] = good[rs]
+        cview[rs, rb] = False
+        return results
+
+    def _eval_pairs(self, values: "np.ndarray", op: int,
+                    fin: "np.ndarray", cols: "np.ndarray",
+                    maskw: "np.ndarray") -> "np.ndarray":
+        """:meth:`_eval_subgroup` over explicit (gate, fault-row) pairs.
+
+        ``values`` is the 3-D ``(n_slots, B, n_words)`` fault state;
+        ``fin[a, p]`` names pair *p*'s fanin slot for pin *a* and
+        ``cols[p]`` its fault row.  Returns ``(n_pairs, n_words)``.
+        """
+        if op in _AND_OPS:
+            v = np.bitwise_and.reduce(values[fin, cols], axis=0)
+        elif op in _OR_OPS:
+            v = np.bitwise_or.reduce(values[fin, cols], axis=0)
+        elif op in _XOR_OPS:
+            v = np.bitwise_xor.reduce(values[fin, cols], axis=0)
+        elif op == _c.OP_NOT or op == _c.OP_BUF:
+            v = values[fin[0], cols].copy()
+        elif op == _c.OP_AOI21:
+            v = (values[fin[0], cols] & values[fin[1], cols]) \
+                | values[fin[2], cols]
+        elif op == _c.OP_AOI22:
+            v = ((values[fin[0], cols] & values[fin[1], cols])
+                 | (values[fin[2], cols] & values[fin[3], cols]))
+        elif op == _c.OP_OAI21:
+            v = (values[fin[0], cols] | values[fin[1], cols]) \
+                & values[fin[2], cols]
+        elif op == _c.OP_OAI22:
+            v = ((values[fin[0], cols] | values[fin[1], cols])
+                 & (values[fin[2], cols] | values[fin[3], cols]))
+        elif op == _c.OP_MUX2:
+            sel = values[fin[0], cols]
+            v = ((values[fin[1], cols] & ~sel)
+                 | (values[fin[2], cols] & sel)) & maskw
+        else:
+            raise SimulationError(f"wide backend: unknown opcode {op}")
+        if op in _INVERTING_OPS:
+            v ^= maskw
+        return v
