@@ -27,6 +27,7 @@ from .scoap import (
     KNOWN_STYLES,
     ScoapScores,
     compute_scoap,
+    guidance_hash,
     scan_cell_difficulty,
 )
 from .untestable import REASONS, UntestabilityProver
@@ -46,5 +47,6 @@ __all__ = [
     "analyze_main",
     "clear_analysis_cache",
     "compute_scoap",
+    "guidance_hash",
     "scan_cell_difficulty",
 ]

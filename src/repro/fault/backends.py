@@ -221,6 +221,45 @@ def select_batch_faults(value: Union[int, str, None], n_patterns: int,
                       WIDE_BATCH_BUDGET_WORDS // per_fault))
 
 
+#: Backtrack-budget multiplier of the deep rescue policy in a racing
+#: portfolio: aborts under the base budget get one more, much deeper,
+#: differently-guided attempt before the fault is committed aborted.
+RACE_BUDGET_FACTOR = 4
+
+
+def podem_portfolio(backtrack_limit: int, base_guided: bool = False,
+                    race: bool = False):
+    """The ordered PODEM policy portfolio for one ATPG flow.
+
+    Policy 0 is always the flow's own configuration (``base_guided``
+    mirrors ``--analysis``), so a non-racing run degrades to exactly
+    the historical single-engine search.  With ``race=True`` two
+    diversity policies join: the opposite backtrace guidance at the
+    same budget, and a SCOAP-guided deep search at
+    :data:`RACE_BUDGET_FACTOR` times the budget.  The portfolio *order*
+    is the determinism contract -- the committed outcome is the first
+    non-aborted result in policy order, never the wall-clock winner --
+    so the tuple must be a pure function of its arguments.
+    """
+    from .podem import PodemPolicy
+
+    if backtrack_limit < 0:
+        raise SimulationError(
+            f"backtrack_limit must be >= 0, got {backtrack_limit}"
+        )
+    base = PodemPolicy(name="guided" if base_guided else "base",
+                       guided=base_guided, backtrack_limit=None)
+    if not race:
+        return (base,)
+    flipped = PodemPolicy(
+        name="base" if base_guided else "guided",
+        guided=not base_guided, backtrack_limit=None,
+    )
+    deep = PodemPolicy(name="deep-guided", guided=True,
+                       backtrack_limit=RACE_BUDGET_FACTOR * backtrack_limit)
+    return (base, flipped, deep)
+
+
 def get_wide_engine(compiled):
     """A :class:`~repro.netlist.wide.WideEngine` over ``compiled``.
 

@@ -25,7 +25,19 @@ simulation across a pool of **persistent** worker processes:
   detections locally, and :meth:`ShardedFaultSimulator.drop_faults`
   broadcasts externally retired faults (PODEM-detected targets,
   untestable proofs) so cross-shard dropping converges on exactly the
-  serial active set.
+  serial active set;
+* workers double as **test-generation sessions**: a ``podem`` request
+  runs a resumable :class:`~repro.fault.podem.PodemSearch` in bounded
+  slices, polling the pipe between slices so cancellation and
+  interleaved fault-simulation rounds stay responsive, and SCOAP
+  guidance ships at most once per content hash
+  (:meth:`ShardedFaultSimulator.ensure_guidance`).  The parallel-ATPG
+  coordinator in :mod:`repro.fault.atpg_flow` builds on
+  :meth:`~ShardedFaultSimulator.podem_submit` /
+  :meth:`~ShardedFaultSimulator.podem_poll` /
+  :meth:`~ShardedFaultSimulator.podem_cancel`, with
+  :meth:`~ShardedFaultSimulator.recover_workers` respawning any worker
+  that dies mid-search.
 
 Worker errors are **structured**: a shard that raises (e.g. strict
 packing rejecting a pattern that misses a net) replies with a typed
@@ -38,7 +50,9 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import time
+from multiprocessing.connection import wait as _wait_connections
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
@@ -54,11 +68,67 @@ from .backends import (
 )
 from .fsim import FaultSimResult, FaultSimulator
 from .models import StuckFault
+from .podem import DEFAULT_SEARCH_SLICE, Podem
 
 #: Seconds the parent waits for a worker's post-compile readiness.
 READY_TIMEOUT = 300.0
 #: Join grace before escalating to terminate/kill at close time.
 _JOIN_GRACE = 5.0
+
+#: Exit code of the ``("die",)`` test hook, distinctive enough that a
+#: worker killed on purpose is never mistaken for an OOM or a signal.
+_DIE_EXIT_CODE = 17
+
+
+def _cpu_quota_cores(cgroup_root: str = "/sys/fs/cgroup") -> Optional[float]:
+    """Cores allowed by the container's cgroup CPU quota, or ``None``.
+
+    Reads cgroup v2 ``cpu.max`` (``"<quota|max> <period>"``) first,
+    then the cgroup v1 pair ``cpu/cpu.cfs_quota_us`` /
+    ``cpu/cpu.cfs_period_us``.  Unreadable or malformed files and the
+    unlimited sentinels (``max``, quota ``-1``) all mean "no quota" --
+    the probe must never raise on an exotic host.
+    """
+    try:
+        with open(os.path.join(cgroup_root, "cpu.max")) as fh:
+            fields = fh.read().split()
+        if fields and fields[0] != "max":
+            quota = int(fields[0])
+            period = int(fields[1]) if len(fields) > 1 else 100_000
+            if quota > 0 and period > 0:
+                return quota / period
+    except (OSError, ValueError):
+        pass
+    try:
+        v1 = os.path.join(cgroup_root, "cpu")
+        with open(os.path.join(v1, "cpu.cfs_quota_us")) as fh:
+            quota = int(fh.read().strip())
+        with open(os.path.join(v1, "cpu.cfs_period_us")) as fh:
+            period = int(fh.read().strip())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def usable_cores(cgroup_root: str = "/sys/fs/cgroup") -> int:
+    """CPU cores this process can actually use, never less than 1.
+
+    The CPU-affinity mask (cpusets, taskset) intersected with the
+    container's cgroup CPU *quota* -- a pod limited to ``200m`` CPU
+    reports 1 usable core even when the node exposes 64, so sizing a
+    worker pool from this number no longer over-provisions throttled
+    containers.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        affinity = os.cpu_count() or 1
+    quota = _cpu_quota_cores(cgroup_root)
+    if quota is not None:
+        affinity = min(affinity, max(1, int(quota)))
+    return max(1, affinity)
 
 
 def _record_swallowed(where: str, exc: BaseException) -> None:
@@ -126,10 +196,8 @@ def _shard_detect(sim: FaultSimulator, faults: Sequence[StuckFault],
     return result.detected
 
 
-def _worker_main(conn, worker_id: int, netlist_data: Dict,
-                 backend: str = BACKEND_INT,
-                 batch_faults=BATCH_AUTO) -> None:
-    """Worker entry: compile once, then stream shard requests forever.
+class _WorkerSession:
+    """One worker's state machine (runs inside the worker process).
 
     Protocol (parent -> worker):
       ``("sim", req_id, faults, payload, drop)``   one-shot shard
@@ -139,13 +207,154 @@ def _worker_main(conn, worker_id: int, netlist_data: Dict,
                                                    exchange)
       ``("round", req_id, payload, drop)``         simulate the session
                                                    shard's active faults
+      ``("guide", ghash, scores)``                 install SCOAP guidance
+                                                   (no reply; idempotent
+                                                   per content hash)
+      ``("podem", req_id, fault, policy)``         run one PODEM search
+      ``("cancel", req_id)``                       abandon that search
+      ``("die",)``                                 crash on purpose (test
+                                                   hook for the respawn
+                                                   path)
       ``("stop",)``                                shut down
 
     Replies (worker -> parent): ``("ready", worker_id)`` once after
-    compile, then ``("ok", req_id, detected, n_active)`` or
-    ``("err", req_id, exc_type, message)`` per request.  Request
-    handling errors are *caught and shipped*, never allowed to kill
-    the worker: the parent always gets a reply per request.
+    compile, then ``("ok", req_id, result, n_active)`` or
+    ``("err", req_id, exc_type, message)`` per request that carries a
+    ``req_id``.  Request handling errors are *caught and shipped*,
+    never allowed to kill the worker: the parent always gets a reply
+    per request.
+
+    A PODEM search runs in bounded slices
+    (:class:`~repro.fault.podem.PodemSearch`); between slices the
+    worker drains its pipe, so a ``cancel`` lands promptly (the search
+    replies ``{"status": "cancelled"}``) and interleaved
+    ``sim``/``round``/``drop``/``load``/``guide`` requests are served
+    mid-search.  A nested ``podem`` while one is active is a protocol
+    error (the parent keeps at most one search in flight per worker).
+    """
+
+    def __init__(self, conn, worker_id: int, netlist: Netlist,
+                 sim: FaultSimulator):
+        self.conn = conn
+        self.worker_id = worker_id
+        self.netlist = netlist
+        self.sim = sim
+        self.active: List[StuckFault] = []
+        self.guidance = None
+        self.guidance_hash: Optional[str] = None
+        self.stopping = False
+        self._engines: Dict[bool, Podem] = {}
+        self._searching = False
+
+    def engine(self, guided: bool) -> Podem:
+        """The worker's PODEM engine (guided engines rebuild whenever
+        new guidance arrives; the unguided engine lives forever)."""
+        eng = self._engines.get(guided)
+        if eng is None:
+            eng = Podem(self.netlist,
+                        guidance=self.guidance if guided else None)
+            self._engines[guided] = eng
+        return eng
+
+    def handle(self, msg: Tuple) -> None:
+        """Dispatch one parent request (including mid-search nesting)."""
+        kind = msg[0]
+        if kind == "stop":
+            self.stopping = True
+            return
+        if kind == "die":
+            # Test hook: vanish without replying or cleaning up, the
+            # way an OOM kill would.
+            os._exit(_DIE_EXIT_CODE)
+        req_id = -1
+        try:
+            if kind == "load":
+                self.active = list(msg[1])
+            elif kind == "drop":
+                retired = set(msg[1])
+                self.active = [f for f in self.active if f not in retired]
+            elif kind == "guide":
+                _, ghash, scores = msg
+                if ghash != self.guidance_hash:
+                    self.guidance = scores
+                    self.guidance_hash = ghash
+                    self._engines.pop(True, None)
+            elif kind == "cancel":
+                # A cancel for a search that already replied: stale,
+                # nothing to revoke.
+                pass
+            elif kind == "sim":
+                _, req_id, faults, payload, drop = msg
+                detected = _shard_detect(self.sim, faults, payload, drop)
+                self.conn.send(("ok", req_id, detected, len(self.active)))
+            elif kind == "round":
+                _, req_id, payload, drop = msg
+                detected = _shard_detect(self.sim, self.active, payload,
+                                         drop)
+                hits = {f: m for f, m in detected.items() if m}
+                if drop:
+                    self.active = [f for f in self.active if f not in hits]
+                self.conn.send(("ok", req_id, hits, len(self.active)))
+            elif kind == "podem":
+                req_id = msg[1]
+                self._podem(msg)
+            else:
+                self.conn.send(("err", -1, "SimulationError",
+                                f"unknown request {kind!r}"))
+        except Exception as exc:  # structured per-request error
+            self.conn.send(("err", req_id, type(exc).__name__, str(exc)))
+
+    def _podem(self, msg: Tuple) -> None:
+        _, req_id, fault, policy = msg
+        if self._searching:
+            raise SimulationError(
+                "podem request while a search is active"
+            )
+        engine = self.engine(bool(policy["guided"]))
+        search = engine.search(
+            fault, backtrack_limit=policy["backtrack_limit"]
+        )
+        slice_iters = int(policy.get("slice") or DEFAULT_SEARCH_SLICE)
+        self._searching = True
+        try:
+            while True:
+                result = search.step(slice_iters)
+                if result is not None:
+                    self.conn.send(("ok", req_id, {
+                        "status": result.status,
+                        "test": result.test,
+                        "backtracks": result.backtracks,
+                        "cube": result.cube,
+                        "policy": policy["name"],
+                    }, len(self.active)))
+                    return
+                # Slice exhausted: stay responsive between slices.
+                while self.conn.poll(0):
+                    nested = self.conn.recv()
+                    if nested[0] == "cancel":
+                        if nested[1] == req_id:
+                            self.conn.send(("ok", req_id, {
+                                "status": "cancelled",
+                                "test": None,
+                                "backtracks": search.backtracks,
+                                "cube": None,
+                                "policy": policy["name"],
+                            }, len(self.active)))
+                            return
+                        continue  # stale cancel for an earlier search
+                    self.handle(nested)
+                    if self.stopping:
+                        return
+        finally:
+            self._searching = False
+
+
+def _worker_main(conn, worker_id: int, netlist_data: Dict,
+                 backend: str = BACKEND_INT,
+                 batch_faults=BATCH_AUTO) -> None:
+    """Worker entry: compile once, then stream requests forever.
+
+    See :class:`_WorkerSession` for the message protocol.
     """
     try:
         netlist = from_dict(netlist_data)
@@ -163,36 +372,10 @@ def _worker_main(conn, worker_id: int, netlist_data: Dict,
             _record_swallowed("worker.err_report", send_exc)
         conn.close()
         return
-    active: List[StuckFault] = []
+    session = _WorkerSession(conn, worker_id, netlist, sim)
     try:
-        while True:
-            msg = conn.recv()
-            kind = msg[0]
-            if kind == "stop":
-                break
-            req_id = -1
-            try:
-                if kind == "load":
-                    active = list(msg[1])
-                elif kind == "drop":
-                    retired = set(msg[1])
-                    active = [f for f in active if f not in retired]
-                elif kind == "sim":
-                    _, req_id, faults, payload, drop = msg
-                    detected = _shard_detect(sim, faults, payload, drop)
-                    conn.send(("ok", req_id, detected, len(active)))
-                elif kind == "round":
-                    _, req_id, payload, drop = msg
-                    detected = _shard_detect(sim, active, payload, drop)
-                    hits = {f: m for f, m in detected.items() if m}
-                    if drop:
-                        active = [f for f in active if f not in hits]
-                    conn.send(("ok", req_id, hits, len(active)))
-                else:
-                    conn.send(("err", -1, "SimulationError",
-                               f"unknown request {kind!r}"))
-            except Exception as exc:  # structured per-shard error
-                conn.send(("err", req_id, type(exc).__name__, str(exc)))
+        while not session.stopping:
+            session.handle(conn.recv())
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     finally:
@@ -251,6 +434,19 @@ class ShardedFaultSimulator:
         self._req_ids = itertools.count()
         self._active: List[StuckFault] = []   # session faults, in order
         self._started = False
+        # Per-worker mailbox of out-of-order replies (req_id -> msg):
+        # a speculative PODEM completion can arrive while the parent is
+        # collecting a fault-sim round, and vice versa.
+        self._stash: List[Dict[int, Tuple]] = []
+        # Workers observed dead by a recv EOF/reset: ``proc.is_alive``
+        # can lag a worker's ``os._exit`` by a beat, so the EOF
+        # sighting itself is recorded as proof of death.
+        self._confirmed_dead: set = set()
+        # Per-worker content hash of the installed SCOAP guidance.
+        self._guidance_hash: List[Optional[str]] = []
+        # Kept for worker respawn (recover_workers).
+        self._ctx = None
+        self._netlist_data: Optional[Dict] = None
 
     def _shard_block(self) -> int:
         """Block size for dealing faults to workers: the worker-side
@@ -282,6 +478,11 @@ class ShardedFaultSimulator:
             ctx = multiprocessing.get_context()
         rec = get_recorder()
         data = to_dict(self.netlist)
+        self._ctx = ctx
+        self._netlist_data = data
+        self._stash = [dict() for _ in range(self.processes)]
+        self._confirmed_dead = set()
+        self._guidance_hash = [None] * self.processes
         try:
             with rec.span("pool.start", cat="pool",
                           circuit=self.netlist.name,
@@ -327,6 +528,9 @@ class ShardedFaultSimulator:
         workers, self._workers = self._workers, []
         self._serial = None
         self._started = False
+        self._stash = []
+        self._confirmed_dead = set()
+        self._guidance_hash = []
         rec = get_recorder()
         for worker_id, (proc, conn) in enumerate(workers):
             try:
@@ -404,12 +608,16 @@ class ShardedFaultSimulator:
             if conn.poll(0.05):
                 try:
                     return conn.recv()
-                except EOFError as exc:
+                except (EOFError, OSError) as exc:
+                    # EOF or ECONNRESET: the worker vanished (a killed
+                    # process resets the socketpair).
+                    self._confirmed_dead.add(worker_id)
                     raise SimulationError(
                         f"shard worker {worker_id} closed its pipe "
                         f"(exit code {proc.exitcode})"
                     ) from exc
             if not proc.is_alive() and not conn.poll(0.0):
+                self._confirmed_dead.add(worker_id)
                 raise SimulationError(
                     f"shard worker {worker_id} died "
                     f"(exit code {proc.exitcode})"
@@ -419,6 +627,32 @@ class ShardedFaultSimulator:
                     f"shard worker {worker_id}: no reply within "
                     f"{timeout:.1f}s"
                 )
+
+    def _recv_reply(self, worker_id: int, req_id: int,
+                    timeout: Optional[float] = None) -> Tuple:
+        """Receive the reply to ``req_id``, stashing out-of-order ones.
+
+        With speculative PODEM searches in flight, a worker's pipe can
+        interleave completions for different requests; replies that
+        answer a *different* request are parked in the per-worker
+        mailbox and re-delivered when that request is awaited, so the
+        fault-sim collect path and the PODEM poll path never
+        desynchronize each other.
+        """
+        stash = self._stash[worker_id]
+        if req_id in stash:
+            return stash.pop(req_id)
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        while True:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.perf_counter()))
+            msg = self._recv(worker_id, timeout=remaining)
+            if (msg[0] in ("ok", "err") and msg[1] != req_id
+                    and msg[1] != -1):
+                stash[msg[1]] = msg
+                continue
+            return msg
 
     def _collect(self, requests: List[Tuple[int, int]],
                  ) -> List[Dict[StuckFault, int]]:
@@ -435,7 +669,8 @@ class ShardedFaultSimulator:
         for worker_id, req_id in requests:
             wait_start = rec.now_us() if rec.enabled else 0.0
             try:
-                msg = self._recv(worker_id, timeout=self.request_timeout)
+                msg = self._recv_reply(worker_id, req_id,
+                                       timeout=self.request_timeout)
             except SimulationError as exc:
                 rec.warning("pool.shard_error",
                             counter="pool.shard_errors",
@@ -572,6 +807,16 @@ class ShardedFaultSimulator:
         self._active = list(faults)
         if self._serial is not None:
             return
+        self._reload_shards()
+
+    def _reload_shards(self) -> None:
+        """(Re-)deal the parent's active list to every worker.
+
+        Safe at any time -- per-fault masks are shard-independent, so
+        re-sharding the same active set merely rebalances work.  The
+        respawn path relies on this: after a worker restart, one
+        re-deal restores exactly the state a fresh pool would have.
+        """
         for worker_id, shard in enumerate(
                 shard_faults(self._active, len(self._workers),
                              self._shard_block())):
@@ -590,6 +835,174 @@ class ShardedFaultSimulator:
             return
         for worker_id in range(len(self._workers)):
             self._send(worker_id, ("drop", sorted(retired)))
+
+    # -- PODEM generation sessions (parallel-ATPG coordinator API) -----
+    def ensure_guidance(self, guidance, ghash: str) -> None:
+        """Ship SCOAP guidance to every worker at most once per hash.
+
+        The content-hash handshake makes guidance delivery idempotent:
+        a worker already holding ``ghash`` is skipped (bumping
+        ``pool.guidance_skips``), so in steady state the re-send count
+        is zero -- ``pool.guidance_sends`` grows only at session start
+        and after a worker respawn.  Serial mode is a no-op (the flow's
+        own engines already hold the guidance).
+        """
+        self._ensure_started()
+        if self._serial is not None:
+            return
+        rec = get_recorder()
+        for worker_id in range(len(self._workers)):
+            if self._guidance_hash[worker_id] == ghash:
+                rec.incr("pool.guidance_skips")
+                continue
+            self._send(worker_id, ("guide", ghash, guidance))
+            self._guidance_hash[worker_id] = ghash
+            rec.incr("pool.guidance_sends")
+
+    def podem_submit(self, worker_id: int, fault: StuckFault,
+                     policy: Mapping[str, object]) -> int:
+        """Start one speculative PODEM search on a worker.
+
+        ``policy`` is the wire form of a
+        :class:`~repro.fault.podem.PodemPolicy`
+        (:meth:`~repro.fault.podem.PodemPolicy.to_wire`).  Returns the
+        request id to pass to :meth:`podem_poll` /
+        :meth:`podem_cancel`.  At most one search may be in flight per
+        worker -- the worker rejects nested submissions.
+        """
+        self._ensure_started()
+        req_id = next(self._req_ids)
+        self._send(worker_id, ("podem", req_id, fault, dict(policy)))
+        return req_id
+
+    def podem_cancel(self, worker_id: int, req_id: int) -> None:
+        """Ask a worker to abandon a search (it replies "cancelled").
+
+        Send failures are swallowed-but-recorded: a dead worker cannot
+        be cancelled, and the respawn path owns that case.
+        """
+        self._ensure_started()
+        try:
+            self._send(worker_id, ("cancel", req_id))
+        except SimulationError as exc:
+            _record_swallowed(f"podem_cancel[{worker_id}]", exc)
+
+    def podem_poll(self, pending: Mapping[int, int],
+                   timeout: Optional[float] = 0.05,
+                   ) -> Tuple[List[Tuple[int, int, Tuple]], List[int]]:
+        """Poll outstanding PODEM requests (``req_id -> worker_id``).
+
+        Returns ``(done, dead)``: ``done`` lists ``(worker_id, req_id,
+        reply)`` completions -- stashed replies first, then whatever
+        arrived within ``timeout`` -- and ``dead`` lists workers found
+        dead without having replied (their requests are lost; the
+        caller re-queues the faults and calls :meth:`recover_workers`).
+        Both may be empty when nothing happened within the timeout.
+        """
+        self._ensure_started()
+        done: List[Tuple[int, int, Tuple]] = []
+        dead: List[int] = []
+        for req_id, worker_id in pending.items():
+            msg = self._stash[worker_id].pop(req_id, None)
+            if msg is not None:
+                done.append((worker_id, req_id, msg))
+        if done or not pending:
+            return done, dead
+        worker_ids = sorted(set(pending.values()))
+        conns = {self._workers[w][1]: w for w in worker_ids}
+        for conn in _wait_connections(list(conns), timeout):
+            worker_id = conns[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._confirmed_dead.add(worker_id)
+                dead.append(worker_id)
+                continue
+            if msg[0] in ("ok", "err") and msg[1] != -1:
+                req_id = msg[1]
+                if pending.get(req_id) == worker_id:
+                    done.append((worker_id, req_id, msg))
+                else:
+                    self._stash[worker_id][req_id] = msg
+        for worker_id in worker_ids:
+            proc, conn = self._workers[worker_id]
+            if (worker_id not in dead and not proc.is_alive()
+                    and not conn.poll(0)):
+                self._confirmed_dead.add(worker_id)
+                dead.append(worker_id)
+        return done, sorted(set(dead))
+
+    def dead_workers(self) -> List[int]:
+        """Ids of workers whose process has exited (serial mode: none)."""
+        if self._serial is not None or not self._started:
+            return []
+        # Include workers whose death was witnessed as a recv EOF:
+        # ``is_alive`` can briefly stay True after the child's
+        # ``os._exit`` closed its end of the pipe.
+        dead = set(self._confirmed_dead)
+        dead.update(worker_id
+                    for worker_id, (proc, _conn) in enumerate(self._workers)
+                    if not proc.is_alive())
+        return sorted(dead)
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Respawn one worker in place and re-deal the session shards.
+
+        The replacement compiles from the same netlist payload and
+        handshakes exactly like a fresh start; its mailbox and
+        guidance hash reset (in-flight requests on the dead worker are
+        lost -- the coordinator re-queues them).  Because per-fault
+        masks are shard-independent, re-dealing the parent's current
+        active list to *all* workers afterwards restores exactly the
+        state a fresh pool would hold, so determinism is unaffected.
+        """
+        self._ensure_started()
+        if self._serial is not None:
+            return
+        rec = get_recorder()
+        proc, conn = self._workers[worker_id]
+        try:
+            conn.close()
+        except OSError as exc:
+            _record_swallowed(f"restart.conn_close[{worker_id}]", exc)
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=_JOIN_GRACE)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        new_proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self._netlist_data,
+                  self.backend, self.batch_faults),
+            daemon=True,
+        )
+        new_proc.start()
+        child_conn.close()
+        self._workers[worker_id] = (new_proc, parent_conn)
+        self._stash[worker_id] = {}
+        self._confirmed_dead.discard(worker_id)
+        self._guidance_hash[worker_id] = None
+        msg = self._recv(worker_id, timeout=READY_TIMEOUT)
+        if msg[0] != "ready":
+            raise SimulationError(
+                f"shard worker {worker_id} failed to restart: "
+                f"{msg[2]}: {msg[3]}" if msg[0] == "err"
+                else f"shard worker {worker_id}: bad restart handshake "
+                     f"{msg[0]!r}"
+            )
+        rec.warning("pool.worker_restarted",
+                    counter="pool.worker_restarts", worker=worker_id)
+        self._reload_shards()
+
+    def recover_workers(self) -> List[int]:
+        """Restart every dead worker; returns the restarted ids."""
+        restarted = []
+        for worker_id in self.dead_workers():
+            self.restart_worker(worker_id)
+            restarted.append(worker_id)
+        return restarted
 
     def _round(self, payload: Tuple, drop: bool) -> Dict[StuckFault, int]:
         rec = get_recorder()

@@ -54,6 +54,7 @@ from ..fault import (
 )
 from ..fault.fsim import FaultSimulator
 from ..fault.podem import X, generate_tests
+from ..fault.sharded import usable_cores
 from ..netlist import (
     clear_compile_cache,
     compile_cache_info,
@@ -176,11 +177,14 @@ def bench_fsim_stuck(quick: bool) -> List[Dict[str, object]]:
 
 
 def _usable_cores() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
+    """CPUs this process may actually run on.
+
+    Delegates to :func:`repro.fault.sharded.usable_cores`: the
+    CPU-affinity mask clamped by the container's cgroup v1/v2 CPU
+    quota, so a throttled CI runner no longer reports phantom cores
+    and speedup floors waive themselves honestly.
+    """
+    return usable_cores()
 
 
 def bench_fsim_stuck_sharded(quick: bool) -> List[Dict[str, object]]:
@@ -737,6 +741,105 @@ def bench_atpg_flow(quick: bool) -> List[Dict[str, object]]:
     ]
 
 
+def bench_atpg_parallel_podem(quick: bool) -> List[Dict[str, object]]:
+    """Parallel speculative PODEM phase 2 vs the serial walk.
+
+    Workload: the s5378 *hard remainder* -- the collapsed (strided)
+    fault list minus everything 256 random patterns detect -- run
+    through the flow with the random phase disabled, so the timed
+    region is exactly the phase-2 PODEM walk the parallel coordinator
+    accelerates.  Hard-asserts equal coverage AND byte-identical
+    artifacts (test list, status map, summary) between ``processes=4``
+    and ``processes=1`` -- the determinism contract, not a tolerance.
+    The 2.5x floor applies only when the host exposes >= 4 usable
+    cores (affinity and cgroup quota both); below that the row records
+    the measured ratio with ``min_speedup: 0`` and says why.
+    """
+    name = "s5378"
+    netlist = load_circuit(name)
+    stride = 24 if quick else 12
+    backtrack_limit = 60
+    processes = 4
+    faults = collapse_stuck(netlist, all_stuck_faults(netlist))[::stride]
+    words = random_pattern_words(netlist, 256, seed=11)
+    prefilter = FaultSimulator(netlist, backend="int").simulate_stuck_packed(
+        faults, words, 256, drop_detected=True
+    )
+    hard = [f for f in faults if not prefilter.detected.get(f)]
+
+    config = AtpgFlowConfig(n_random_patterns=0,
+                            backtrack_limit=backtrack_limit,
+                            backend="int")
+    t_serial = _timed_best(lambda: AtpgFlow(netlist, config).run(hard))
+    parallel_config = AtpgFlowConfig(n_random_patterns=0,
+                                     backtrack_limit=backtrack_limit,
+                                     backend="int", processes=processes)
+    t_parallel = _timed_best(
+        lambda: AtpgFlow(netlist, parallel_config).run(hard)
+    )
+
+    serial = t_serial["value"]
+    parallel = t_parallel["value"]
+    identical = (
+        parallel.tests == serial.tests
+        and list(parallel.status.items()) == list(serial.status.items())
+        and list(parallel.detected_via.items())
+        == list(serial.detected_via.items())
+        and list(parallel.untestable_via.items())
+        == list(serial.untestable_via.items())
+        and parallel.summary() == serial.summary()
+    )
+    if not identical:
+        raise AssertionError(
+            f"{name}: parallel PODEM artifacts differ from serial "
+            f"(parallel {parallel.summary()} vs serial {serial.summary()})"
+        )
+    if parallel.coverage != serial.coverage:
+        raise AssertionError(
+            f"{name}: parallel coverage {parallel.coverage:.6f} != "
+            f"serial {serial.coverage:.6f}"
+        )
+    speedup = t_serial["seconds"] / max(t_parallel["seconds"], 1e-9)
+    cores = _usable_cores()
+    enough_cores = cores >= processes
+    return [
+        {
+            "kernel": "atpg_parallel_podem",
+            "circuit": name,
+            "n": len(hard),
+            "seconds": t_parallel["seconds"],
+            "processes": processes,
+        },
+        {
+            "kernel": "atpg_serial_podem",
+            "circuit": name,
+            "n": len(hard),
+            "seconds": t_serial["seconds"],
+            "compare_only": True,
+        },
+        {
+            "kernel": "atpg_parallel_podem_speedup",
+            "circuit": name,
+            "n": len(hard),
+            "seconds": None,
+            "speedup": speedup,
+            "min_speedup": 2.5 if enough_cores else 0.0,
+            "identical_artifacts": True,
+            "equal_coverage": parallel.coverage,
+            "processes": processes,
+            "usable_cores": cores,
+            "note": (
+                f"speedup {speedup:.2f}x at {processes} workers, "
+                "byte-identical artifacts"
+                if enough_cores else
+                f"speedup {speedup:.2f}x (floor waived: {cores} usable "
+                f"core(s) < {processes} workers), byte-identical "
+                f"artifacts"
+            ),
+        },
+    ]
+
+
 def bench_atpg_analysis(quick: bool) -> List[Dict[str, object]]:
     """Static-analysis-assisted ATPG vs the plain two-phase flow.
 
@@ -873,6 +976,7 @@ KERNEL_GROUPS = (
     bench_fsim_transition,
     bench_eval3,
     bench_atpg_flow,
+    bench_atpg_parallel_podem,
     bench_atpg_analysis,
     bench_sta,
     bench_tables,

@@ -142,13 +142,19 @@ def test_usable_cores_positive():
 
 class TestUsableCores:
     """``_usable_cores`` must honor the scheduler affinity mask, not the
-    raw host core count (cgroup-restricted CI runners)."""
+    raw host core count (cgroup-restricted CI runners).  The cgroup
+    CPU-quota clamp has its own tests in
+    ``tests/fault/test_parallel_podem.py``; here it is neutralized so
+    the affinity behavior is isolated from the host's real cgroup."""
 
     def test_prefers_affinity_mask(self, monkeypatch):
         import os
 
+        from repro.fault import sharded
         from repro.perf import bench
 
+        monkeypatch.setattr(sharded, "_cpu_quota_cores",
+                            lambda cgroup_root="": None)
         monkeypatch.setattr(
             os, "sched_getaffinity", lambda pid: {0, 2}, raising=False
         )
@@ -158,8 +164,11 @@ class TestUsableCores:
     def test_falls_back_to_cpu_count(self, monkeypatch):
         import os
 
+        from repro.fault import sharded
         from repro.perf import bench
 
+        monkeypatch.setattr(sharded, "_cpu_quota_cores",
+                            lambda cgroup_root="": None)
         monkeypatch.delattr(os, "sched_getaffinity", raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: 6)
         assert bench._usable_cores() == 6
