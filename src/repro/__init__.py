@@ -38,6 +38,7 @@ from . import units
 from .errors import (
     AtpgError,
     DftError,
+    FlowCancelled,
     LibraryError,
     MappingError,
     NetlistError,
@@ -50,6 +51,7 @@ from .errors import (
 __all__ = [
     "AtpgError",
     "DftError",
+    "FlowCancelled",
     "LibraryError",
     "MappingError",
     "NetlistError",

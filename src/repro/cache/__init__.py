@@ -3,6 +3,8 @@
 Public surface::
 
     from repro.cache import DiskCache, disk_cache_enabled
+    # DiskCache.remove(key) reclaims an entry whose payload fails a
+    # caller-side deserialization (see repro.fault.broadside).
     from repro.cache import default_cache_root, default_max_bytes
 """
 

@@ -194,6 +194,13 @@ class DiskCache:
         self._evict_over_budget()
         return True
 
+    def remove(self, key: str) -> bool:
+        """Delete one entry (used by callers that find a *structurally*
+        valid entry whose payload fails their own deserialization --
+        e.g. a foreign netlist dict -- so the slot is reclaimed instead
+        of being re-read and re-discarded forever)."""
+        return self._remove(self.path_for(key))
+
     # ------------------------------------------------------------------
     def clear(self) -> int:
         """Remove every entry in this namespace; returns the count."""

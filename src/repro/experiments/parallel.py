@@ -23,6 +23,7 @@ row instead of killing the whole table.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -43,18 +44,51 @@ class TaskOutcome:
     timed_out: bool = False
 
 
+#: Child exit code when the result pipe itself failed: the task may
+#: have finished, but its outcome could not be shipped.  Distinct from
+#: 0 so the parent never mistakes a lost result for a clean exit, and
+#: distinct from common signal/interpreter codes.
+RESULT_PIPE_EXIT = 13
+
+
 def _child_main(conn, fn: Callable[[Any], Any], item: Any) -> None:
-    """Subprocess entry: run one task and ship the outcome back."""
+    """Subprocess entry: run one task and ship the outcome back.
+
+    A failure to *send* (unpicklable value, broken/closed pipe) exits
+    with :data:`RESULT_PIPE_EXIT` instead of 0: an exit-0 child that
+    never delivered a result used to read as a silent success-shaped
+    death, which the parent could misreport (e.g. as a timeout on a
+    busy machine).  The non-zero code lets the parent name the real
+    failure mode.
+    """
+    status = 0
     try:
         value = fn(item)
-        conn.send((True, value, None))
+        try:
+            conn.send((True, value, None))
+        except Exception as send_exc:
+            status = RESULT_PIPE_EXIT
+            try:
+                conn.send((False, None,
+                           "result-pipe failure: "
+                           f"{type(send_exc).__name__}: {send_exc}"))
+                status = 0
+            except Exception:
+                pass
     except BaseException as exc:  # noqa: BLE001 -- isolation is the point
         try:
             conn.send((False, None, f"{type(exc).__name__}: {exc}"))
         except Exception:
-            pass
+            # The error report itself could not be delivered: exiting 0
+            # here would be indistinguishable from a clean run.
+            status = RESULT_PIPE_EXIT
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:
+            status = status or RESULT_PIPE_EXIT
+    if status:
+        os._exit(status)
 
 
 class ParallelRunner:
@@ -126,6 +160,17 @@ class ParallelRunner:
         pending = list(enumerate(items))
         running: Dict[int, tuple] = {}  # index -> (proc, conn, start)
 
+        def death_error(proc) -> str:
+            """Human-readable cause for a worker that died resultless."""
+            # The pipe can hit EOF a beat before the process table
+            # updates; a short join makes the exit code readable.
+            proc.join(timeout=1.0)
+            code = proc.exitcode
+            if code == RESULT_PIPE_EXIT:
+                return ("result-pipe failure (worker could not deliver "
+                        f"its outcome, exit code {code})")
+            return f"worker died (exit code {code})"
+
         def reap(proc) -> None:
             """Join ``proc`` with bounded escalation.
 
@@ -192,10 +237,7 @@ class ParallelRunner:
                         try:
                             ok, value, error = conn.recv()
                         except EOFError:
-                            ok, value, error = (
-                                False, None,
-                                f"worker died (exit code {proc.exitcode})",
-                            )
+                            ok, value, error = False, None, death_error(proc)
                         finish(index, TaskOutcome(
                             index=index, item=items[index], ok=ok,
                             value=value, error=error, duration=elapsed,
@@ -216,7 +258,7 @@ class ParallelRunner:
                     elif not proc.is_alive() and not conn.poll(0.0):
                         finish(index, TaskOutcome(
                             index=index, item=items[index], ok=False,
-                            error=f"worker died (exit code {proc.exitcode})",
+                            error=death_error(proc),
                             duration=elapsed,
                         ))
                         progressed = True

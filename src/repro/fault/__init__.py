@@ -10,7 +10,13 @@ Public surface::
     from repro.fault import available_backends, resolve_backend
 """
 
-from .atpg_flow import AtpgFlow, AtpgFlowConfig, AtpgFlowResult, run_flow
+from .atpg_flow import (
+    AtpgFlow,
+    AtpgFlowConfig,
+    AtpgFlowResult,
+    flow_artifact,
+    run_flow,
+)
 from .backends import (
     BACKEND_AUTO,
     BACKEND_INT,
@@ -126,6 +132,7 @@ __all__ = [
     "escape_study",
     "eval3",
     "fill_cube",
+    "flow_artifact",
     "generate_tests",
     "justify",
     "merge_test_cubes",

@@ -65,12 +65,13 @@ paths, so racing changes which tests exist but not determinism.
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from ..errors import SimulationError
-from ..netlist import Netlist
+from ..errors import FlowCancelled, SimulationError
+from ..netlist import Netlist, content_hash
 from ..obs import get_recorder
 from .backends import podem_portfolio, resolve_batch_faults
 from .collapse import collapse_stuck, dominance_collapse_stuck
@@ -252,20 +253,77 @@ class AtpgFlow:
         # predecessor's requests.
         self._respawned: set = set()
         self._input_nets = list(netlist.inputs) + list(netlist.state_inputs)
+        self._should_cancel: Optional[Callable[[], bool]] = None
 
     # ------------------------------------------------------------------
-    def run(self, faults: Optional[Sequence[StuckFault]] = None,
+    def _check_cancel(self) -> None:
+        """Raise :class:`~repro.errors.FlowCancelled` when asked to.
+
+        Checked at every phase-1 batch boundary, before every serial
+        phase-2 target, and on every parallel-coordinator iteration, so
+        a cancel lands within one unit of work; the parallel path's
+        drain (exception-safe) retires in-flight speculation before the
+        raise escapes the phase.
+        """
+        cancel = self._should_cancel
+        if cancel is not None and cancel():
+            get_recorder().event("atpg.cancelled", cat="atpg",
+                                 circuit=self.netlist.name)
+            raise FlowCancelled(
+                f"ATPG flow for {self.netlist.name} cancelled"
+            )
+
+    def _check_external_pool(self, pool: ShardedFaultSimulator) -> None:
+        """Reject a warm pool that could change results.
+
+        Byte-identity of warm-pool runs versus cold runs relies on the
+        pool being *the same machine* the config describes: same worker
+        count (phase-2 speculation windows are sized from it) and the
+        same netlist (shard contents are netlist-relative).
+        """
+        if pool.processes != self.config.processes:
+            raise SimulationError(
+                f"external pool has processes={pool.processes}, "
+                f"config wants {self.config.processes}"
+            )
+        if (pool.netlist is not self.netlist
+                and content_hash(pool.netlist)
+                != content_hash(self.netlist)):
+            raise SimulationError(
+                f"external pool was built for {pool.netlist.name!r}, "
+                f"not {self.netlist.name!r}"
+            )
+
+    def run(self, faults: Optional[Sequence[StuckFault]] = None, *,
+            pool: Optional[ShardedFaultSimulator] = None,
+            should_cancel: Optional[Callable[[], bool]] = None,
             ) -> AtpgFlowResult:
         """Run both phases over ``faults``.
 
         With ``faults`` omitted the equivalence-collapsed full stuck-at
         list of the netlist is used (the set coverage experiments report
         over).
+
+        ``pool`` lends the flow an already-started
+        :class:`~repro.fault.sharded.ShardedFaultSimulator` instead of
+        forking a private one -- the serve daemon's warm-pool reuse.
+        The pool must match the config (worker count, netlist); it is
+        reset to fresh-start-equivalent state
+        (:meth:`~repro.fault.sharded.ShardedFaultSimulator.reset_session`)
+        before and left loaded-but-quiet after, and the caller keeps
+        ownership (the flow never closes it).  Results are bit-identical
+        to a private-pool run.
+
+        ``should_cancel`` is polled at the flow's cancellation
+        checkpoints; returning true raises
+        :class:`~repro.errors.FlowCancelled` after retiring any
+        in-flight speculative work.
         """
         if faults is None:
             faults = collapse_stuck(self.netlist,
                                     all_stuck_faults(self.netlist))
         faults = list(faults)
+        self._should_cancel = should_cancel
         result = AtpgFlowResult(n_faults=len(faults), status={},
                                 detected_via={})
         rec = get_recorder()
@@ -293,26 +351,38 @@ class AtpgFlow:
         with rec.span("atpg.run", cat="atpg", circuit=self.netlist.name,
                       n_faults=len(faults),
                       processes=self.config.processes):
-            with ShardedFaultSimulator(self.netlist,
-                                       self.config.processes,
-                                       backend=self.config.backend,
-                                       batch_faults=self.config.batch_faults,
-                                       ) as pool:
-                pool.load_faults(active)
-                with rec.span("atpg.phase1_random", cat="atpg",
-                              circuit=self.netlist.name):
-                    self._random_phase(result, pool)
-                survivors = pool.active_faults
-                rec.event("atpg.phase_boundary", cat="atpg",
-                          circuit=self.netlist.name,
-                          detected_random=len(result.detected_via),
-                          survivors=len(survivors),
-                          patterns_simulated=result.n_random_simulated)
-                with rec.span("atpg.phase2_podem", cat="atpg",
-                              circuit=self.netlist.name,
-                              survivors=len(survivors)):
-                    self._podem_phase(survivors, result, pool)
+            if pool is not None:
+                self._check_external_pool(pool)
+                pool.reset_session()
+                self._run_phases(active, result, pool, rec)
+            else:
+                with ShardedFaultSimulator(
+                        self.netlist,
+                        self.config.processes,
+                        backend=self.config.backend,
+                        batch_faults=self.config.batch_faults,
+                        ) as own_pool:
+                    self._run_phases(active, result, own_pool, rec)
         return result
+
+    def _run_phases(self, active: List[StuckFault],
+                    result: AtpgFlowResult,
+                    pool: ShardedFaultSimulator, rec) -> None:
+        """Both phases against one (owned or borrowed) started pool."""
+        pool.load_faults(active)
+        with rec.span("atpg.phase1_random", cat="atpg",
+                      circuit=self.netlist.name):
+            self._random_phase(result, pool)
+        survivors = pool.active_faults
+        rec.event("atpg.phase_boundary", cat="atpg",
+                  circuit=self.netlist.name,
+                  detected_random=len(result.detected_via),
+                  survivors=len(survivors),
+                  patterns_simulated=result.n_random_simulated)
+        with rec.span("atpg.phase2_podem", cat="atpg",
+                      circuit=self.netlist.name,
+                      survivors=len(survivors)):
+            self._podem_phase(survivors, result, pool)
 
     # ------------------------------------------------------------------
     def _random_phase(self, result: AtpgFlowResult,
@@ -334,6 +404,7 @@ class AtpgFlow:
         while (pool.n_active
                and result.n_random_simulated < config.n_random_patterns
                and idle < config.max_idle_batches):
+            self._check_cancel()
             n = min(config.batch_size,
                     config.n_random_patterns - result.n_random_simulated)
             words = {net: rng.getrandbits(n) for net in nets}
@@ -537,6 +608,7 @@ class AtpgFlow:
         for fault in order:
             if result.status.get(fault) in ("detected", "untestable"):
                 continue
+            self._check_cancel()
             calls = 0
             backtracks = 0
             atpg: Optional[AtpgResult] = None
@@ -638,125 +710,9 @@ class AtpgFlow:
                 if results.pop((fault_idx, pi), None) is not None:
                     rec.incr("atpg.parallel.wasted_results")
 
-        with rec.span("atpg.parallel_podem", cat="atpg",
-                      circuit=self.netlist.name, targets=n,
-                      processes=n_workers, window=window,
-                      policies=len(policies)):
-            while commit_idx < n:
-                # 1. Commit everything the completed results allow, in
-                #    strict target order.
-                progressed = True
-                while progressed and commit_idx < n:
-                    progressed = False
-                    fault = order[commit_idx]
-                    if resolved(fault):
-                        retire_jobs(commit_idx, 0)
-                        commit_idx += 1
-                        progressed = True
-                        continue
-                    folded = self._try_fold(fault, commit_idx, results)
-                    if folded is not None:
-                        atpg, calls, backtracks, prefix = folded
-                        retire_jobs(commit_idx, prefix)
-                        self._commit(fault, atpg, calls, backtracks,
-                                     result, pool, rec)
-                        # A cross-sim/drop inside _commit may have
-                        # respawned dead workers; their in-flight
-                        # searches died with the old process and must
-                        # become dispatchable again, else the poll
-                        # below waits forever on a reply the fresh
-                        # worker will never send.
-                        if self._respawned:
-                            for req_id, (fi, pi, w) in list(
-                                    inflight.items()):
-                                if w in self._respawned:
-                                    del inflight[req_id]
-                                    inflight_keys.discard((fi, pi))
-                                    cancelled.discard(req_id)
-                            for w in sorted(self._respawned):
-                                rec.warning(
-                                    "atpg.parallel.worker_death",
-                                    counter=(
-                                        "atpg.parallel.worker_deaths"),
-                                    worker=w)
-                                if w not in idle:
-                                    idle.append(w)
-                            idle.sort()
-                            self._respawned.clear()
-                        commit_idx += 1
-                        progressed = True
-                if commit_idx >= n:
-                    break
-                # 2. Refill idle workers from the speculative window
-                #    (base policies first -- racing policies only pay
-                #    off when the base attempt aborts).
-                if idle:
-                    jobs = []
-                    for fi in range(commit_idx,
-                                    min(n, commit_idx + window)):
-                        if resolved(order[fi]):
-                            continue
-                        for pi in range(len(policies)):
-                            key = (fi, pi)
-                            if key in results or key in inflight_keys:
-                                continue
-                            jobs.append((pi, fi))
-                    jobs.sort()
-                    for pi, fi in jobs:
-                        if not idle:
-                            break
-                        worker_id = idle.pop(0)
-                        while True:
-                            try:
-                                req_id = pool.podem_submit(
-                                    worker_id, order[fi], wires[pi])
-                                break
-                            except SimulationError:
-                                # A worker found dead only at submit
-                                # time (e.g. it died idle): respawn in
-                                # place and retry the same job.
-                                if worker_id not in pool.dead_workers():
-                                    raise
-                                rec.warning(
-                                    "atpg.parallel.worker_death",
-                                    counter="atpg.parallel.worker_deaths",
-                                    worker=worker_id)
-                                pool.restart_worker(worker_id)
-                                self._ship_guidance(pool)
-                        inflight[req_id] = (fi, pi, worker_id)
-                        inflight_keys.add((fi, pi))
-                # 3. Collect completions (and survive worker death).
-                done, dead = pool.podem_poll(
-                    {r: e[2] for r, e in inflight.items()}
-                )
-                for worker_id, req_id, msg in done:
-                    fi, pi, _w = inflight.pop(req_id)
-                    inflight_keys.discard((fi, pi))
-                    idle.append(worker_id)
-                    if req_id in cancelled:
-                        cancelled.discard(req_id)
-                        rec.incr("atpg.parallel.retired_speculation")
-                        continue
-                    if msg[0] == "ok":
-                        results[(fi, pi)] = ("ok", msg[2])
-                    else:
-                        results[(fi, pi)] = ("err", msg[2], msg[3])
-                for worker_id in dead:
-                    rec.warning("atpg.parallel.worker_death",
-                                counter="atpg.parallel.worker_deaths",
-                                worker=worker_id)
-                    for req_id, (fi, pi, w) in list(inflight.items()):
-                        if w == worker_id:
-                            # Lost with the worker: dispatchable again.
-                            del inflight[req_id]
-                            inflight_keys.discard((fi, pi))
-                            cancelled.discard(req_id)
-                    pool.restart_worker(worker_id)
-                    self._ship_guidance(pool)
-                    idle.append(worker_id)
-                idle.sort()
-            # Drain: revoke whatever speculation is still in flight so
-            # the pool ends the phase quiet and reusable.
+        def drain() -> None:
+            """Revoke and await whatever speculation is still in flight
+            so the pool ends the phase quiet and reusable."""
             for req_id, (fi, pi, worker_id) in list(inflight.items()):
                 if req_id not in cancelled:
                     pool.podem_cancel(worker_id, req_id)
@@ -777,12 +733,186 @@ class AtpgFlow:
                     pool.restart_worker(worker_id)
                     self._ship_guidance(pool)
 
+        with rec.span("atpg.parallel_podem", cat="atpg",
+                      circuit=self.netlist.name, targets=n,
+                      processes=n_workers, window=window,
+                      policies=len(policies)):
+            try:
+                while commit_idx < n:
+                    self._check_cancel()
+                    # 1. Commit everything the completed results allow,
+                    #    in strict target order.
+                    progressed = True
+                    while progressed and commit_idx < n:
+                        progressed = False
+                        fault = order[commit_idx]
+                        if resolved(fault):
+                            retire_jobs(commit_idx, 0)
+                            commit_idx += 1
+                            progressed = True
+                            continue
+                        folded = self._try_fold(fault, commit_idx,
+                                                results)
+                        if folded is not None:
+                            atpg, calls, backtracks, prefix = folded
+                            retire_jobs(commit_idx, prefix)
+                            self._commit(fault, atpg, calls, backtracks,
+                                         result, pool, rec)
+                            # A cross-sim/drop inside _commit may have
+                            # respawned dead workers; their in-flight
+                            # searches died with the old process and
+                            # must become dispatchable again, else the
+                            # poll below waits forever on a reply the
+                            # fresh worker will never send.
+                            if self._respawned:
+                                for req_id, (fi, pi, w) in list(
+                                        inflight.items()):
+                                    if w in self._respawned:
+                                        del inflight[req_id]
+                                        inflight_keys.discard((fi, pi))
+                                        cancelled.discard(req_id)
+                                for w in sorted(self._respawned):
+                                    rec.warning(
+                                        "atpg.parallel.worker_death",
+                                        counter=(
+                                            "atpg.parallel"
+                                            ".worker_deaths"),
+                                        worker=w)
+                                    if w not in idle:
+                                        idle.append(w)
+                                idle.sort()
+                                self._respawned.clear()
+                            commit_idx += 1
+                            progressed = True
+                    if commit_idx >= n:
+                        break
+                    # 2. Refill idle workers from the speculative
+                    #    window (base policies first -- racing policies
+                    #    only pay off when the base attempt aborts).
+                    if idle:
+                        jobs = []
+                        for fi in range(commit_idx,
+                                        min(n, commit_idx + window)):
+                            if resolved(order[fi]):
+                                continue
+                            for pi in range(len(policies)):
+                                key = (fi, pi)
+                                if key in results or key in inflight_keys:
+                                    continue
+                                jobs.append((pi, fi))
+                        jobs.sort()
+                        for pi, fi in jobs:
+                            if not idle:
+                                break
+                            worker_id = idle.pop(0)
+                            while True:
+                                try:
+                                    req_id = pool.podem_submit(
+                                        worker_id, order[fi], wires[pi])
+                                    break
+                                except SimulationError:
+                                    # A worker found dead only at
+                                    # submit time (e.g. it died idle):
+                                    # respawn in place and retry the
+                                    # same job.
+                                    if (worker_id
+                                            not in pool.dead_workers()):
+                                        raise
+                                    rec.warning(
+                                        "atpg.parallel.worker_death",
+                                        counter=("atpg.parallel"
+                                                 ".worker_deaths"),
+                                        worker=worker_id)
+                                    pool.restart_worker(worker_id)
+                                    self._ship_guidance(pool)
+                            inflight[req_id] = (fi, pi, worker_id)
+                            inflight_keys.add((fi, pi))
+                    # 3. Collect completions (and survive worker death).
+                    done, dead = pool.podem_poll(
+                        {r: e[2] for r, e in inflight.items()}
+                    )
+                    for worker_id, req_id, msg in done:
+                        fi, pi, _w = inflight.pop(req_id)
+                        inflight_keys.discard((fi, pi))
+                        idle.append(worker_id)
+                        if req_id in cancelled:
+                            cancelled.discard(req_id)
+                            rec.incr("atpg.parallel.retired_speculation")
+                            continue
+                        if msg[0] == "ok":
+                            results[(fi, pi)] = ("ok", msg[2])
+                        else:
+                            results[(fi, pi)] = ("err", msg[2], msg[3])
+                    for worker_id in dead:
+                        rec.warning("atpg.parallel.worker_death",
+                                    counter="atpg.parallel.worker_deaths",
+                                    worker=worker_id)
+                        for req_id, (fi, pi, w) in list(inflight.items()):
+                            if w == worker_id:
+                                # Lost with the worker: dispatchable
+                                # again.
+                                del inflight[req_id]
+                                inflight_keys.discard((fi, pi))
+                                cancelled.discard(req_id)
+                        pool.restart_worker(worker_id)
+                        self._ship_guidance(pool)
+                        idle.append(worker_id)
+                    idle.sort()
+            except BaseException:
+                # Cancellation (FlowCancelled) or any coordinator
+                # failure: the primary exception wins, but the pool
+                # must still end the phase quiet -- a best-effort
+                # drain, its own failures recorded rather than raised.
+                try:
+                    drain()
+                except Exception as exc:
+                    rec.warning("atpg.parallel.drain_failed",
+                                counter="atpg.parallel.drain_failures",
+                                exc_type=type(exc).__name__,
+                                detail=str(exc))
+                raise
+            else:
+                drain()
+
 
 def run_flow(netlist: Netlist,
              faults: Optional[Sequence[StuckFault]] = None,
              config: Optional[AtpgFlowConfig] = None) -> AtpgFlowResult:
     """One-shot convenience wrapper around :class:`AtpgFlow`."""
     return AtpgFlow(netlist, config).run(faults)
+
+
+#: Bump when the canonical artifact layout changes: two artifacts are
+#: only ever byte-compared within one schema.
+ARTIFACT_SCHEMA = 1
+
+
+def flow_artifact(circuit: str, config: AtpgFlowConfig,
+                  result: AtpgFlowResult) -> bytes:
+    """Canonical byte-exact artifact of one flow run.
+
+    One JSON document (sorted keys, no insignificant whitespace,
+    trailing newline) capturing everything the flow produced: the full
+    test set, per-fault status/via maps *in commit order* (the order is
+    itself part of the determinism contract), and the scalar summary.
+    The batch CLI (``atpg --artifact``) and the serve daemon's
+    ``/jobs/<id>/artifact`` endpoint both emit exactly these bytes, so
+    "served run == batch run" is a byte comparison, not a semantic one.
+    """
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "circuit": circuit,
+        "config": asdict(config),
+        "summary": result.summary(),
+        "tests": result.tests,
+        "status": [[str(f), s] for f, s in result.status.items()],
+        "detected_via": [[str(f), v]
+                         for f, v in result.detected_via.items()],
+        "untestable_via": [[str(f), v]
+                           for f, v in result.untestable_via.items()],
+    }
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
 
 
 # ----------------------------------------------------------------------
@@ -848,10 +978,17 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
                              "summary are byte-identical")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON object per circuit")
+    parser.add_argument("--artifact", metavar="FILE", default=None,
+                        help="write the canonical byte-exact run "
+                             "artifact (single circuit only); the serve "
+                             "daemon emits identical bytes for the same "
+                             "circuit and config")
     add_trace_argument(parser)
     args = parser.parse_args(argv)
 
     names = available_circuits() if args.all else args.circuits
+    if args.artifact is not None and len(names) != 1:
+        parser.error("--artifact requires exactly one circuit")
     try:
         config = AtpgFlowConfig(
             n_random_patterns=args.random_patterns,
@@ -877,6 +1014,9 @@ def atpg_main(argv: Optional[List[str]] = None) -> int:
             netlist = load_circuit(name)
             result = AtpgFlow(netlist, config).run()
             summary = result.summary()
+            if args.artifact is not None:
+                with open(args.artifact, "wb") as handle:
+                    handle.write(flow_artifact(name, config, result))
             if args.check_serial:
                 from dataclasses import replace
 

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import AtpgError
 from ..netlist import Netlist, content_hash, from_dict, to_dict, validate
+from ..obs import get_recorder
 from ..power.logicsim import LogicSimulator
 from .models import TransitionFault
 from .podem import Podem
@@ -86,8 +87,21 @@ def unroll_two_frames(netlist: Netlist, use_cache: bool = True) -> Netlist:
             if payload is not None:
                 try:
                     un = from_dict(payload)
-                except Exception:
-                    pass  # foreign/corrupt payload: fall through, redo
+                except Exception as exc:
+                    # Structurally valid cache entry, undecodable
+                    # payload (written by a foreign/older netlist
+                    # layout).  Reclaim the slot -- otherwise every
+                    # call re-reads and re-discards the same bytes --
+                    # and make the discard visible, mirroring the
+                    # DiskCache corrupt-entry contract; the unroll
+                    # below rewrites the entry in the current layout.
+                    disk.remove(key)
+                    get_recorder().warning(
+                        "cache.foreign_payload",
+                        counter="cache.foreign_payloads",
+                        namespace=disk.namespace, key=key,
+                        exc_type=type(exc).__name__, detail=str(exc),
+                    )
                 else:
                     _UNROLL_CACHE[key] = un
                     return un

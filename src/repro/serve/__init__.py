@@ -1,0 +1,71 @@
+"""ATPG-as-a-service: a warm-pool job daemon over the batch flow.
+
+``python -m repro serve`` runs a JSON-over-HTTP daemon that owns a
+small LRU of warm :class:`~repro.fault.ShardedFaultSimulator` pools
+and the compile cache across requests, so repeated ATPG runs skip the
+per-invocation fork/compile cost of the batch CLI.  Results are
+byte-identical to ``python -m repro atpg --artifact`` for the same
+circuit and config -- the daemon is a scheduling layer, never a
+different algorithm.
+
+Layering::
+
+    jobs.py      job model, priority queue, backpressure, rate limit,
+                 warm-pool LRU -- no networking
+    server.py    asyncio HTTP front end, LocalServer, serve_main
+    client.py    stdlib client (tests, CI smoke, load generator)
+    loadtest.py  concurrent closed-loop latency/throughput driver
+
+See ``docs/serving.md`` for the API and the determinism /
+graceful-shutdown contracts.
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobManager,
+    JobSpec,
+    PoolManager,
+    QueueFull,
+    RateLimited,
+    ServeRejected,
+    ShuttingDown,
+    TokenBucket,
+    UnknownJob,
+    spec_from_request,
+)
+from .loadtest import loadtest_main, run_loadtest
+from .server import AtpgServer, LocalServer, serve_main
+
+__all__ = [
+    "AtpgServer",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "LocalServer",
+    "PoolManager",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "RateLimited",
+    "ServeClient",
+    "ServeError",
+    "ServeRejected",
+    "ShuttingDown",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "UnknownJob",
+    "loadtest_main",
+    "run_loadtest",
+    "serve_main",
+    "spec_from_request",
+]

@@ -1,0 +1,190 @@
+"""Minimal stdlib client for the ATPG service.
+
+Everything that talks to the daemon in this repository -- the test
+suite, the load generator, the CI smoke job -- goes through this one
+:class:`ServeClient`, so the wire protocol has a single client-side
+definition.  Built on :mod:`http.client`; every request is a fresh
+connection (the server closes after each response), and the NDJSON
+event stream is consumed line-by-line until the server closes it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ServeError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, object]):
+        super().__init__(f"HTTP {status}: "
+                         f"{payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+        raw = payload.get("retry_after")
+        self.retry_after: Optional[int] = (raw if isinstance(raw, int)
+                                           else None)
+
+
+class ServeClient:
+    """One service endpoint (host, port) plus request helpers."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0,
+                 client_id: Optional[str] = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None,
+                 ) -> Tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client"] = self.client_id
+        try:
+            conn.request(method, path,
+                         body=(json.dumps(body).encode("utf-8")
+                               if body is not None else None),
+                         headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, data
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, object]] = None,
+              ) -> Dict[str, object]:
+        status, data = self._request(method, path, body)
+        try:
+            payload = json.loads(data.decode("utf-8") or "{}")
+        except json.JSONDecodeError:
+            payload = {"error": data.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("GET", "/stats")
+
+    def submit(self, circuit: Optional[str] = None,
+               config: Optional[Dict[str, object]] = None,
+               priority: int = 0,
+               bench: Optional[str] = None,
+               name: Optional[str] = None) -> Dict[str, object]:
+        """Submit a job; returns its summary (``202``) or raises
+        :class:`ServeError` (429 carries ``retry_after``)."""
+        body: Dict[str, object] = {"priority": priority}
+        if circuit is not None:
+            body["circuit"] = circuit
+        if bench is not None:
+            body["bench"] = bench
+        if name is not None:
+            body["name"] = name
+        if config:
+            body["config"] = config
+        return self._json("POST", "/jobs", body)
+
+    def submit_retrying(self, max_wait: float = 300.0,
+                        **kwargs) -> Dict[str, object]:
+        """Submit, honoring 429 backpressure by waiting ``Retry-After``
+        (capped per attempt) until ``max_wait`` elapses."""
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self.submit(**kwargs)
+            except ServeError as exc:
+                if exc.status != 429:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(exc.retry_after or 1, 0.1),
+                               remaining, 5.0))
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def artifact(self, job_id: str) -> bytes:
+        """The canonical result bytes of a finished job."""
+        status, data = self._request("GET", f"/jobs/{job_id}/artifact")
+        if status != 200:
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except json.JSONDecodeError:
+                payload = {"error": data.decode("utf-8", "replace")}
+            raise ServeError(status, payload)
+        return data
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.1) -> Dict[str, object]:
+        """Poll until the job is terminal; returns its final summary."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.job(job_id)
+            if summary["state"] in ("done", "failed", "cancelled"):
+                return summary
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {summary['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None,
+               ) -> Iterator[Dict[str, object]]:
+        """Stream the job's NDJSON progress events until completion.
+
+        Yields each event record as a dict; the iterator ends when the
+        server closes the stream (job reached a terminal state).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                data = response.read()
+                try:
+                    payload = json.loads(data.decode("utf-8"))
+                except json.JSONDecodeError:
+                    payload = {"error": data.decode("utf-8", "replace")}
+                raise ServeError(response.status, payload)
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def run(self, timeout: float = 600.0,
+            **kwargs) -> Tuple[Dict[str, object], bytes]:
+        """Submit (honoring backpressure), wait, fetch the artifact."""
+        job = self.submit_retrying(max_wait=timeout, **kwargs)
+        final = self.wait(job["id"], timeout=timeout)
+        if final["state"] != "done":
+            raise ServeError(500, {
+                "error": f"job {job['id']} ended {final['state']}: "
+                         f"{final.get('error')}",
+            })
+        return final, self.artifact(job["id"])

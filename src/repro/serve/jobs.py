@@ -1,0 +1,658 @@
+"""Job model and execution engine of the ATPG service.
+
+The daemon's core invariant is **one warm machine, many jobs**: a
+single executor thread runs ATPG flows strictly one at a time against
+pools it keeps warm between jobs (:class:`PoolManager`), so the fork +
+compile cost of a :class:`~repro.fault.sharded.ShardedFaultSimulator`
+is paid once per (netlist, pool shape) instead of once per request.
+Determinism survives reuse because every job starts from
+:meth:`~repro.fault.sharded.ShardedFaultSimulator.reset_session` --
+the flow's artifacts are byte-identical to a cold batch run, which the
+serve tests pin against ``python -m repro atpg --artifact``.
+
+Each job owns a private :class:`~repro.obs.Recorder` installed for the
+executor thread only (:class:`~repro.obs.scoped_recorder`) while its
+flow runs, so served runs produce exactly the trace artifacts the
+batch CLIs do (``python -m repro trace`` validates them unchanged) and
+the recorder's ``on_event`` hook feeds the job's live NDJSON progress
+stream with zero extra instrumentation.
+
+Backpressure is explicit: a full queue raises :class:`QueueFull`
+carrying a ``retry_after`` estimated from recent job durations, and
+per-client token buckets (:class:`TokenBucket`) bound the submit rate.
+The HTTP layer (:mod:`repro.serve.server`) translates both into
+``429`` + ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import FlowCancelled, ReproError
+from ..fault.atpg_flow import AtpgFlow, AtpgFlowConfig, flow_artifact
+from ..fault.sharded import ShardedFaultSimulator, usable_cores
+from ..netlist import Netlist, content_hash
+from ..obs import Recorder, scoped_recorder
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: Fallback per-job duration estimate (seconds) before any job has
+#: finished -- only feeds the Retry-After hint, never a timeout.
+_DEFAULT_JOB_SECONDS = 2.0
+
+
+class ServeRejected(ReproError):
+    """A submission the service refused; carries the HTTP semantics."""
+
+    status = 503
+    retry_after: Optional[int] = None
+
+
+class QueueFull(ServeRejected):
+    """The job queue is at its depth bound (HTTP 429 + Retry-After)."""
+
+    status = 429
+
+    def __init__(self, depth: int, retry_after: int):
+        super().__init__(
+            f"job queue full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class RateLimited(ServeRejected):
+    """A client exceeded its token bucket (HTTP 429 + Retry-After)."""
+
+    status = 429
+
+    def __init__(self, client: str, retry_after: int):
+        super().__init__(
+            f"client {client!r} over its rate limit; "
+            f"retry in ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class ShuttingDown(ServeRejected):
+    """The service is draining and rejects new submissions (HTTP 503)."""
+
+    def __init__(self) -> None:
+        super().__init__("service is shutting down; not accepting jobs")
+
+
+class UnknownJob(ReproError):
+    """No job with the requested id (HTTP 404)."""
+
+
+# ----------------------------------------------------------------------
+# job
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted unit of work: a netlist plus a flow config."""
+
+    circuit: str                 # display/artifact name
+    netlist: Netlist
+    config: AtpgFlowConfig
+    priority: int = 0            # higher runs sooner; FIFO within a tier
+
+
+def spec_from_request(payload: Dict[str, object],
+                      max_processes: Optional[int] = None) -> JobSpec:
+    """Build a :class:`JobSpec` from a submit request body.
+
+    Accepts either ``{"circuit": "<catalog name>"}`` or
+    ``{"bench": "<ISCAS89 source>", "name": "..."}`` plus an optional
+    ``config`` object of :class:`~repro.fault.atpg_flow.AtpgFlowConfig`
+    fields and an integer ``priority``.  Raises :class:`ValueError`
+    (HTTP 400 upstream) on anything malformed.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    circuit = payload.get("circuit")
+    bench = payload.get("bench")
+    if (circuit is None) == (bench is None):
+        raise ValueError("exactly one of 'circuit' or 'bench' required")
+    if circuit is not None:
+        if not isinstance(circuit, str):
+            raise ValueError("'circuit' must be a string")
+        from ..bench import load_circuit
+
+        try:
+            netlist = load_circuit(circuit)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0]) if exc.args else str(exc)
+                             ) from None
+        name = circuit
+    else:
+        if not isinstance(bench, str):
+            raise ValueError("'bench' must be a string")
+        name = payload.get("name", "submitted")
+        if not isinstance(name, str):
+            raise ValueError("'name' must be a string")
+        from ..bench import parse_bench
+        from ..errors import ReproError as _ReproError
+
+        try:
+            netlist = parse_bench(bench, name=name)
+        except _ReproError as exc:
+            raise ValueError(f"bench parse failed: {exc}") from None
+    raw_config = payload.get("config", {})
+    if not isinstance(raw_config, dict):
+        raise ValueError("'config' must be an object")
+    known = {f.name for f in fields(AtpgFlowConfig)}
+    unknown = sorted(set(raw_config) - known)
+    if unknown:
+        raise ValueError(f"unknown config fields: {unknown}")
+    try:
+        config = AtpgFlowConfig(**raw_config)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad config: {exc}") from None
+    if max_processes is not None and config.processes > max_processes:
+        raise ValueError(
+            f"config.processes={config.processes} exceeds the server "
+            f"limit of {max_processes}"
+        )
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ValueError("'priority' must be an integer")
+    return JobSpec(circuit=name, netlist=netlist, config=config,
+                   priority=priority)
+
+
+class Job:
+    """One submitted ATPG run: state machine + private recorder.
+
+    The recorder's ``on_event`` hook routes every recorded event into
+    :meth:`_publish`, which appends it to the job's replayable event
+    log and fans it out to live subscribers (the NDJSON streams).  A
+    ``None`` record is the end-of-stream sentinel, published exactly
+    once after the job reaches a terminal state.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec):
+        self.id = job_id
+        self.spec = spec
+        self.state = QUEUED
+        self.submitted_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.error: Optional[str] = None
+        self.artifact: Optional[bytes] = None
+        self.summary: Optional[Dict[str, object]] = None
+        self.trace_paths: Optional[Dict[str, str]] = None
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, object]] = []
+        self._subscribers: Dict[int, Callable] = {}
+        self._sub_ids = itertools.count()
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self.recorder = Recorder(run_id=f"serve-{job_id}",
+                                 on_event=self._publish)
+
+    # -- event stream --------------------------------------------------
+    def _publish(self, record: Optional[Dict[str, object]]) -> None:
+        with self._lock:
+            if record is not None:
+                self._events.append(record)
+            subscribers = list(self._subscribers.values())
+        for callback in subscribers:
+            try:
+                callback(record)
+            except Exception:
+                # A broken stream consumer must never reach the
+                # executor thread; its own unsubscribe cleans up.
+                pass
+
+    def subscribe(self, callback: Callable,
+                  ) -> Tuple[int, List[Dict[str, object]], bool]:
+        """Register a live event consumer.
+
+        Returns ``(token, replay, terminal)``: everything published so
+        far, and whether the job is already terminal (in which case the
+        callback is *not* registered -- the replay is complete and no
+        sentinel will come).  Registration and replay are atomic, so a
+        consumer sees every event exactly once.
+        """
+        with self._lock:
+            replay = list(self._events)
+            terminal = self.state in TERMINAL_STATES
+            if terminal:
+                return -1, replay, True
+            token = next(self._sub_ids)
+            self._subscribers[token] = callback
+        return token, replay, False
+
+    def unsubscribe(self, token: int) -> None:
+        with self._lock:
+            self._subscribers.pop(token, None)
+
+    # -- lifecycle -----------------------------------------------------
+    def mark_running(self) -> None:
+        self.started_unix = time.time()
+        with self._lock:
+            self.state = RUNNING
+        self.recorder.event("job.state", cat="job", state=RUNNING,
+                            job_id=self.id, circuit=self.spec.circuit)
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        """Move to a terminal state and close every event stream.
+
+        Order matters: the final ``job.state`` event is recorded (and
+        therefore replayable) *before* the state flips to terminal, so
+        a subscriber arriving in between still sees the full history;
+        the ``None`` sentinel then releases live streams.
+        """
+        self.finished_unix = time.time()
+        self.error = error
+        extra = {"error": error} if error else {}
+        self.recorder.event("job.state", cat="job", state=state,
+                            job_id=self.id, circuit=self.spec.circuit,
+                            **extra)
+        with self._lock:
+            self.state = state
+        self._publish(None)
+        self._done.set()
+
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; False on timeout."""
+        return self._done.wait(timeout)
+
+    # -- views ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly job summary (the ``GET /jobs/<id>`` body)."""
+        from dataclasses import asdict
+
+        return {
+            "id": self.id,
+            "circuit": self.spec.circuit,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+            "summary": self.summary,
+            "config": asdict(self.spec.config),
+            "run_id": self.recorder.run_id,
+        }
+
+
+# ----------------------------------------------------------------------
+# rate limiting
+# ----------------------------------------------------------------------
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/second, ``burst`` cap.
+
+    ``rate <= 0`` disables limiting entirely.  :meth:`check` consumes
+    one token for ``client`` and returns 0.0, or -- when the bucket is
+    dry -- returns the seconds until a token accrues (and consumes
+    nothing).  Client state is pruned lazily once it is full again, so
+    the table stays bounded by the set of *recently throttled* clients.
+    """
+
+    def __init__(self, rate: float, burst: int = 10):
+        self.rate = rate
+        self.burst = max(1, burst)
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    def check(self, client: str) -> float:
+        if self.rate <= 0:
+            return 0.0
+        now = time.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (float(self.burst),
+                                                      now))
+            tokens = min(float(self.burst),
+                         tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                return 0.0
+            self._buckets[client] = (tokens, now)
+            return (1.0 - tokens) / self.rate
+
+
+# ----------------------------------------------------------------------
+# warm pools
+# ----------------------------------------------------------------------
+class PoolManager:
+    """LRU cache of started worker pools, keyed by pool shape.
+
+    The key is ``(netlist content hash, processes, backend,
+    batch_faults)`` -- everything that determines what a
+    :class:`~repro.fault.sharded.ShardedFaultSimulator` *is*.  A hit
+    hands back the warm pool (the flow resets it at job start); a miss
+    builds and starts a new one, evicting the least-recently-used pool
+    over the cap.  :meth:`discard` force-closes a pool whose job failed
+    unexpectedly, so the next job on that shape gets a fresh machine
+    instead of inheriting unknown worker state.
+    """
+
+    def __init__(self, max_pools: int = 2):
+        if max_pools < 1:
+            raise ValueError(f"max_pools must be >= 1, got {max_pools}")
+        self.max_pools = max_pools
+        self._pools: "OrderedDict[tuple, ShardedFaultSimulator]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(netlist: Netlist,
+                config: AtpgFlowConfig) -> tuple:
+        return (content_hash(netlist), config.processes,
+                config.backend, str(config.batch_faults))
+
+    def acquire(self, netlist: Netlist,
+                config: AtpgFlowConfig) -> ShardedFaultSimulator:
+        key = self.key_for(netlist, config)
+        pool = self._pools.get(key)
+        if pool is not None:
+            self._pools.move_to_end(key)
+            self.hits += 1
+            return pool
+        self.misses += 1
+        pool = ShardedFaultSimulator(
+            netlist, config.processes, backend=config.backend,
+            batch_faults=config.batch_faults,
+        ).start()
+        self._pools[key] = pool
+        while len(self._pools) > self.max_pools:
+            _, evicted = self._pools.popitem(last=False)
+            evicted.close()
+        return pool
+
+    def discard(self, netlist: Netlist, config: AtpgFlowConfig) -> None:
+        pool = self._pools.pop(self.key_for(netlist, config), None)
+        if pool is not None:
+            pool.close()
+
+    def close_all(self) -> None:
+        while self._pools:
+            _, pool = self._pools.popitem(last=False)
+            pool.close()
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "pools": len(self._pools),
+            "max_pools": self.max_pools,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+# ----------------------------------------------------------------------
+# manager
+# ----------------------------------------------------------------------
+class JobManager:
+    """Priority queue + single executor thread + warm pools.
+
+    Jobs execute strictly one at a time, in ``(-priority, submission
+    order)`` -- serialized execution is what lets one warm pool serve
+    every job without cross-job interference, and it keeps each job's
+    results byte-identical to a solo batch run.  ``max_queue`` bounds
+    the *queued* depth; beyond it :meth:`submit` raises
+    :class:`QueueFull` with a ``retry_after`` derived from the rolling
+    average of recent job durations times the current backlog.
+    """
+
+    def __init__(self, max_queue: int = 16, max_pools: int = 2,
+                 max_processes: Optional[int] = None,
+                 trace_dir: Optional[str] = None):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self.max_processes = (max_processes if max_processes is not None
+                              else max(usable_cores(), 1))
+        self.trace_dir = trace_dir
+        self.pools = PoolManager(max_pools)
+        self._cv = threading.Condition()
+        self._heap: List[Tuple[int, int, str]] = []
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._n_queued = 0
+        self._running: Optional[Job] = None
+        self._accepting = True
+        self._stopping = False
+        self._durations: deque = deque(maxlen=32)
+        self._thread = threading.Thread(target=self._worker_loop,
+                                        name="atpg-serve-executor",
+                                        daemon=True)
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "JobManager":
+        self._thread.start()
+        return self
+
+    def stop_accepting(self) -> None:
+        """Reject new submissions (503) while existing work proceeds."""
+        with self._cv:
+            self._accepting = False
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> bool:
+        """Stop accepting jobs, drain the backlog, close the pools.
+
+        With ``drain`` (the SIGTERM contract) every queued and running
+        job completes before the executor exits; without it, queued
+        jobs are cancelled and only the running one finishes (its
+        cooperative cancel is requested first).  Returns True when the
+        executor stopped within ``timeout``.
+        """
+        with self._cv:
+            self._accepting = False
+            if not drain:
+                for _, _, job_id in self._heap:
+                    job = self._jobs[job_id]
+                    if job.state == QUEUED:
+                        job.finish(CANCELLED, "cancelled at shutdown")
+                running = self._running
+                if running is not None:
+                    running.request_cancel()
+            self._stopping = True
+            self._cv.notify_all()
+        stopped = self._stopped.wait(timeout)
+        return stopped
+
+    # -- submission / queries ------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        if spec.config.processes > self.max_processes:
+            raise ValueError(
+                f"config.processes={spec.config.processes} exceeds the "
+                f"server limit of {self.max_processes}"
+            )
+        with self._cv:
+            if not self._accepting:
+                raise ShuttingDown()
+            if self._n_queued >= self.max_queue:
+                raise QueueFull(self._n_queued, self.retry_after())
+            job = Job(f"job-{next(self._ids):06d}", spec)
+            self._jobs[job.id] = job
+            heapq.heappush(self._heap,
+                           (-spec.priority, next(self._seq), job.id))
+            self._n_queued += 1
+            self._cv.notify_all()
+        job.recorder.event("job.state", cat="job", state=QUEUED,
+                           job_id=job.id, circuit=spec.circuit,
+                           priority=spec.priority)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately when queued, cooperatively when
+        running (the flow retires its in-flight speculative searches
+        via the pool's cancel protocol before the state flips)."""
+        job = self.job(job_id)
+        with self._cv:
+            if job.state == QUEUED:
+                job.finish(CANCELLED, "cancelled while queued")
+                return job
+        if job.state == RUNNING:
+            job.request_cancel()
+        return job
+
+    def retry_after(self) -> int:
+        """Seconds a 429'd client should wait: recent mean job duration
+        times the backlog (queued + running), clamped to [1, 600]."""
+        if self._durations:
+            avg = sum(self._durations) / len(self._durations)
+        else:
+            avg = _DEFAULT_JOB_SECONDS
+        backlog = self._n_queued + (1 if self._running is not None else 0)
+        return max(1, min(600, int(math.ceil(avg * max(1, backlog)))))
+
+    def stats(self) -> Dict[str, object]:
+        by_state: Dict[str, int] = {}
+        for job in self._jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "accepting": self._accepting,
+            "queued": self._n_queued,
+            "running": (self._running.id
+                        if self._running is not None else None),
+            "max_queue": self.max_queue,
+            "max_processes": self.max_processes,
+            "jobs_by_state": by_state,
+            "retry_after_hint": self.retry_after(),
+            "pools": self.pools.info(),
+            "swallowed_errors": self.swallowed_errors(),
+        }
+
+    def swallowed_errors(self) -> int:
+        """Total ``pool.swallowed_errors`` across every job recorder.
+
+        The drain contract: this must be 0 when the daemon exits, the
+        same invariant ``python -m repro trace`` enforces per job.
+        """
+        return sum(job.recorder.counter("pool.swallowed_errors")
+                   for job in self._jobs.values())
+
+    # -- executor ------------------------------------------------------
+    def _next_job(self) -> Optional[Job]:
+        """Block for the next runnable job; None once drained + stopping."""
+        with self._cv:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs[job_id]
+                    self._n_queued -= 1
+                    if job.state != QUEUED:
+                        continue  # cancelled while queued
+                    self._running = job
+                    return job
+                if self._stopping:
+                    return None
+                self._cv.wait(timeout=0.5)
+
+    def _worker_loop(self) -> None:
+        try:
+            while True:
+                job = self._next_job()
+                if job is None:
+                    break
+                try:
+                    self._run_job(job)
+                finally:
+                    with self._cv:
+                        self._running = None
+                        self._durations.append(
+                            (job.finished_unix or time.time())
+                            - (job.started_unix or time.time())
+                        )
+        finally:
+            self.pools.close_all()
+            self._stopped.set()
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one job on the warm machinery (executor thread).
+
+        The job's recorder is installed thread-locally for the whole
+        run, so every pool/flow/cache event -- including the pool
+        start on a cold acquire -- lands in the job's own trace, and
+        the live stream sees it in real time.
+        """
+        spec = job.spec
+        job.mark_running()
+        if job.cancel_requested():
+            job.finish(CANCELLED, "cancelled before start")
+            return
+        try:
+            with scoped_recorder(job.recorder):
+                pool = self.pools.acquire(spec.netlist, spec.config)
+                flow = AtpgFlow(spec.netlist, spec.config)
+                result = flow.run(pool=pool,
+                                  should_cancel=job.cancel_requested)
+            job.artifact = flow_artifact(spec.circuit, spec.config,
+                                         result)
+            job.summary = result.summary()
+            self._export_trace(job)
+            job.finish(DONE)
+        except FlowCancelled:
+            self._export_trace(job)
+            job.finish(CANCELLED, "cancelled while running")
+        except Exception as exc:
+            # Unknown failure mid-flow: the warm pool's state can no
+            # longer be trusted, so retire it -- the next job on this
+            # shape forks a fresh one (worker restart at the job
+            # boundary).
+            try:
+                self.pools.discard(spec.netlist, spec.config)
+            except Exception:
+                pass
+            self._export_trace(job)
+            job.finish(FAILED, f"{type(exc).__name__}: {exc}")
+
+    def _export_trace(self, job: Job) -> None:
+        """Write the job's trace artifacts (when a trace dir is set).
+
+        Exported *before* the terminal state is published so a client
+        notified of completion can immediately validate the trace.
+        """
+        if self.trace_dir is None:
+            return
+        import os
+
+        from ..obs import write_run
+
+        try:
+            job.trace_paths = write_run(
+                job.recorder,
+                os.path.join(self.trace_dir, f"{job.id}.json"),
+                command="serve-job",
+                extra={"job": job.to_dict()},
+            )
+        except Exception as exc:
+            job.recorder.warning("serve.trace_export_failed",
+                                 exc_type=type(exc).__name__,
+                                 detail=str(exc))

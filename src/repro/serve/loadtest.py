@@ -1,0 +1,165 @@
+"""Closed-loop load generator for the ATPG service.
+
+``python -m repro loadtest`` replays catalog ATPG workloads against a
+daemon from N concurrent clients (each client submits, honors 429
+backpressure, waits for completion, fetches the artifact, repeats) and
+reports end-to-end latency percentiles and sustained throughput.  By
+default it spins up an embedded server
+(:class:`repro.serve.server.LocalServer`) so a one-command run
+exercises the full stack; ``--host/--port`` target a running daemon
+instead.
+
+:func:`run_loadtest` is the library entry the ``serve_throughput``
+bench kernel (:mod:`repro.perf.bench`) calls, so the committed
+baseline row and this CLI measure exactly the same loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .client import ServeClient, ServeError
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _client_loop(client: ServeClient, circuits: Sequence[str],
+                 config: Dict[str, object], jobs: int,
+                 latencies: List[float], errors: List[str],
+                 lock: threading.Lock) -> None:
+    """One closed-loop client: submit -> wait -> artifact, ``jobs`` times."""
+    for i in range(jobs):
+        circuit = circuits[i % len(circuits)]
+        start = time.perf_counter()
+        try:
+            final, artifact = client.run(circuit=circuit, config=config)
+            if not artifact:
+                raise ServeError(500, {"error": "empty artifact"})
+        except Exception as exc:
+            with lock:
+                errors.append(f"{circuit}: {type(exc).__name__}: {exc}")
+            continue
+        elapsed = time.perf_counter() - start
+        with lock:
+            latencies.append(elapsed)
+
+
+def run_loadtest(host: str, port: int,
+                 circuits: Sequence[str] = ("s298",),
+                 clients: int = 4, jobs_per_client: int = 4,
+                 config: Optional[Dict[str, object]] = None,
+                 ) -> Dict[str, object]:
+    """Drive ``clients`` concurrent closed loops; return the report.
+
+    Latency is per-job end-to-end (submit through artifact fetch,
+    queue wait included -- that is what a caller of the service
+    experiences); throughput is completed jobs over the measurement
+    wall time.
+    """
+    config = dict(config or {})
+    latencies: List[float] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+    threads = []
+    start = time.perf_counter()
+    for c in range(clients):
+        client = ServeClient(host, port, client_id=f"loadtest-{c}")
+        thread = threading.Thread(
+            target=_client_loop,
+            args=(client, list(circuits), config, jobs_per_client,
+                  latencies, errors, lock),
+            name=f"loadtest-client-{c}", daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    ordered = sorted(latencies)
+    completed = len(ordered)
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs_per_client,
+        "circuits": list(circuits),
+        "config": config,
+        "completed": completed,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": (completed / wall) if wall > 0 else 0.0,
+        "latency_p50_s": _percentile(ordered, 0.50),
+        "latency_p95_s": _percentile(ordered, 0.95),
+        "latency_p99_s": _percentile(ordered, 0.99),
+        "latency_mean_s": (sum(ordered) / completed) if completed else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro loadtest
+# ----------------------------------------------------------------------
+def loadtest_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro loadtest`` -- measure service latency/throughput."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadtest",
+        description="Concurrent closed-loop load test of the ATPG "
+                    "service (embedded server unless --host/--port "
+                    "point at a running one).",
+    )
+    parser.add_argument("circuits", nargs="*", default=["s298"],
+                        help="catalog circuits to replay (default: s298)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients (default 4)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="jobs per client (default 4)")
+    parser.add_argument("--host", default=None,
+                        help="target a running daemon at this host "
+                             "(default: embedded server)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="target daemon port (with --host; "
+                             "default 8765)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="worker pool size per job (default 1)")
+    parser.add_argument("--random-patterns", type=int, default=128,
+                        help="phase-1 pattern budget per job "
+                             "(default 128)")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="embedded server queue depth (default 32)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw JSON report")
+    args = parser.parse_args(argv)
+
+    config = {"processes": args.processes,
+              "n_random_patterns": args.random_patterns}
+    if args.host is not None:
+        report = run_loadtest(args.host, args.port, args.circuits,
+                              args.clients, args.jobs, config)
+    else:
+        from .server import LocalServer
+
+        with LocalServer(max_queue=args.max_queue) as server:
+            report = run_loadtest(server.host, server.port,
+                                  args.circuits, args.clients,
+                                  args.jobs, config)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(f"{report['completed']} jobs over "
+              f"{report['wall_seconds']:.2f}s "
+              f"({report['throughput_jobs_per_s']:.2f} jobs/s), "
+              f"{report['errors']} errors | latency p50 "
+              f"{report['latency_p50_s'] * 1000:.0f}ms, p95 "
+              f"{report['latency_p95_s'] * 1000:.0f}ms, p99 "
+              f"{report['latency_p99_s'] * 1000:.0f}ms")
+    return 0 if report["errors"] == 0 and report["completed"] else 1

@@ -1,0 +1,443 @@
+"""ATPG-as-a-service: a stdlib-``asyncio`` JSON-over-HTTP daemon.
+
+``python -m repro serve`` owns one warm set of fault-simulation worker
+pools (:class:`repro.serve.jobs.PoolManager`) and the persistent
+compile cache across requests, so clients pay netlist-compile and
+pool-fork costs once instead of per run.  The HTTP surface is small
+and deliberately plain HTTP/1.1 with ``Connection: close`` on every
+response (no keep-alive state machine, no chunked encoding; the NDJSON
+event stream is close-delimited):
+
+========  ==========================  =====================================
+method    path                        semantics
+========  ==========================  =====================================
+GET       ``/healthz``                liveness + accepting flag
+GET       ``/stats``                  queue/pool/counter snapshot
+POST      ``/jobs``                   submit; 202 + job, or 429/503
+GET       ``/jobs``                   all job summaries
+GET       ``/jobs/<id>``              one job summary
+POST      ``/jobs/<id>/cancel``       cancel (immediate or cooperative)
+GET       ``/jobs/<id>/artifact``     canonical result bytes (when done)
+GET       ``/jobs/<id>/events``       NDJSON progress stream (live)
+========  ==========================  =====================================
+
+Backpressure is explicit: a full queue or an over-rate client gets
+``429`` with a ``Retry-After`` header (derived from recent job
+durations); a draining server gets ``503``.  SIGTERM/SIGINT finish the
+backlog, reject new submissions, close every pool and exit 0 only if
+no pool error was swallowed (``pool.swallowed_errors == 0`` across all
+job recorders -- the same invariant ``python -m repro trace`` enforces
+per job).
+
+See ``docs/serving.md`` for the full API and lifecycle contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .jobs import (
+    DONE,
+    JobManager,
+    ServeRejected,
+    TokenBucket,
+    UnknownJob,
+    spec_from_request,
+)
+
+#: Largest accepted request body (a netlist source is < 10 MB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Seconds allowed for reading one request head + body.
+READ_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _head(status: int, content_type: str, length: Optional[int],
+          extra: Optional[Dict[str, str]] = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class AtpgServer:
+    """One listening endpoint bound to a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0, rate: float = 0.0, burst: int = 10):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.bucket = TokenBucket(rate, burst)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            family=socket.AF_INET,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(self._read_request(reader),
+                                             timeout=READ_TIMEOUT)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
+        except (asyncio.TimeoutError, ConnectionError,
+                asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # one bad request never kills the loop
+            try:
+                self._send_json(writer, 500,
+                                {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> Optional[Tuple[str, str,
+                                                Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"body of {length} bytes exceeds the "
+                             f"{MAX_BODY_BYTES} byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # -- responses -----------------------------------------------------
+    def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                   payload: object,
+                   extra: Optional[Dict[str, str]] = None) -> None:
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        writer.write(_head(status, "application/json", len(data), extra))
+        writer.write(data)
+
+    def _send_bytes(self, writer: asyncio.StreamWriter, status: int,
+                    data: bytes, content_type: str) -> None:
+        writer.write(_head(status, content_type, len(data)))
+        writer.write(data)
+
+    # -- routing -------------------------------------------------------
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        try:
+            if path == "/healthz" and method == "GET":
+                self._send_json(writer, 200, {
+                    "status": "ok",
+                    "accepting": self.manager.stats()["accepting"],
+                })
+            elif path == "/stats" and method == "GET":
+                self._send_json(writer, 200, self.manager.stats())
+            elif path == "/jobs" and method == "POST":
+                self._submit(headers, body, writer)
+            elif path == "/jobs" and method == "GET":
+                self._send_json(writer, 200, {
+                    "jobs": [j.to_dict() for j in self.manager.jobs()],
+                })
+            elif path.startswith("/jobs/"):
+                await self._job_route(method, path, writer)
+            else:
+                self._send_json(writer, 404,
+                                {"error": f"no such path {path!r}"})
+        except UnknownJob as exc:
+            self._send_json(writer, 404, {"error": str(exc)})
+        except ServeRejected as exc:
+            extra = ({"Retry-After": str(exc.retry_after)}
+                     if exc.retry_after is not None else None)
+            payload = {"error": str(exc)}
+            if exc.retry_after is not None:
+                payload["retry_after"] = exc.retry_after
+            self._send_json(writer, exc.status, payload, extra)
+        except ValueError as exc:
+            self._send_json(writer, 400, {"error": str(exc)})
+        await writer.drain()
+
+    def _client_id(self, headers: Dict[str, str],
+                   writer: asyncio.StreamWriter) -> str:
+        """Rate-limit identity: explicit header first, else peer IP."""
+        explicit = headers.get("x-client")
+        if explicit:
+            return explicit
+        peer = writer.get_extra_info("peername")
+        return peer[0] if peer else "unknown"
+
+    def _submit(self, headers: Dict[str, str], body: bytes,
+                writer: asyncio.StreamWriter) -> None:
+        from .jobs import RateLimited
+
+        client = self._client_id(headers, writer)
+        wait = self.bucket.check(client)
+        if wait > 0:
+            raise RateLimited(client, max(1, int(wait + 0.999)))
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        spec = spec_from_request(payload, self.manager.max_processes)
+        job = self.manager.submit(spec)
+        self._send_json(writer, 202, job.to_dict())
+
+    async def _job_route(self, method: str, path: str,
+                         writer: asyncio.StreamWriter) -> None:
+        parts = path.strip("/").split("/")
+        job = self.manager.job(parts[1])
+        tail = parts[2] if len(parts) > 2 else None
+        if tail is None and method == "GET":
+            self._send_json(writer, 200, job.to_dict())
+        elif tail == "cancel" and method == "POST":
+            self._send_json(writer, 200,
+                            self.manager.cancel(job.id).to_dict())
+        elif tail == "artifact" and method == "GET":
+            if job.state != DONE or job.artifact is None:
+                self._send_json(writer, 409, {
+                    "error": f"job {job.id} is {job.state}, "
+                             f"artifact not available",
+                    "state": job.state,
+                })
+            else:
+                self._send_bytes(writer, 200, job.artifact,
+                                 "application/json")
+        elif tail == "events" and method == "GET":
+            await self._stream_events(job, writer)
+        else:
+            self._send_json(writer, 405, {
+                "error": f"{method} not supported on {path!r}",
+            })
+
+    async def _stream_events(self, job, writer: asyncio.StreamWriter,
+                             ) -> None:
+        """NDJSON progress stream: full replay, then live events.
+
+        The stream is fed straight from the job recorder's ``on_event``
+        hook (funnelled onto the event loop with
+        ``call_soon_threadsafe``) and ends -- connection close -- when
+        the job publishes its end-of-stream sentinel after reaching a
+        terminal state.
+        """
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue" = asyncio.Queue()
+
+        def on_record(record) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, record)
+
+        token, replay, terminal = job.subscribe(on_record)
+        writer.write(_head(200, "application/x-ndjson", None))
+        try:
+            for record in replay:
+                writer.write((json.dumps(record, sort_keys=True)
+                              + "\n").encode("utf-8"))
+            await writer.drain()
+            if terminal:
+                return
+            while True:
+                record = await queue.get()
+                if record is None:
+                    return
+                writer.write((json.dumps(record, sort_keys=True)
+                              + "\n").encode("utf-8"))
+                await writer.drain()
+        finally:
+            job.unsubscribe(token)
+
+
+# ----------------------------------------------------------------------
+# embedded server (tests, load generator, bench kernel)
+# ----------------------------------------------------------------------
+class LocalServer:
+    """Run the full daemon in a background thread of this process.
+
+    Context manager: entering starts the manager + HTTP endpoint on an
+    ephemeral port and blocks until it is accepting; exiting performs
+    the same graceful drain as SIGTERM.  Used by the test suite, the
+    load generator and the ``serve_throughput`` bench kernel, so every
+    consumer exercises the real server code path.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_queue: int = 16, max_pools: int = 2,
+                 max_processes: Optional[int] = None,
+                 rate: float = 0.0, burst: int = 10,
+                 trace_dir: Optional[str] = None):
+        self.host = host
+        self.port = port
+        self.manager = JobManager(max_queue=max_queue,
+                                  max_pools=max_pools,
+                                  max_processes=max_processes,
+                                  trace_dir=trace_dir)
+        self._rate = rate
+        self._burst = burst
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="atpg-serve-loop",
+                                        daemon=True)
+        self._startup_error: Optional[BaseException] = None
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.manager.start()
+        server = AtpgServer(self.manager, self.host, self.port,
+                            rate=self._rate, burst=self._burst)
+        await server.start()
+        self.port = server.port
+        self._ready.set()
+        await self._stop.wait()
+        self.manager.stop_accepting()
+        await self._loop.run_in_executor(
+            None, lambda: self.manager.shutdown(drain=True)
+        )
+        await server.stop()
+
+    def __enter__(self) -> "LocalServer":
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 60s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=120.0)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro serve
+# ----------------------------------------------------------------------
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve`` -- run the ATPG job daemon."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="ATPG-as-a-service: warm-pool job daemon with "
+                    "queueing, backpressure and streaming progress.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port; 0 picks an ephemeral port "
+                             "(default 8765)")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="queued-job depth bound; submissions "
+                             "beyond it get 429 + Retry-After "
+                             "(default 16)")
+    parser.add_argument("--pools", type=int, default=2,
+                        help="warm worker pools kept alive (LRU; "
+                             "default 2)")
+    parser.add_argument("--max-processes", type=int, default=None,
+                        help="largest per-job worker-pool size "
+                             "accepted (default: usable cores)")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="per-client submissions/second "
+                             "(token bucket; 0 disables, the default)")
+    parser.add_argument("--burst", type=int, default=10,
+                        help="token-bucket burst size (default 10)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write per-job trace artifacts "
+                             "(<dir>/<job-id>.json, validated by "
+                             "'python -m repro trace') here")
+    args = parser.parse_args(argv)
+
+    async def amain() -> int:
+        loop = asyncio.get_running_loop()
+        manager = JobManager(max_queue=args.max_queue,
+                             max_pools=args.pools,
+                             max_processes=args.max_processes,
+                             trace_dir=args.trace_dir).start()
+        server = AtpgServer(manager, args.host, args.port,
+                            rate=args.rate, burst=args.burst)
+        await server.start()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-Unix fallback
+                signal.signal(signum, lambda *_: stop.set())
+        print(json.dumps({"event": "ready", "host": args.host,
+                          "port": server.port}), flush=True)
+        await stop.wait()
+        print(json.dumps({"event": "draining"}), flush=True)
+        # New submissions now get 503 while the endpoint stays up for
+        # status queries and in-flight event streams; the backlog
+        # finishes, then the pools close and the listener goes down.
+        manager.stop_accepting()
+        await loop.run_in_executor(
+            None, lambda: manager.shutdown(drain=True)
+        )
+        await server.stop()
+        swallowed = manager.swallowed_errors()
+        print(json.dumps({"event": "stopped",
+                          "swallowed_errors": swallowed}), flush=True)
+        return 0 if swallowed == 0 else 1
+
+    try:
+        return asyncio.run(amain())
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -32,6 +32,15 @@ def sleep_for(seconds):
     time.sleep(seconds)
     return seconds
 
+def sever_result_pipe(x):
+    # Close every inherited fd (the result pipe included): the task
+    # finishes but its outcome can never be delivered.
+    os.closerange(3, 1024)
+    return x
+
+def return_unpicklable(x):
+    return lambda: x  # lambdas cannot cross the result pipe
+
 
 class TestSerial:
     def test_map_preserves_order(self):
@@ -114,6 +123,29 @@ class TestProcesses:
         assert multiprocessing.active_children() == before_children
         # every pipe end closed: FD count back to the baseline
         assert open_fds() == before_fds
+
+    def test_result_pipe_failure_is_not_a_timeout(self):
+        """Regression: a child that cannot deliver its result used to
+        exit 0, which the parent could only misread (e.g. as a
+        timeout).  It must surface as a distinct error outcome."""
+        outcomes = ParallelRunner(processes=2).map(
+            sever_result_pipe, [1, 2]
+        )
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert "result-pipe failure" in outcome.error
+            assert not outcome.timed_out
+
+    def test_unpicklable_result_reported_as_pipe_failure(self):
+        """The error report channel still works when only the value
+        itself cannot be shipped."""
+        outcomes = ParallelRunner(processes=2).map(
+            return_unpicklable, [1, 2]
+        )
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert "result-pipe failure" in outcome.error
+            assert not outcome.timed_out
 
     def test_single_item_runs_inline(self):
         # len(items) <= 1 short-circuits to the serial path

@@ -261,3 +261,90 @@ class TestCli:
         assert atpg_main(["s27", "--no-dominance", "--json"]) == 0
         record = json.loads(capsys.readouterr().out.strip())
         assert record["coverage"] == 1.0
+
+
+class TestFlowArtifact:
+    def test_artifact_bytes_are_deterministic(self, s27_netlist):
+        from repro.fault import flow_artifact
+
+        config = AtpgFlowConfig(n_random_patterns=32)
+        one = flow_artifact("s27", config,
+                            AtpgFlow(load_circuit("s27"), config).run())
+        two = flow_artifact("s27", config,
+                            AtpgFlow(load_circuit("s27"), config).run())
+        assert one == two
+        payload = json.loads(one)
+        assert payload["schema"] == 1
+        assert payload["circuit"] == "s27"
+        assert one.endswith(b"\n")
+
+    def test_cli_artifact_flag_writes_canonical_bytes(self, tmp_path,
+                                                      capsys):
+        from repro.fault import flow_artifact
+
+        out = tmp_path / "s27.artifact.json"
+        assert atpg_main(["s27", "--random-patterns", "32",
+                          "--artifact", str(out)]) == 0
+        capsys.readouterr()
+        config = AtpgFlowConfig(n_random_patterns=32)
+        expected = flow_artifact(
+            "s27", config, AtpgFlow(load_circuit("s27"), config).run())
+        assert out.read_bytes() == expected
+
+    def test_cli_artifact_requires_single_circuit(self, capsys):
+        with pytest.raises(SystemExit):
+            atpg_main(["s27", "s298", "--artifact", "/tmp/x.json"])
+        capsys.readouterr()
+
+
+class TestCancellation:
+    def test_immediate_cancel_raises_flow_cancelled(self, s27_netlist):
+        from repro import FlowCancelled
+
+        flow = AtpgFlow(s27_netlist, AtpgFlowConfig(n_random_patterns=32))
+        with pytest.raises(FlowCancelled):
+            flow.run(should_cancel=lambda: True)
+
+    def test_cancel_event_is_recorded(self, s27_netlist):
+        from repro import FlowCancelled
+        from repro.obs import Recorder, use_recorder
+
+        rec = Recorder()
+        flow = AtpgFlow(s27_netlist, AtpgFlowConfig(n_random_patterns=32))
+        with use_recorder(rec):
+            with pytest.raises(FlowCancelled):
+                flow.run(should_cancel=lambda: True)
+        assert any(e["name"] == "atpg.cancelled" for e in rec.events)
+
+    def test_no_cancel_callback_runs_to_completion(self, s27_netlist):
+        result = AtpgFlow(
+            s27_netlist, AtpgFlowConfig(n_random_patterns=32)
+        ).run(should_cancel=None)
+        assert result.summary()["coverage"] == 1.0
+
+
+class TestExternalPool:
+    def test_reused_pool_matches_fresh_run(self, s27_netlist):
+        from repro.fault import ShardedFaultSimulator, flow_artifact
+
+        config = AtpgFlowConfig(processes=1, n_random_patterns=32)
+        fresh = flow_artifact(
+            "s27", config, AtpgFlow(load_circuit("s27"), config).run())
+        with ShardedFaultSimulator(
+                load_circuit("s27"), config.processes,
+                backend=config.backend,
+                batch_faults=config.batch_faults) as pool:
+            for _ in range(2):  # reuse across "jobs"
+                result = AtpgFlow(load_circuit("s27"), config).run(
+                    pool=pool)
+                assert flow_artifact("s27", config, result) == fresh
+
+    def test_mismatched_pool_is_rejected(self, s27_netlist,
+                                         s298_netlist):
+        from repro.errors import SimulationError
+        from repro.fault import ShardedFaultSimulator
+
+        config = AtpgFlowConfig(processes=1, n_random_patterns=32)
+        with ShardedFaultSimulator(s298_netlist, 1) as pool:
+            with pytest.raises(SimulationError):
+                AtpgFlow(s27_netlist, config).run(pool=pool)

@@ -132,3 +132,38 @@ class TestIntegration:
             want = engine._next_state(pair.v1)
             for ff in s298_netlist.state_inputs:
                 assert pair.v2[ff] == want[ff]
+
+
+class TestUnrollCacheCorruption:
+    def test_foreign_disk_payload_is_reclaimed_and_counted(
+            self, monkeypatch, tmp_path, s27_netlist):
+        """Regression: a structurally valid cache entry whose payload
+        cannot be decoded (written by a foreign/older layout) was
+        silently swallowed and re-read forever.  It must be removed,
+        counted, and rewritten by the fresh unroll."""
+        import repro.fault.broadside as broadside
+        from repro.netlist import content_hash
+        from repro.obs import Recorder, use_recorder
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        broadside._UNROLL_CACHE.clear()
+        fresh = broadside.unroll_two_frames(s27_netlist)
+        key = content_hash(s27_netlist)
+        disk = broadside._disk_tier()
+        assert disk is not None and disk.get(key) is not None
+
+        # overwrite with a valid envelope holding an undecodable payload
+        assert disk.put(key, {"not": "a netlist"})
+        broadside._UNROLL_CACHE.clear()
+        rec = Recorder()
+        with use_recorder(rec):
+            reloaded = broadside.unroll_two_frames(s27_netlist)
+        assert content_hash(reloaded) == content_hash(fresh)
+        assert rec.counters.get("cache.foreign_payloads") == 1
+        assert any(e["name"] == "cache.foreign_payload"
+                   for e in rec.events)
+        # the slot was reclaimed and rewritten in the current layout
+        broadside._UNROLL_CACHE.clear()
+        with use_recorder(Recorder()):
+            again = broadside.unroll_two_frames(s27_netlist)
+        assert content_hash(again) == content_hash(fresh)

@@ -175,3 +175,40 @@ class TestActiveRecorder:
             assert get_recorder() is NULL_RECORDER
         finally:
             set_recorder(previous)
+
+
+def _child_run_id(conn):
+    conn.send(Recorder().run_id)
+    conn.close()
+
+
+class TestRunIdUniqueness:
+    def test_same_process_same_millisecond_ids_differ(self):
+        """Regression: pid + wall-clock ms alone collide for recorders
+        constructed back to back; the random suffix must not."""
+        ids = {Recorder().run_id for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_forked_children_never_share_the_parent_id(self):
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("requires fork start method")
+        parent = Recorder()
+        procs, conns = [], []
+        for _ in range(4):
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_run_id, args=(send,))
+            proc.start()
+            send.close()
+            procs.append(proc)
+            conns.append(recv)
+        child_ids = [conn.recv() for conn in conns]
+        for proc in procs:
+            proc.join(timeout=30.0)
+        for conn in conns:
+            conn.close()
+        assert parent.run_id not in child_ids
+        assert len(set(child_ids)) == len(child_ids)

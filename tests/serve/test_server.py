@@ -1,0 +1,232 @@
+"""End-to-end tests of the HTTP daemon (LocalServer + ServeClient)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench import load_circuit
+from repro.fault.atpg_flow import AtpgFlow, AtpgFlowConfig, flow_artifact
+from repro.serve import LocalServer, ServeClient, ServeError
+
+QUICK_CONFIG = {"processes": 1, "n_random_patterns": 32}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("serve-traces")
+    with LocalServer(max_queue=16, trace_dir=str(trace_dir)) as srv:
+        srv.trace_dir = str(trace_dir)
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.host, server.port)
+
+
+class TestBasics:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["accepting"] is True
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["max_queue"] == 16
+        assert "pools" in stats and "retry_after_hint" in stats
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._json("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_bad_submit_bodies_are_400(self, client):
+        for body in ({},
+                     {"circuit": "s999999"},
+                     {"circuit": "s27", "config": {"bogus": 1}},
+                     {"circuit": "s27", "priority": "high"}):
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(**{k: v for k, v in body.items()
+                                 if k in ("circuit", "priority")},
+                              config=body.get("config"))
+            assert excinfo.value.status == 400
+
+
+class TestEndToEnd:
+    def test_served_artifact_matches_batch_run(self, client):
+        """The determinism pin: daemon bytes == batch CLI bytes."""
+        final, served = client.run(circuit="s27", config=QUICK_CONFIG)
+        config = AtpgFlowConfig(**QUICK_CONFIG)
+        flow = AtpgFlow(load_circuit("s27"), config)
+        batch = flow_artifact("s27", config, flow.run())
+        assert served == batch
+        assert final["summary"]["coverage"] == pytest.approx(
+            json.loads(served)["summary"]["coverage"])
+
+    def test_warm_pool_jobs_are_byte_identical(self, client):
+        _, first = client.run(circuit="s27", config=QUICK_CONFIG)
+        _, second = client.run(circuit="s27", config=QUICK_CONFIG)
+        assert first == second
+        assert client.stats()["pools"]["hits"] >= 1
+
+    def test_inline_bench_submission(self, client):
+        from repro.bench import S27_BENCH
+
+        final, served = client.run(bench=S27_BENCH, name="inline27",
+                                   config=QUICK_CONFIG)
+        payload = json.loads(served)
+        assert payload["circuit"] == "inline27"
+        assert final["state"] == "done"
+
+    def test_event_stream_replays_full_history(self, client):
+        job = client.submit(circuit="s27", config=QUICK_CONFIG)
+        live = list(client.events(job["id"]))
+        assert live[0]["name"] == "job.state"
+        assert live[0]["args"]["state"] == "queued"
+        assert live[-1]["name"] == "job.state"
+        assert live[-1]["args"]["state"] == "done"
+        # a late subscriber gets the identical, complete history
+        replay = list(client.events(job["id"]))
+        assert replay == live
+
+    def test_artifact_before_done_is_409(self, client):
+        job = client.submit(circuit="s27", config=QUICK_CONFIG)
+        client.cancel(job["id"])
+        final = client.wait(job["id"], timeout=120.0)
+        if final["state"] == "cancelled":
+            with pytest.raises(ServeError) as excinfo:
+                client.artifact(job["id"])
+            assert excinfo.value.status == 409
+        else:
+            # the executor claimed it before the cancel landed; a done
+            # job legitimately serves its artifact
+            assert final["state"] == "done"
+
+    def test_cancel_running_job(self, client):
+        # a large phase-1 budget gives the cancel time to land at a
+        # batch boundary
+        job = client.submit(circuit="s1423",
+                            config={"processes": 1,
+                                    "n_random_patterns": 1_000_000,
+                                    "max_idle_batches": 1_000_000})
+        deadline = time.monotonic() + 60.0
+        while client.job(job["id"])["state"] == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.02)
+        client.cancel(job["id"])
+        final = client.wait(job["id"], timeout=120.0)
+        assert final["state"] == "cancelled"
+        events = list(client.events(job["id"]))
+        assert any(e["name"] == "atpg.cancelled" for e in events)
+
+    def test_job_trace_validates(self, server, client):
+        from repro.obs.validate import check_run
+
+        job = client.submit(circuit="s27", config=QUICK_CONFIG)
+        final = client.wait(job["id"], timeout=120.0)
+        assert final["state"] == "done"
+        trace = os.path.join(server.trace_dir, f"{job['id']}.json")
+        assert check_run(trace) == []
+
+    def test_jobs_listing_contains_submissions(self, client):
+        listed = {j["id"] for j in client.jobs()}
+        job = client.submit(circuit="s27", config=QUICK_CONFIG)
+        assert job["id"] in {j["id"] for j in client.jobs()}
+        assert listed <= {j["id"] for j in client.jobs()}
+        client.wait(job["id"], timeout=120.0)
+
+
+class TestBackpressure:
+    def test_queue_full_gets_429_with_retry_after(self):
+        with LocalServer(max_queue=1) as srv:
+            client = ServeClient(srv.host, srv.port)
+            # park a long job on the executor, then fill the queue
+            runner = client.submit(circuit="s1423",
+                                   config={"processes": 1,
+                                           "n_random_patterns": 1_000_000,
+                                           "max_idle_batches": 1_000_000})
+            deadline = time.monotonic() + 60.0
+            while client.job(runner["id"])["state"] == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            queued = client.submit(circuit="s27", config=QUICK_CONFIG)
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(circuit="s27", config=QUICK_CONFIG)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            client.cancel(runner["id"])
+            client.cancel(queued["id"])
+            client.wait(runner["id"], timeout=120.0)
+
+    def test_rate_limit_gets_429(self):
+        with LocalServer(rate=0.01, burst=1) as srv:
+            client = ServeClient(srv.host, srv.port,
+                                 client_id="greedy")
+            job = client.submit(circuit="s27", config=QUICK_CONFIG)
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(circuit="s27", config=QUICK_CONFIG)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            # an independent client still has its own budget
+            other = ServeClient(srv.host, srv.port, client_id="other")
+            second = other.submit(circuit="s27", config=QUICK_CONFIG)
+            client.wait(job["id"], timeout=120.0)
+            client.wait(second["id"], timeout=120.0)
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_backlog_with_zero_swallowed(self):
+        with LocalServer(max_queue=16) as srv:
+            client = ServeClient(srv.host, srv.port)
+            jobs = [client.submit(circuit="s27", config=QUICK_CONFIG)
+                    for _ in range(3)]
+        # __exit__ ran the SIGTERM drain: every job finished first
+        manager = srv.manager
+        for job in jobs:
+            assert manager.job(job["id"]).state == "done"
+        assert manager.swallowed_errors() == 0
+        assert manager.pools.info()["pools"] == 0
+
+
+class TestServeCliDaemon:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        """The daemon contract end to end: ready line, served job,
+        SIGTERM drain, exit 0 with zero swallowed errors."""
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--trace-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            client = ServeClient(ready["host"], ready["port"])
+            final, artifact = client.run(circuit="s27",
+                                         config=QUICK_CONFIG)
+            assert final["state"] == "done" and artifact
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert lines[-1]["event"] == "stopped"
+        assert lines[-1]["swallowed_errors"] == 0
+        assert proc.returncode == 0
